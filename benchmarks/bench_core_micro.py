@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the core pipeline stages.
+
+These are ablation-grade measurements (not paper artifacts): simulator
+throughput, compile time, CAM-machine overhead, and the cost of the
+encoding passes, so regressions in the substrate are visible.
+"""
+
+from repro.core.compiler import CamaCompiler, compile_automaton
+from repro.core.encoding.compression import compress_class
+from repro.core.encoding.selection import select_encoding
+from repro.core.machine import CamaMachine
+from repro.sim.engine import Engine
+
+
+def test_engine_throughput(benchmark, ctx):
+    name = "Snort"
+    engine = ctx.engine(name)
+    data = ctx.stream(name)
+    result = benchmark(engine.run, data)
+    assert result.stats.num_cycles == len(data)
+
+
+def test_engine_with_placement(benchmark, ctx):
+    name = "Snort"
+    engine = ctx.engine(name)
+    data = ctx.stream(name)
+    placement = ctx.build(name, "CAMA-E").placement
+    result = benchmark(engine.run, data, placement=placement)
+    assert result.stats.partition_enabled_cycles is not None
+
+
+def test_compile_benchmark(benchmark, ctx):
+    automaton = ctx.benchmark("TCP").automaton
+    program = benchmark(lambda: CamaCompiler().compile(automaton))
+    assert program.total_entries >= len(automaton)
+
+
+def test_encoding_selection(benchmark, ctx):
+    automaton = ctx.benchmark("SPM").automaton
+    choice = benchmark(select_encoding, automaton)
+    assert choice.code_length == 16
+
+
+def test_class_compression(benchmark, ctx):
+    automaton = ctx.benchmark("RandomForest").automaton
+    choice = select_encoding(automaton)
+    wide = max(
+        (s.symbol_class for s in automaton.states), key=len
+    )
+    entries = benchmark(compress_class, choice.encoding, wide)
+    assert entries
+
+
+def test_cama_machine_step_rate(benchmark, ctx):
+    automaton = ctx.benchmark("Ranges1").automaton
+    program = compile_automaton(automaton)
+    machine = CamaMachine(program)
+    data = ctx.stream("Ranges1")[:400]
+    result = benchmark(machine.run, data)
+    assert result.activity.num_cycles == len(data)

@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig 10 (chip area per benchmark)."""
+
+from repro.experiments import fig10_area
+
+
+def test_fig10_area(benchmark, ctx):
+    table = benchmark(fig10_area.run, ctx)
+    by_name = {row[0]: row for row in table.rows}
+    cama, impala, eap, ca = by_name["SPM"][1:5]
+    assert cama < min(impala, eap, ca)

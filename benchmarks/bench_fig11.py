@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig 11 (compute density / energy / power)."""
+
+from repro.experiments import fig11_density_energy_power
+
+
+def test_fig11_density_energy_power(benchmark, ctx):
+    table = benchmark(fig11_density_energy_power.run, ctx)
+    # every other design burns more energy than CAMA-E on every benchmark
+    for row in table.rows:
+        assert all(ratio > 1.0 for ratio in row[8:]), row[0]

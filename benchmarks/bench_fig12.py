@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 12 (CAMA energy breakdown)."""
+
+from repro.experiments import fig12_energy_breakdown
+
+
+def test_fig12_energy_breakdown(benchmark, ctx):
+    table = benchmark(fig12_energy_breakdown.run, ctx)
+    for row in table.rows:
+        assert sum(row[1:4]) > 99.0  # fractions sum to ~100%

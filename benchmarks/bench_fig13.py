@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig 13 (2-stride CAMA vs 4-stride Impala)."""
+
+from repro.experiments import fig13_multistride
+
+
+def test_fig13_multistride(benchmark, ctx):
+    table = benchmark(fig13_multistride.run, ctx)
+    for row in table.rows:
+        assert row[6] > 1.0  # Impala always costs more energy than CAMA-E

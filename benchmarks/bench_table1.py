@@ -1,0 +1,8 @@
+"""Bench: regenerate Table I (symbol classes and CAM entries)."""
+
+from repro.experiments import table1_symbol_classes
+
+
+def test_table1_symbol_classes(benchmark, ctx):
+    table = benchmark(table1_symbol_classes.run, ctx)
+    assert len(table.rows) == len(ctx.benchmarks)

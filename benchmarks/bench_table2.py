@@ -1,0 +1,8 @@
+"""Bench: regenerate Table II (encoding comparison)."""
+
+from repro.experiments import table2_encoding
+
+
+def test_table2_encoding(benchmark, ctx):
+    table = benchmark(table2_encoding.run, ctx)
+    assert any(row[3] == 32 for row in table.rows)  # RandomForest's 32-bit

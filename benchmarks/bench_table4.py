@@ -1,0 +1,9 @@
+"""Bench: regenerate Table IV (delays and frequencies, analytic)."""
+
+from repro.experiments import table4_timing
+
+
+def test_table4_timing(benchmark, ctx):
+    table = benchmark(table4_timing.run, ctx)
+    designs = {row[0] for row in table.rows}
+    assert {"CAMA-E", "CAMA-T", "CA", "eAP", "2-stride Impala", "AP"} == designs

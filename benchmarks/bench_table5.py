@@ -1,0 +1,9 @@
+"""Bench: regenerate Table V (switch mapping results)."""
+
+from repro.experiments import table5_switch_mapping
+
+
+def test_table5_switch_mapping(benchmark, ctx):
+    table = benchmark(table5_switch_mapping.run, ctx)
+    by_name = {row[0]: row for row in table.rows}
+    assert by_name["RandomForest"][9] > 0  # FCB-mode switches

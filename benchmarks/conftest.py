@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one paper table/figure through the same
+experiment modules the EXPERIMENTS.md results come from, at a reduced
+scale so a full ``pytest benchmarks/ --benchmark-only`` run stays in
+the minutes range.  Use ``repro.experiments.run_all`` directly for the
+full-scale numbers.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+BENCH_SCALE = 1.0 / 64.0
+BENCH_STREAM = 2000
+BENCH_SET = (
+    "Brill",
+    "TCP",
+    "SPM",
+    "RandomForest",
+    "EntityResolution",
+    "BlockRings",
+    "Ranges1",
+    "Snort",
+)
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    context = ExperimentContext(
+        scale=BENCH_SCALE, stream_length=BENCH_STREAM, benchmarks=BENCH_SET
+    )
+    # warm the caches shared by every experiment so each bench measures
+    # its own work, not benchmark generation
+    for name in BENCH_SET:
+        context.benchmark(name)
+    return context

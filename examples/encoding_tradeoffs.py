@@ -1,0 +1,75 @@
+"""Encoding ablation: sweep the four code families over one workload.
+
+    python examples/encoding_tradeoffs.py
+
+Reproduces the trade-off of paper §V (Fig. 6's intuition, Table II's
+numbers) on a single benchmark: One-Zero maximizes compression but its
+code length equals the alphabet; Multi-Zeros minimizes length but
+barely compresses; the prefix schemes sit in between, and clustering
+decides how often suffix compression succeeds.
+"""
+
+from repro.core.encoding import (
+    MultiZerosEncoding,
+    OneZeroEncoding,
+    build_prefix_encoding,
+    cluster_symbols,
+    encode_state_class,
+    identity_clusters,
+    select_encoding,
+)
+from repro.utils.tables import format_table
+from repro.workloads import get_benchmark
+
+
+def evaluate(encoding, classes):
+    entries = sum(
+        encode_state_class(encoding, symbol_class).num_entries
+        for symbol_class in classes
+    )
+    return entries, entries * encoding.code_length
+
+
+def main() -> None:
+    benchmark = get_benchmark("Snort", scale=1 / 64)
+    automaton = benchmark.automaton
+    classes = [s.symbol_class for s in automaton.states]
+    alphabet = automaton.alphabet()
+    print(f"{automaton}: alphabet {len(alphabet)}\n")
+
+    rows = []
+
+    def row(label, encoding):
+        entries, bits = evaluate(encoding, classes)
+        rows.append(
+            [label, encoding.code_length, entries,
+             round(entries / len(classes), 3), bits]
+        )
+
+    row("one-zero (AP/CA one-hot)", OneZeroEncoding(alphabet))
+    row("multi-zeros (Eq. 1)", MultiZerosEncoding(alphabet))
+
+    clustered = cluster_symbols(classes, alphabet, 6, 45)
+    row("two-zeros-prefix + clustering",
+        build_prefix_encoding(clustered, 6, 10, 2))
+    row("two-zeros-prefix, no clustering",
+        build_prefix_encoding(identity_clusters(alphabet, 6), 6, 10, 2))
+
+    clustered16 = cluster_symbols(classes, alphabet, 16, 16)
+    row("one-zero-prefix 32b + clustering",
+        build_prefix_encoding(clustered16, 16, 16, 1))
+    row("one-zero-prefix 32b, no clustering",
+        build_prefix_encoding(identity_clusters(alphabet, 16), 16, 16, 1))
+
+    print(
+        format_table(
+            ["encoding", "L", "CAM entries", "entries/state", "memory bits"],
+            rows,
+        )
+    )
+    choice = select_encoding(automaton)
+    print(f"\nselection algorithm picks: {choice}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: compile a regex set to CAMA and run it on a stream.
+
+    python examples/quickstart.py
+
+Walks the full pipeline on the paper's running example (Fig. 1):
+regex -> homogeneous NFA -> encoding selection -> CAM compression ->
+fabric mapping -> functional execution, cross-checked against the
+reference simulator.
+"""
+
+from repro.automata import compile_regex_set
+from repro.core import CamaMachine, compile_automaton
+from repro.sim import Engine, report_positions
+
+
+def main() -> None:
+    # 1. A small rule set, including the paper's (a|b)e*cd+ example.
+    rules = {
+        "paper": "(a|b)e*cd+",
+        "hex": r"0x[0-9a-f]{2,4}",
+        "word": r"c(at|ow|amel)s?",
+    }
+    nfa = compile_regex_set(rules, name="quickstart")
+    print(f"automaton: {nfa}")
+
+    # 2. Compile: encoding selection + negation optimization + mapping.
+    program = compile_automaton(nfa)
+    for key, value in program.summary().items():
+        print(f"  {key:16s} {value}")
+
+    # 3. Execute on an input stream, on both the reference simulator and
+    #    the CAM-level machine; their reports must agree.
+    data = b"the cats saw 0x1f44 cows by aecddd river"
+    reference = Engine(nfa).run(data)
+    machine = CamaMachine(program, variant="E").run(data)
+    assert report_positions(reference.reports) == report_positions(machine.reports)
+
+    print(f"\ninput: {data.decode()!r}")
+    for report in reference.reports:
+        print(
+            f"  matched rule {report.code!r} ending at byte {report.cycle} "
+            f"({data[max(0, report.cycle - 9) : report.cycle + 1].decode()!r})"
+        )
+    print(
+        f"\nCAM activity: {machine.activity.avg_entries_enabled():.1f} "
+        f"entries precharged per cycle (of {program.total_entries} total) — "
+        "this sparsity is what CAMA-E's selective precharge exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — a full reproduction of CAMA (HPCA 2022).
+
+CAMA is a content-addressable-memory automata accelerator.  This
+package provides the automata substrate, a reference cycle simulator,
+the CAMA encoding/compression/mapping framework, architecture models of
+CAMA and its baselines (CA, Impala, eAP, AP), the synthetic benchmark
+suite, and the experiment harnesses that regenerate the paper's tables
+and figures.  See DESIGN.md for the inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.automata import (
+    Automaton,
+    StartKind,
+    SymbolClass,
+    compile_regex_set,
+    glushkov_nfa,
+    load_anml,
+    load_mnrl,
+)
+from repro.sim import Engine, Report, SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Automaton",
+    "Engine",
+    "Report",
+    "SimulationResult",
+    "StartKind",
+    "SymbolClass",
+    "compile_regex_set",
+    "glushkov_nfa",
+    "load_anml",
+    "load_mnrl",
+    "__version__",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface: compile, run and evaluate automata on CAMA.
+
+    python -m repro compile rules.anml            # compile + summary
+    python -m repro compile rules.mnrl --optimize
+    python -m repro run rules.anml input.bin      # reports to stdout
+    python -m repro evaluate rules.anml input.bin # CAMA vs baselines
+    python -m repro experiments --only table4     # paper tables/figures
+
+Accepts ANML (.anml/.xml), MNRL (.mnrl/.json), or a newline-separated
+regex list (.regex/.txt).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.arch.designs import ALL_DESIGNS, build_design
+from repro.automata import (
+    compile_regex_set,
+    load_anml,
+    load_mnrl,
+    optimize as optimize_pass,
+)
+from repro.automata.nfa import Automaton
+from repro.core.compiler import compile_automaton
+from repro.errors import ReproError
+from repro.sim.engine import Engine
+from repro.utils.tables import format_table
+
+
+def load_automaton(path: str) -> Automaton:
+    """Load an automaton from ANML, MNRL or a regex-list file."""
+    file = Path(path)
+    if not file.exists():
+        raise ReproError(f"no such file: {path}")
+    suffix = file.suffix.lower()
+    if suffix in (".anml", ".xml"):
+        return load_anml(file)
+    if suffix in (".mnrl", ".json"):
+        return load_mnrl(file)
+    if suffix in (".regex", ".txt"):
+        patterns = [
+            line.strip()
+            for line in file.read_text().splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+        return compile_regex_set(patterns, name=file.stem)
+    raise ReproError(
+        f"unrecognized automaton format {suffix!r} "
+        f"(expected .anml/.xml, .mnrl/.json, or .regex/.txt)"
+    )
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    automaton = load_automaton(args.automaton)
+    if args.optimize:
+        automaton, report = optimize_pass(automaton)
+        print(
+            f"optimized: {report.states_before} -> {report.states_after} "
+            f"states ({report.reduction:.0%} reduction)"
+        )
+    program = compile_automaton(automaton)
+    rows = [[key, value] for key, value in program.summary().items()]
+    print(format_table(["property", "value"], rows))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    automaton = load_automaton(args.automaton)
+    data = Path(args.input).read_bytes()
+    if args.limit:
+        data = data[: args.limit]
+    result = Engine(automaton).run(data)
+    for report in result.reports[: args.max_reports]:
+        code = f" code={report.code}" if report.code else ""
+        print(f"cycle={report.cycle} state={report.state_id}{code}")
+    print(
+        f"# {result.stats.num_reports} reports over "
+        f"{result.stats.num_cycles} cycles "
+        f"(avg active states {result.stats.avg_active_states():.2f})"
+    )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    automaton = load_automaton(args.automaton)
+    data = Path(args.input).read_bytes()
+    if args.limit:
+        data = data[: args.limit]
+    engine = Engine(automaton)
+    rows = []
+    for design in ALL_DESIGNS:
+        build = build_design(design, automaton)
+        stats = engine.run(data, placement=build.placement, max_reports=0).stats
+        breakdown = build.energy(stats)
+        rows.append(
+            [
+                design,
+                round(build.area_mm2, 4),
+                round(build.timing.throughput_gbps(), 2),
+                round(breakdown.per_cycle_pj(), 2),
+                round(build.power_w(stats), 4),
+                round(build.compute_density_gbps_mm2(), 1),
+            ]
+        )
+    print(
+        format_table(
+            ["design", "area mm2", "Gbps", "pJ/cycle", "W", "Gbps/mm2"],
+            rows,
+            title=f"{automaton.name}: {len(automaton)} states, {len(data)} bytes",
+        )
+    )
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import run_all
+
+    run_all(
+        scale=args.scale,
+        stream_length=args.stream,
+        out_dir=args.out,
+        only=args.only,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile an automaton to CAMA")
+    p_compile.add_argument("automaton")
+    p_compile.add_argument("--optimize", action="store_true")
+    p_compile.set_defaults(fn=cmd_compile)
+
+    p_run = sub.add_parser("run", help="simulate an automaton on an input file")
+    p_run.add_argument("automaton")
+    p_run.add_argument("input")
+    p_run.add_argument("--limit", type=int, default=0)
+    p_run.add_argument("--max-reports", type=int, default=50)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_eval = sub.add_parser("evaluate", help="compare designs on a workload")
+    p_eval.add_argument("automaton")
+    p_eval.add_argument("input")
+    p_eval.add_argument("--limit", type=int, default=0)
+    p_eval.set_defaults(fn=cmd_evaluate)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("--scale", type=float, default=1 / 16)
+    p_exp.add_argument("--stream", type=int, default=10_000)
+    p_exp.add_argument("--out", default="results")
+    p_exp.add_argument("--only", nargs="*", default=None)
+    p_exp.set_defaults(fn=cmd_experiments)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

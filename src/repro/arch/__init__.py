@@ -1,0 +1,72 @@
+"""Architecture models: circuits, timing, designs, energy, multi-stride."""
+
+from repro.arch.baselines import BaselineMapping, map_baseline
+from repro.arch.circuits import (
+    CAM_SELECTIVE_FLOOR_PJ,
+    VDD_VOLTS,
+    CircuitLibrary,
+    MacroModel,
+    selective_precharge_energy,
+)
+from repro.arch.designs import (
+    ALL_DESIGNS,
+    DesignBuild,
+    build_ca,
+    build_cama,
+    build_design,
+    build_eap,
+    build_impala,
+)
+from repro.arch.energy import (
+    EnergyBreakdown,
+    switch_access_energy,
+)
+from repro.arch.stride_models import (
+    MultiStrideResult,
+    impala4_state_count,
+    multistride_energy,
+    strided_placement,
+)
+from repro.arch.timing import (
+    AP_FREQUENCY_GHZ,
+    BITS_PER_CYCLE,
+    DesignTiming,
+    all_timings,
+    ap_timing,
+    ca_timing,
+    cama_timing,
+    eap_timing,
+    impala_timing,
+)
+
+__all__ = [
+    "ALL_DESIGNS",
+    "AP_FREQUENCY_GHZ",
+    "BITS_PER_CYCLE",
+    "BaselineMapping",
+    "CAM_SELECTIVE_FLOOR_PJ",
+    "CircuitLibrary",
+    "DesignBuild",
+    "DesignTiming",
+    "EnergyBreakdown",
+    "MacroModel",
+    "MultiStrideResult",
+    "VDD_VOLTS",
+    "all_timings",
+    "ap_timing",
+    "build_ca",
+    "build_cama",
+    "build_design",
+    "build_eap",
+    "build_impala",
+    "ca_timing",
+    "cama_timing",
+    "eap_timing",
+    "impala4_state_count",
+    "impala_timing",
+    "map_baseline",
+    "multistride_energy",
+    "selective_precharge_energy",
+    "strided_placement",
+    "switch_access_energy",
+]

@@ -1,0 +1,114 @@
+"""Baseline mapping: how CA, Impala and eAP place an automaton.
+
+All three baselines use 256-STE partitions (one state-matching bank +
+one local switch per partition) packed greedily by connected component,
+with the global switch connecting partitions (CA's flow, which Impala
+and eAP inherit).  eAP additionally distinguishes RCB-feasible
+partitions (diagonal band <= 21 under BFS placement) from partitions
+that must reuse a state-matching array as a full crossbar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.automata.analysis import bfs_order, connected_components
+from repro.automata.nfa import Automaton
+from repro.core.rrcb import EAP_KDIA
+from repro.sim.trace import PartitionAssignment
+
+PARTITION_CAPACITY = 256
+#: partitions sharing one 256x256 global switch (16x16 ports)
+PARTITIONS_PER_GLOBAL = 16
+
+
+@dataclass
+class BaselinePartition:
+    index: int
+    states: list[int] = field(default_factory=list)
+    #: False when the partition holds a component whose BFS band exceeds
+    #: the RCB's diagonal width (eAP then reuses an SM array as FCB)
+    band_ok: bool = True
+
+
+@dataclass
+class BaselineMapping:
+    """Placement of one automaton onto a 256-STE-partition baseline."""
+
+    automaton_name: str
+    partitions: list[BaselinePartition]
+    state_partition: np.ndarray
+    cross_edges: list[tuple[int, int]]
+    num_global_switches: int
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def num_fcb_partitions(self) -> int:
+        """Partitions needing full-crossbar routing (eAP's SM reuse)."""
+        return sum(1 for p in self.partitions if not p.band_ok)
+
+    def placement(self, weights: np.ndarray | None = None) -> PartitionAssignment:
+        return PartitionAssignment(
+            partition_of=self.state_partition.copy(),
+            num_partitions=self.num_partitions,
+            weights=weights,
+        )
+
+
+def map_baseline(
+    automaton: Automaton,
+    *,
+    capacity: int = PARTITION_CAPACITY,
+    kdia: int = EAP_KDIA,
+) -> BaselineMapping:
+    """Greedy CC packing into ``capacity``-STE partitions."""
+    n = len(automaton)
+    state_partition = np.full(n, -1, dtype=np.int64)
+    partitions: list[BaselinePartition] = []
+
+    chunks: list[tuple[list[int], bool]] = []
+    for component in connected_components(automaton):
+        order = bfs_order(automaton, component)
+        position = {s: i for i, s in enumerate(order)}
+        band_ok = all(
+            abs(position[u] - position[v]) <= kdia
+            for u, v in automaton.transitions()
+            if u in position and v in position
+        )
+        for start in range(0, len(order), capacity):
+            chunks.append((order[start : start + capacity], band_ok))
+
+    for chunk, band_ok in sorted(chunks, key=lambda c: len(c[0]), reverse=True):
+        target = None
+        for partition in partitions:
+            if len(partition.states) + len(chunk) <= capacity:
+                target = partition
+                break
+        if target is None:
+            target = BaselinePartition(index=len(partitions))
+            partitions.append(target)
+        for state in chunk:
+            state_partition[state] = target.index
+        target.states.extend(chunk)
+        target.band_ok = target.band_ok and band_ok
+
+    cross_edges = [
+        (u, v)
+        for u, v in automaton.transitions()
+        if state_partition[u] != state_partition[v]
+    ]
+    arrays_used = {
+        int(state_partition[u]) // PARTITIONS_PER_GLOBAL for u, v in cross_edges
+    } | {int(state_partition[v]) // PARTITIONS_PER_GLOBAL for u, v in cross_edges}
+    return BaselineMapping(
+        automaton_name=automaton.name,
+        partitions=partitions,
+        state_partition=state_partition,
+        cross_edges=cross_edges,
+        num_global_switches=len(arrays_used),
+    )

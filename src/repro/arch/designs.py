@@ -1,0 +1,391 @@
+"""Per-design architecture models: CAMA-E/T, CA, 2-stride Impala, eAP.
+
+Each ``build_*`` function places an automaton onto its design and
+returns a :class:`DesignBuild` carrying (a) the provisioned hardware —
+area and leakage, Fig. 10's quantity, (b) the placement the simulator
+uses to collect activity, and (c) an energy function turning that
+activity into Fig. 11/12's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.arch.baselines import BaselineMapping, map_baseline
+from repro.arch.circuits import (
+    CircuitLibrary,
+    selective_precharge_energy,
+)
+from repro.arch.energy import (
+    EnergyBreakdown,
+    require_partition_stats,
+    switch_access_energy,
+)
+from repro.arch.timing import (
+    DesignTiming,
+    ca_timing,
+    cama_timing,
+    eap_timing,
+    impala_timing,
+)
+from repro.automata.bitsplit import bitsplit
+from repro.automata.nfa import Automaton
+from repro.core.compiler import CamaCompiler, CamaProgram
+from repro.core.rrcb import CAMA_KDIA, EAP_KDIA
+from repro.errors import ModelError
+from repro.sim.trace import PartitionAssignment, TraceStats
+
+
+@dataclass
+class DesignBuild:
+    """One design instantiated for one automaton."""
+
+    design: str
+    automaton_name: str
+    timing: DesignTiming
+    placement: PartitionAssignment
+    area_um2: float
+    leakage_w: float
+    #: resource counts for reporting (switches, tiles, partitions, ...)
+    counts: dict
+    #: turns a partition-resolved TraceStats into an energy breakdown
+    energy_fn: Callable[[TraceStats], EnergyBreakdown]
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+    def energy(self, stats: TraceStats) -> EnergyBreakdown:
+        require_partition_stats(stats)
+        return self.energy_fn(stats)
+
+    def power_w(self, stats: TraceStats) -> float:
+        """Dynamic + leakage power at the operated frequency."""
+        dynamic = (
+            self.energy(stats).per_cycle_pj()
+            * 1e-12
+            * self.timing.freq_operated_ghz
+            * 1e9
+        )
+        return dynamic + self.leakage_w
+
+    def compute_density_gbps_mm2(self) -> float:
+        return self.timing.throughput_gbps() / self.area_mm2
+
+
+# -- CAMA -------------------------------------------------------------------
+def build_cama(
+    automaton: Automaton,
+    variant: str = "E",
+    lib: CircuitLibrary | None = None,
+    compiler: CamaCompiler | None = None,
+    program: CamaProgram | None = None,
+) -> DesignBuild:
+    """CAMA-E (selective precharge) or CAMA-T (pipelined, full precharge).
+
+    Both variants share the mapping and therefore the area; they differ
+    in frequency and in the state-matching energy model.
+    """
+    lib = lib or CircuitLibrary()
+    if program is None:
+        compiler = compiler or CamaCompiler()
+        program = compiler.compile(automaton)
+    mapping = program.mapping
+
+    cam = lib.state_match_cam()
+    cam32 = lib.state_match_cam_32()
+    switch = lib.local_switch()
+    gsw = lib.global_switch()
+    encoder = lib.encoder_sram()
+
+    tile_area = 2 * cam.area_um2 + 2 * switch.area_um2
+    area = (
+        mapping.num_tiles * tile_area
+        + mapping.num_global_switches * gsw.area_um2
+        + encoder.area_um2
+    )
+    tile_leak = 2 * cam.leakage_ua + 2 * switch.leakage_ua
+    leakage_ua = (
+        mapping.num_tiles * tile_leak
+        + mapping.num_global_switches * gsw.leakage_ua
+        + encoder.leakage_ua
+    )
+
+    unit_of_switch, unit_modes = mapping.cam_units()
+    unit_full_pj = np.array(
+        [
+            cam32.energy_pj if mode == "mode32" else cam.energy_pj
+            for mode in unit_modes
+        ]
+    )
+    # switch-level placement drives the simulation; CAM units aggregate it
+    placement = mapping.placement(unit="switch")
+    switch_to_unit = np.array(
+        [unit_of_switch[s.index] for s in mapping.switches], dtype=np.int64
+    )
+    num_units = len(unit_modes)
+    wire_pj = lib.global_wire_energy_pj(cam.area_um2)
+    selective = variant == "E"
+
+    def energy_fn(stats: TraceStats) -> EnergyBreakdown:
+        # aggregate switch stats to CAM units
+        unit_enabled_cycles = np.zeros(num_units, dtype=np.float64)
+        unit_weight_sum = np.zeros(num_units, dtype=np.float64)
+        np.maximum.at(
+            unit_enabled_cycles,
+            switch_to_unit,
+            stats.partition_enabled_cycles.astype(np.float64),
+        )
+        np.add.at(
+            unit_weight_sum, switch_to_unit, stats.partition_enabled_weight_sum
+        )
+        if selective:
+            floor = selective_precharge_energy(0.0, 0.0)  # = 2.67 pJ
+            slope = (unit_full_pj - floor) / 256.0
+            state_match = float(
+                (unit_enabled_cycles * floor + slope * unit_weight_sum).sum()
+            )
+        else:
+            state_match = float((unit_enabled_cycles * unit_full_pj).sum())
+
+        local = 0.0
+        for i, plan in enumerate(mapping.switches):
+            accesses = float(stats.partition_active_cycles[i])
+            if not accesses:
+                continue
+            avg_rows = stats.partition_active_states_sum[i] / accesses
+            local += accesses * switch_access_energy(
+                switch, avg_rows, plan.capacity_states
+            )
+        global_accesses = float(stats.global_source_partitions_sum)
+        global_pj = global_accesses * gsw.energy_pj
+        wire = global_accesses * wire_pj
+        enc = stats.num_cycles * encoder.energy_pj
+        return EnergyBreakdown(
+            state_match_pj=state_match,
+            local_switch_pj=local,
+            global_switch_pj=global_pj,
+            wire_pj=wire,
+            encoder_pj=enc,
+            num_cycles=stats.num_cycles,
+        )
+
+    return DesignBuild(
+        design=f"CAMA-{variant}",
+        automaton_name=automaton.name,
+        timing=cama_timing(variant, lib),
+        placement=placement,
+        area_um2=area,
+        leakage_w=leakage_ua * 1e-6 * 0.9,
+        counts={
+            "tiles": mapping.num_tiles,
+            "rcb_switches": mapping.num_rcb_switches,
+            "fcb_switches": mapping.num_fcb_switches,
+            "global_switches": mapping.num_global_switches,
+            "cam_entries": mapping.total_entries,
+            "code_length": mapping.code_length,
+        },
+        energy_fn=energy_fn,
+    )
+
+
+# -- shared baseline energy closure ------------------------------------------
+def _baseline_energy_fn(
+    sm_access_pj: float,
+    switch_macros: list,
+    gsw_energy_pj: float,
+    wire_pj: float,
+    positions: int = 256,
+):
+    def energy_fn(stats: TraceStats) -> EnergyBreakdown:
+        state_match = float(stats.partition_enabled_cycles.sum()) * sm_access_pj
+        local = 0.0
+        for i, macro in enumerate(switch_macros):
+            accesses = float(stats.partition_active_cycles[i])
+            if not accesses:
+                continue
+            avg_rows = stats.partition_active_states_sum[i] / accesses
+            local += accesses * switch_access_energy(macro, avg_rows, positions)
+        global_accesses = float(stats.global_source_partitions_sum)
+        return EnergyBreakdown(
+            state_match_pj=state_match,
+            local_switch_pj=local,
+            global_switch_pj=global_accesses * gsw_energy_pj,
+            wire_pj=global_accesses * wire_pj,
+            encoder_pj=0.0,
+            num_cycles=stats.num_cycles,
+        )
+
+    return energy_fn
+
+
+# -- Cache Automaton ----------------------------------------------------------
+def build_ca(
+    automaton: Automaton,
+    lib: CircuitLibrary | None = None,
+    mapping: BaselineMapping | None = None,
+) -> DesignBuild:
+    """CA: 256x256 6T one-hot matching + 256x256 8T full-crossbar switch."""
+    lib = lib or CircuitLibrary()
+    mapping = mapping or map_baseline(automaton, kdia=EAP_KDIA)
+    sm = lib.ca_state_match()
+    sw = lib.global_switch()  # CA's local FCB is also a 256x256 8T array
+    gsw = lib.global_switch()
+    n_parts = mapping.num_partitions
+    area = n_parts * (sm.area_um2 + sw.area_um2) + (
+        mapping.num_global_switches * gsw.area_um2
+    )
+    leak = n_parts * (sm.leakage_ua + sw.leakage_ua) + (
+        mapping.num_global_switches * gsw.leakage_ua
+    )
+    return DesignBuild(
+        design="CA",
+        automaton_name=automaton.name,
+        timing=ca_timing(lib),
+        placement=mapping.placement(),
+        area_um2=area,
+        leakage_w=leak * 1e-6 * 0.9,
+        counts={
+            "partitions": n_parts,
+            "global_switches": mapping.num_global_switches,
+        },
+        energy_fn=_baseline_energy_fn(
+            sm.energy_pj,
+            [sw] * n_parts,
+            gsw.energy_pj,
+            lib.global_wire_energy_pj(sm.area_um2),
+        ),
+    )
+
+
+# -- 2-stride Impala -----------------------------------------------------------
+def build_impala(
+    automaton: Automaton,
+    lib: CircuitLibrary | None = None,
+) -> DesignBuild:
+    """Impala: the 4-bit bit-split automaton on two 16x256 6T banks.
+
+    Both banks are read every cycle (one per nibble), so the
+    state-matching access costs 2 x 15.3 pJ per enabled partition —
+    the doubled periphery the paper identifies as Impala's energy
+    weakness.  Activity is measured on the original automaton with
+    states projected onto the partitions of their hi-nibble STEs.
+    """
+    lib = lib or CircuitLibrary()
+    split = bitsplit(automaton)
+    # an Impala partition holds 256 hi-nibble STEs in bank 0 plus 256
+    # lo-nibble STEs in bank 1, so its bit-split capacity is 512
+    bs_mapping = map_baseline(split.automaton, capacity=512, kdia=EAP_KDIA)
+    # project: original state -> partition of its first hi-nibble STE
+    partition_of = np.array(
+        [
+            bs_mapping.state_partition[split.hi_states[s][0]]
+            for s in range(len(automaton))
+        ],
+        dtype=np.int64,
+    )
+    placement = PartitionAssignment(
+        partition_of=partition_of, num_partitions=bs_mapping.num_partitions
+    )
+    bank = lib.impala_state_match_bank()
+    sw = lib.global_switch()
+    gsw = lib.global_switch()
+    n_parts = bs_mapping.num_partitions
+    area = n_parts * (2 * bank.area_um2 + sw.area_um2) + (
+        bs_mapping.num_global_switches * gsw.area_um2
+    )
+    leak = n_parts * (2 * bank.leakage_ua + sw.leakage_ua) + (
+        bs_mapping.num_global_switches * gsw.leakage_ua
+    )
+    return DesignBuild(
+        design="2-stride Impala",
+        automaton_name=automaton.name,
+        timing=impala_timing(lib),
+        placement=placement,
+        area_um2=area,
+        leakage_w=leak * 1e-6 * 0.9,
+        counts={
+            "partitions": n_parts,
+            "bitsplit_states": len(split.automaton),
+            "global_switches": bs_mapping.num_global_switches,
+        },
+        energy_fn=_baseline_energy_fn(
+            2 * bank.energy_pj,
+            [sw] * n_parts,
+            gsw.energy_pj,
+            lib.global_wire_energy_pj(2 * bank.area_um2),
+        ),
+    )
+
+
+# -- eAP -----------------------------------------------------------------------
+def build_eap(
+    automaton: Automaton,
+    lib: CircuitLibrary | None = None,
+    mapping: BaselineMapping | None = None,
+) -> DesignBuild:
+    """eAP: 256x256 8T matching + 96x96 RCB; dense partitions reuse a
+    state-matching array as FCB (costing an extra 8T bank)."""
+    lib = lib or CircuitLibrary()
+    mapping = mapping or map_baseline(automaton, kdia=EAP_KDIA)
+    sm = lib.eap_state_match()
+    rcb = lib.eap_rcb()
+    gsw = lib.global_switch()
+    n_parts = mapping.num_partitions
+    n_fcb = mapping.num_fcb_partitions
+    area = (
+        n_parts * (sm.area_um2 + rcb.area_um2)
+        + n_fcb * sm.area_um2  # SM reuse: extra bank for FCB routing
+        + mapping.num_global_switches * gsw.area_um2
+    )
+    leak = (
+        n_parts * (sm.leakage_ua + rcb.leakage_ua)
+        + n_fcb * sm.leakage_ua
+        + mapping.num_global_switches * gsw.leakage_ua
+    )
+    switch_macros = [
+        rcb if p.band_ok else sm  # FCB partitions route in the 8T bank
+        for p in mapping.partitions
+    ]
+    return DesignBuild(
+        design="eAP",
+        automaton_name=automaton.name,
+        timing=eap_timing(lib),
+        placement=mapping.placement(),
+        area_um2=area,
+        leakage_w=leak * 1e-6 * 0.9,
+        counts={
+            "partitions": n_parts,
+            "fcb_partitions": n_fcb,
+            "global_switches": mapping.num_global_switches,
+        },
+        energy_fn=_baseline_energy_fn(
+            sm.energy_pj,
+            switch_macros,
+            gsw.energy_pj,
+            lib.global_wire_energy_pj(sm.area_um2),
+        ),
+    )
+
+
+ALL_DESIGNS = ("CAMA-E", "CAMA-T", "2-stride Impala", "eAP", "CA")
+
+
+def build_design(
+    design: str, automaton: Automaton, lib: CircuitLibrary | None = None
+) -> DesignBuild:
+    """Factory dispatching on the design name."""
+    if design == "CAMA-E":
+        return build_cama(automaton, "E", lib)
+    if design == "CAMA-T":
+        return build_cama(automaton, "T", lib)
+    if design == "2-stride Impala":
+        return build_impala(automaton, lib)
+    if design == "eAP":
+        return build_eap(automaton, lib)
+    if design == "CA":
+        return build_ca(automaton, lib)
+    raise ModelError(f"unknown design {design!r}")

@@ -1,0 +1,97 @@
+"""Per-cycle energy accounting (paper §VIII.C).
+
+The paper's model — which this module reproduces — charges, each cycle:
+
+* one state-matching access per partition with >= 1 *enabled* state
+  (pipelined designs cannot power-gate per cycle; CAMA-E additionally
+  scales the access with the number of enabled CAM entries — selective
+  precharge);
+* one local-switch access per partition with >= 1 *active* state, with
+  a cell component proportional to the active rows (the correction the
+  paper applies to CA's and Impala's published models);
+* one global-switch access (plus wire energy) per partition that owns
+  an active state with a cross-partition successor;
+* for CAMA, one input-encoder access per cycle.
+
+All inputs come from a :class:`repro.sim.trace.TraceStats`; the output
+is an :class:`EnergyBreakdown` in picojoules for the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.circuits import MacroModel
+from repro.errors import ModelError
+from repro.sim.trace import TraceStats
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Total energy of one run, split the way Fig. 12 reports it."""
+
+    state_match_pj: float
+    local_switch_pj: float
+    global_switch_pj: float
+    wire_pj: float
+    encoder_pj: float
+    num_cycles: int
+
+    @property
+    def switch_and_wire_pj(self) -> float:
+        return self.local_switch_pj + self.global_switch_pj + self.wire_pj
+
+    @property
+    def total_pj(self) -> float:
+        return self.state_match_pj + self.switch_and_wire_pj + self.encoder_pj
+
+    def per_cycle_pj(self) -> float:
+        return self.total_pj / self.num_cycles if self.num_cycles else 0.0
+
+    def per_byte_nj(self, bytes_per_cycle: int = 1) -> float:
+        if not self.num_cycles:
+            return 0.0
+        return self.total_pj / (self.num_cycles * bytes_per_cycle) / 1000.0
+
+    def fractions(self) -> dict[str, float]:
+        """Fig. 12's breakdown: state match / switch+wire / encoder."""
+        total = self.total_pj
+        if total <= 0:
+            return {"state_match": 0.0, "switch_wire": 0.0, "encoder": 0.0}
+        return {
+            "state_match": self.state_match_pj / total,
+            "switch_wire": self.switch_and_wire_pj / total,
+            "encoder": self.encoder_pj / total,
+        }
+
+
+#: periphery share of an SRAM access; the paper states periphery is
+#: ">= 80% of SRAM access energy" (§III.A), we use the midpoint of the
+#: 80-90% range
+SRAM_PERIPHERY_FRACTION = 0.85
+
+
+def switch_access_energy(
+    macro: MacroModel, active_rows: float, positions: int
+) -> float:
+    """Local-switch access energy with the active-row correction.
+
+    The per-column periphery (precharge, sensing) is paid on every
+    access; the cell/wordline component scales with the fraction of
+    rows activated — the correction the paper applies to CA's and
+    Impala's worst-case (all-rows) energy models.
+    """
+    if positions <= 0:
+        raise ModelError("positions must be positive")
+    periphery = SRAM_PERIPHERY_FRACTION * macro.energy_pj
+    cells = macro.energy_pj - periphery
+    fraction = min(max(active_rows / positions, 0.0), 1.0)
+    return periphery + cells * fraction
+
+
+def require_partition_stats(stats: TraceStats) -> None:
+    if stats.partition_enabled_cycles is None:
+        raise ModelError(
+            "energy accounting needs partition-resolved TraceStats "
+            "(run the engine with a placement)"
+        )

@@ -1,0 +1,147 @@
+"""Stage delays and clock frequencies (paper Table IV).
+
+Every design's cycle is state matching -> local switch -> global
+switch.  Pipelined designs (CAMA-T, Impala, eAP, CA) clock at the
+slowest stage, which is the global switch for all of them; CAMA-E
+cannot pipeline (its transition result feeds the CAM prechargers
+directly), so its period is state-match + global-switch, with the
+local switch hidden behind the global one (they operate in parallel).
+Operated frequency leaves the paper's 10% margin. AP is the published
+constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.circuits import CircuitLibrary
+from repro.errors import ModelError
+
+AP_FREQUENCY_GHZ = 0.133
+FREQUENCY_MARGIN = 0.9
+#: all evaluated designs consume one 8-bit symbol per cycle (1-stride)
+BITS_PER_CYCLE = 8
+
+
+@dataclass(frozen=True)
+class DesignTiming:
+    """Table IV row for one design."""
+
+    design: str
+    state_match_ps: float
+    local_switch_ps: float
+    global_switch_ps: float
+    pipelined: bool
+    freq_max_ghz: float
+    freq_operated_ghz: float
+
+    def throughput_gbps(self, bits_per_cycle: int = BITS_PER_CYCLE) -> float:
+        return self.freq_operated_ghz * bits_per_cycle
+
+
+def _timing(
+    design: str,
+    state_match_ps: float,
+    local_ps: float,
+    state_match_area: float,
+    lib: CircuitLibrary,
+    pipelined: bool,
+) -> DesignTiming:
+    global_ps = lib.global_switch().delay_ps + lib.global_wire_delay_ps(
+        state_match_area
+    )
+    if pipelined:
+        period = max(state_match_ps, local_ps, global_ps)
+    else:
+        # CAMA-E: match feeds prechargers; local hides behind global
+        period = state_match_ps + global_ps
+    freq_max = 1000.0 / period  # ps -> GHz
+    return DesignTiming(
+        design=design,
+        state_match_ps=state_match_ps,
+        local_switch_ps=local_ps,
+        global_switch_ps=global_ps,
+        pipelined=pipelined,
+        freq_max_ghz=freq_max,
+        freq_operated_ghz=freq_max * FREQUENCY_MARGIN,
+    )
+
+
+def cama_timing(variant: str, lib: CircuitLibrary | None = None) -> DesignTiming:
+    if variant not in ("E", "T"):
+        raise ModelError(f"unknown CAMA variant {variant!r}")
+    lib = lib or CircuitLibrary()
+    cam = lib.state_match_cam()
+    return _timing(
+        f"CAMA-{variant}",
+        cam.delay_ps,
+        lib.local_switch().delay_ps,
+        cam.area_um2,
+        lib,
+        pipelined=variant == "T",
+    )
+
+
+def impala_timing(lib: CircuitLibrary | None = None) -> DesignTiming:
+    lib = lib or CircuitLibrary()
+    bank = lib.impala_state_match_bank()
+    return _timing(
+        "2-stride Impala",
+        bank.delay_ps,
+        lib.global_switch().delay_ps,  # Impala's local switch is 256x256 8T
+        2 * bank.area_um2,
+        lib,
+        pipelined=True,
+    )
+
+
+def eap_timing(lib: CircuitLibrary | None = None) -> DesignTiming:
+    lib = lib or CircuitLibrary()
+    sm = lib.eap_state_match()
+    return _timing(
+        "eAP",
+        sm.delay_ps,
+        lib.global_switch().delay_ps,  # worst case: SM reused as FCB
+        sm.area_um2,
+        lib,
+        pipelined=True,
+    )
+
+
+def ca_timing(lib: CircuitLibrary | None = None) -> DesignTiming:
+    lib = lib or CircuitLibrary()
+    sm = lib.ca_state_match()
+    return _timing(
+        "CA",
+        sm.delay_ps,
+        lib.global_switch().delay_ps,
+        sm.area_um2,
+        lib,
+        pipelined=True,
+    )
+
+
+def ap_timing() -> DesignTiming:
+    """Micron AP (50 nm): the paper treats it as a 0.133 GHz constant."""
+    return DesignTiming(
+        design="AP",
+        state_match_ps=float("nan"),
+        local_switch_ps=float("nan"),
+        global_switch_ps=float("nan"),
+        pipelined=True,
+        freq_max_ghz=AP_FREQUENCY_GHZ,
+        freq_operated_ghz=AP_FREQUENCY_GHZ,
+    )
+
+
+def all_timings(lib: CircuitLibrary | None = None) -> list[DesignTiming]:
+    """Table IV: one row per design."""
+    lib = lib or CircuitLibrary()
+    return [
+        cama_timing("E", lib),
+        cama_timing("T", lib),
+        impala_timing(lib),
+        eap_timing(lib),
+        ca_timing(lib),
+        ap_timing(),
+    ]

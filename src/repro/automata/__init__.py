@@ -1,0 +1,66 @@
+"""Homogeneous-NFA substrate: symbols, automata, regex, formats, transforms."""
+
+from repro.automata.analysis import (
+    AutomatonStats,
+    automaton_stats,
+    bandwidth_under_order,
+    bfs_order,
+    connected_components,
+)
+from repro.automata.anml import dump_anml, dumps_anml, load_anml, loads_anml
+from repro.automata.bitsplit import BitSplitResult, bitsplit, nibble_stream
+from repro.automata.glushkov import compile_regex_set, glushkov_nfa
+from repro.automata.mnrl import dump_mnrl, dumps_mnrl, load_mnrl, loads_mnrl
+from repro.automata.nfa import STE, Automaton, StartKind
+from repro.automata.optimize import (
+    OptimizationReport,
+    merge_common_prefixes,
+    optimize,
+    remove_dead_states,
+)
+from repro.automata.regex import literal, parse_regex
+from repro.automata.striding import (
+    ProductClass,
+    StridedAutomaton,
+    pad_input,
+    stride2,
+    stride_pairs,
+)
+from repro.automata.symbols import ALPHABET_SIZE, SymbolClass
+
+__all__ = [
+    "ALPHABET_SIZE",
+    "Automaton",
+    "AutomatonStats",
+    "BitSplitResult",
+    "ProductClass",
+    "STE",
+    "StartKind",
+    "StridedAutomaton",
+    "SymbolClass",
+    "automaton_stats",
+    "bandwidth_under_order",
+    "bfs_order",
+    "bitsplit",
+    "compile_regex_set",
+    "connected_components",
+    "dump_anml",
+    "dump_mnrl",
+    "dumps_anml",
+    "dumps_mnrl",
+    "glushkov_nfa",
+    "literal",
+    "OptimizationReport",
+    "load_anml",
+    "load_mnrl",
+    "loads_anml",
+    "loads_mnrl",
+    "merge_common_prefixes",
+    "nibble_stream",
+    "optimize",
+    "remove_dead_states",
+    "pad_input",
+    "parse_regex",
+    "stride2",
+    "stride_pairs",
+]

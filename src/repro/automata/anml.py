@@ -1,0 +1,116 @@
+"""ANML (Automata Network Markup Language) reader/writer.
+
+ANML is the XML interchange format introduced with the Micron Automata
+Processor and used by ANMLZoo.  We support the homogeneous-NFA subset
+every in-memory accelerator consumes: ``state-transition-element``
+nodes with ``symbol-set``, ``start-of-data``/``all-input`` start kinds,
+``activate-on-match`` edges and ``report-on-match`` flags.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.automata.nfa import Automaton, StartKind
+from repro.automata.symbols import SymbolClass
+from repro.errors import AutomatonError, ParseError
+
+_START_ATTR_TO_KIND = {
+    None: StartKind.NONE,
+    "none": StartKind.NONE,
+    "all-input": StartKind.ALL_INPUT,
+    "start-of-data": StartKind.START_OF_DATA,
+}
+_KIND_TO_START_ATTR = {
+    StartKind.ALL_INPUT: "all-input",
+    StartKind.START_OF_DATA: "start-of-data",
+}
+
+
+def loads_anml(text: str, *, name: str | None = None) -> Automaton:
+    """Parse an ANML document from a string."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed ANML XML: {exc}") from exc
+    network = root if root.tag == "automata-network" else root.find("automata-network")
+    if network is None:
+        raise ParseError("ANML document has no <automata-network>")
+    automaton = Automaton(name=name or network.get("id", "anml"))
+
+    elements = network.findall("state-transition-element")
+    if not elements:
+        raise ParseError("automata-network contains no state-transition-element")
+    id_to_index: dict[str, int] = {}
+    edges: list[tuple[str, str]] = []
+    for element in elements:
+        ste_id = element.get("id")
+        if ste_id is None:
+            raise ParseError("state-transition-element without id")
+        if ste_id in id_to_index:
+            raise ParseError(f"duplicate STE id {ste_id!r}")
+        symbol_set = element.get("symbol-set")
+        if symbol_set is None:
+            raise ParseError(f"STE {ste_id!r} has no symbol-set")
+        start_attr = element.get("start")
+        if start_attr not in _START_ATTR_TO_KIND:
+            raise ParseError(f"STE {ste_id!r} has unknown start kind {start_attr!r}")
+        report = element.find("report-on-match")
+        try:
+            symbol_class = SymbolClass.parse(symbol_set)
+        except AutomatonError as exc:
+            raise ParseError(f"STE {ste_id!r}: {exc}") from exc
+        ste = automaton.add_state(
+            symbol_class,
+            start=_START_ATTR_TO_KIND[start_attr],
+            reporting=report is not None,
+            report_code=report.get("reportcode") if report is not None else None,
+            name=ste_id,
+        )
+        id_to_index[ste_id] = ste.ste_id
+        for activation in element.findall("activate-on-match"):
+            target = activation.get("element")
+            if target is None:
+                raise ParseError(f"STE {ste_id!r}: activate-on-match without element")
+            edges.append((ste_id, target))
+    for src, dst in edges:
+        if dst not in id_to_index:
+            raise ParseError(f"activate-on-match references unknown STE {dst!r}")
+        automaton.add_transition(id_to_index[src], id_to_index[dst])
+    return automaton
+
+
+def load_anml(path: str | Path) -> Automaton:
+    """Load an ANML file from disk."""
+    path = Path(path)
+    return loads_anml(path.read_text(), name=path.stem)
+
+
+def dumps_anml(automaton: Automaton) -> str:
+    """Serialize an automaton to an ANML document string."""
+    root = ET.Element("anml", {"version": "1.0"})
+    network = ET.SubElement(root, "automata-network", {"id": automaton.name})
+    for ste in automaton.states:
+        attrs = {"id": ste.label(), "symbol-set": ste.symbol_class.to_anml()}
+        if ste.start in _KIND_TO_START_ATTR:
+            attrs["start"] = _KIND_TO_START_ATTR[ste.start]
+        element = ET.SubElement(network, "state-transition-element", attrs)
+        for dst in sorted(automaton.successors(ste.ste_id)):
+            ET.SubElement(
+                element,
+                "activate-on-match",
+                {"element": automaton.states[dst].label()},
+            )
+        if ste.reporting:
+            report_attrs = {}
+            if ste.report_code is not None:
+                report_attrs["reportcode"] = str(ste.report_code)
+            ET.SubElement(element, "report-on-match", report_attrs)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def dump_anml(automaton: Automaton, path: str | Path) -> None:
+    """Write an automaton to an ANML file."""
+    Path(path).write_text(dumps_anml(automaton))

@@ -1,0 +1,122 @@
+"""Impala's bit-split transform: 8-bit STEs -> chained 4-bit STEs.
+
+Impala (Sadredini et al., HPCA 2020) replaces each 8-bit symbol with two
+4-bit sub-symbols so the 256-row one-hot matching memory shrinks to two
+16-row banks.  Each original STE becomes one or more *hi-nibble* STEs
+chained to *lo-nibble* STEs: the class ``C`` is decomposed exactly into
+rectangles ``H_j x L_j`` (group the high nibbles by the set of low
+nibbles they admit), one hi/lo STE pair per rectangle.
+
+To keep the result a plain homogeneous NFA we embed the phase in the
+symbol value: the transformed automaton reads the *nibble stream*
+``hi(b0), 16+lo(b0), hi(b1), 16+lo(b1), ...`` so hi-STE classes live in
+``{0..15}`` and lo-STE classes in ``{16..31}``.  A hi state can then
+never fire in a lo phase, which is exactly Impala's bank interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.nfa import Automaton, StartKind
+from repro.automata.symbols import SymbolClass
+
+LO_OFFSET = 16
+
+
+def nibble_stream(data: bytes) -> bytes:
+    """Encode a byte stream as the interleaved nibble stream."""
+    out = bytearray()
+    for byte in data:
+        out.append(byte >> 4)
+        out.append(LO_OFFSET + (byte & 0xF))
+    return bytes(out)
+
+
+def rectangle_decomposition(symbol_class: SymbolClass) -> list[tuple[int, int]]:
+    """Decompose a class into hi/lo rectangles ``(hi_mask, lo_mask)``.
+
+    ``hi_mask``/``lo_mask`` are 16-bit masks over nibble values.  The
+    rectangles partition the class: grouping high nibbles by their
+    low-nibble set yields disjoint rectangles whose union is exact.
+    """
+    lo_sets: dict[int, int] = {}
+    mask = symbol_class.mask
+    for hi in range(16):
+        lo_mask = (mask >> (hi * 16)) & 0xFFFF
+        if lo_mask:
+            lo_sets[hi] = lo_mask
+    groups: dict[int, int] = {}
+    for hi, lo_mask in lo_sets.items():
+        groups[lo_mask] = groups.get(lo_mask, 0) | (1 << hi)
+    return [(hi_mask, lo_mask) for lo_mask, hi_mask in sorted(groups.items())]
+
+
+@dataclass(frozen=True)
+class BitSplitResult:
+    """The transformed automaton plus bookkeeping for evaluation."""
+
+    automaton: Automaton
+    #: number of hi-nibble STEs (bank-0 columns)
+    num_hi_states: int
+    #: number of lo-nibble STEs (bank-1 columns)
+    num_lo_states: int
+    #: map lo-STE id -> original reporting state id (for equivalence checks)
+    report_origin: dict[int, int]
+    #: hi-nibble STE ids per original state (index = original state id)
+    hi_states: list[list[int]] = None
+    #: lo-nibble STE ids per original state
+    lo_states: list[list[int]] = None
+
+
+def bitsplit(automaton: Automaton) -> BitSplitResult:
+    """Apply the 4-bit bit-split transform.
+
+    The result reports on lo-phase cycles: a report of original state
+    ``s`` at symbol index ``t`` appears at nibble index ``2t + 1``.
+    """
+    out = Automaton(name=f"{automaton.name}.bitsplit")
+    report_origin: dict[int, int] = {}
+    num_hi = 0
+    num_lo = 0
+    # For each original state: lists of (hi_ste, lo_ste) pairs.
+    hi_states: list[list[int]] = []
+    lo_states: list[list[int]] = []
+    for ste in automaton.states:
+        pairs_hi: list[int] = []
+        pairs_lo: list[int] = []
+        for hi_mask, lo_mask in rectangle_decomposition(ste.symbol_class):
+            hi_class = SymbolClass(hi_mask)
+            lo_class = SymbolClass(lo_mask << LO_OFFSET)
+            hi_ste = out.add_state(
+                hi_class,
+                start=ste.start,
+                name=f"{ste.label()}.hi{len(pairs_hi)}",
+            )
+            lo_ste = out.add_state(
+                lo_class,
+                reporting=ste.reporting,
+                report_code=ste.report_code,
+                name=f"{ste.label()}.lo{len(pairs_lo)}",
+            )
+            out.add_transition(hi_ste, lo_ste)
+            if ste.reporting:
+                report_origin[lo_ste.ste_id] = ste.ste_id
+            pairs_hi.append(hi_ste.ste_id)
+            pairs_lo.append(lo_ste.ste_id)
+            num_hi += 1
+            num_lo += 1
+        hi_states.append(pairs_hi)
+        lo_states.append(pairs_lo)
+    for u, v in automaton.transitions():
+        for lo_ste in lo_states[u]:
+            for hi_ste in hi_states[v]:
+                out.add_transition(lo_ste, hi_ste)
+    return BitSplitResult(
+        automaton=out,
+        num_hi_states=num_hi,
+        num_lo_states=num_lo,
+        report_origin=report_origin,
+        hi_states=hi_states,
+        lo_states=lo_states,
+    )

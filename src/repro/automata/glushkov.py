@@ -1,0 +1,173 @@
+"""Glushkov position construction: regex AST -> homogeneous NFA.
+
+The Glushkov automaton has one state per *position* (occurrence of a
+symbol class in the pattern) and no epsilon transitions, which makes it
+exactly the homogeneous/ANML NFA the paper maps to hardware: each state
+carries the symbol class of its position, initial positions become
+start-enabled STEs and final positions report.
+
+For each AST node we compute the classic quadruple
+(nullable, first, last, follow) in a single post-order pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.nfa import Automaton, StartKind
+from repro.automata.regex import (
+    Alt,
+    Concat,
+    Epsilon,
+    Node,
+    Optional_,
+    Plus,
+    Star,
+    Symbol,
+    parse_regex,
+)
+from repro.automata.symbols import SymbolClass
+from repro.errors import RegexSyntaxError
+
+
+@dataclass
+class _Positions:
+    """Glushkov sets for one AST node, over integer position ids."""
+
+    nullable: bool
+    first: frozenset[int]
+    last: frozenset[int]
+
+
+@dataclass
+class _Builder:
+    classes: list[SymbolClass] = field(default_factory=list)
+    follow: dict[int, set[int]] = field(default_factory=dict)
+
+    def new_position(self, symbol_class: SymbolClass) -> int:
+        pos = len(self.classes)
+        self.classes.append(symbol_class)
+        self.follow[pos] = set()
+        return pos
+
+    def link(self, sources: frozenset[int], targets: frozenset[int]) -> None:
+        for src in sources:
+            self.follow[src].update(targets)
+
+    def visit(self, node: Node) -> _Positions:
+        if isinstance(node, Epsilon):
+            return _Positions(True, frozenset(), frozenset())
+        if isinstance(node, Symbol):
+            pos = self.new_position(node.symbol_class)
+            only = frozenset([pos])
+            return _Positions(False, only, only)
+        if isinstance(node, Concat):
+            return self._concat(node)
+        if isinstance(node, Alt):
+            return self._alt(node)
+        if isinstance(node, Star):
+            inner = self.visit(node.child)
+            self.link(inner.last, inner.first)
+            return _Positions(True, inner.first, inner.last)
+        if isinstance(node, Plus):
+            inner = self.visit(node.child)
+            self.link(inner.last, inner.first)
+            return _Positions(inner.nullable, inner.first, inner.last)
+        if isinstance(node, Optional_):
+            inner = self.visit(node.child)
+            return _Positions(True, inner.first, inner.last)
+        raise TypeError(f"unknown regex AST node: {type(node).__name__}")
+
+    def _concat(self, node: Concat) -> _Positions:
+        result = _Positions(True, frozenset(), frozenset())
+        for part in node.parts:
+            inner = self.visit(part)
+            self.link(result.last, inner.first)
+            first = (
+                result.first | inner.first if result.nullable else result.first
+            )
+            last = inner.last | result.last if inner.nullable else inner.last
+            result = _Positions(result.nullable and inner.nullable, first, last)
+        return result
+
+    def _alt(self, node: Alt) -> _Positions:
+        nullable = False
+        first: frozenset[int] = frozenset()
+        last: frozenset[int] = frozenset()
+        for option in node.options:
+            inner = self.visit(option)
+            nullable = nullable or inner.nullable
+            first |= inner.first
+            last |= inner.last
+        return _Positions(nullable, first, last)
+
+
+def glushkov_nfa(
+    node: Node | str,
+    *,
+    name: str = "regex",
+    anchored: bool = False,
+    report_code: str | None = None,
+) -> Automaton:
+    """Build the Glushkov homogeneous NFA for a regex.
+
+    Args:
+        node: a parsed AST or a pattern string.
+        name: name for the resulting automaton.
+        anchored: if False (the default, and the streaming-automata
+            convention) a match may start at any input offset, so the
+            initial positions are *all-input* start states; if True they
+            only fire on the first symbol.
+        report_code: attached to the reporting (final-position) states.
+
+    A pattern that accepts the empty string cannot signal a zero-length
+    match in the homogeneous model; such matches are dropped, matching
+    the behaviour of the AP/VASim toolchains.
+    """
+    if isinstance(node, str):
+        node = parse_regex(node)
+    builder = _Builder()
+    sets = builder.visit(node)
+    if not builder.classes:
+        raise RegexSyntaxError(name, 0, "pattern matches only the empty string")
+    automaton = Automaton(name=name)
+    start = StartKind.START_OF_DATA if anchored else StartKind.ALL_INPUT
+    for pos, symbol_class in enumerate(builder.classes):
+        automaton.add_state(
+            symbol_class,
+            start=start if pos in sets.first else StartKind.NONE,
+            reporting=pos in sets.last,
+            report_code=report_code if pos in sets.last else None,
+        )
+    for src, targets in builder.follow.items():
+        for dst in targets:
+            automaton.add_transition(src, dst)
+    return automaton
+
+
+def compile_regex_set(
+    patterns: list[str] | dict[str, str],
+    *,
+    name: str = "regex-set",
+    anchored: bool = False,
+) -> Automaton:
+    """Compile many patterns into one multi-pattern automaton.
+
+    Each pattern becomes its own connected component; its reports carry
+    the pattern itself (or the dict key) as the report code, so matches
+    can be attributed. This mirrors how rule sets (Snort, ClamAV, ...)
+    are loaded onto automata processors.
+    """
+    if isinstance(patterns, dict):
+        items = list(patterns.items())
+    else:
+        items = [(p, p) for p in patterns]
+    if not items:
+        raise RegexSyntaxError(name, 0, "empty pattern set")
+    combined = Automaton(name=name)
+    for code, pattern in items:
+        nfa = glushkov_nfa(
+            pattern, name=str(code), anchored=anchored, report_code=str(code)
+        )
+        combined.merge(nfa)
+    return combined

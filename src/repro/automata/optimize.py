@@ -1,0 +1,148 @@
+"""VASim-style automaton optimizations: prefix merging and pruning.
+
+The paper's toolchain runs on top of VASim, whose standard optimization
+pass merges *common prefixes*: two states are equivalent-as-prefixes
+when they have the same symbol class, the same start kind, the same
+report behaviour, and the same predecessor set — multi-pattern rule
+sets (Snort, ClamAV, Brill) share long literal prefixes, so this
+shrinks them substantially without changing the matched language.
+
+The pass iterates to a fixed point (merging two states can make their
+successors mergeable) and preserves reports exactly; the tests assert
+report-equivalence on randomized automata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.nfa import Automaton
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """What an optimization pass did."""
+
+    states_before: int
+    states_after: int
+    passes: int
+
+    @property
+    def reduction(self) -> float:
+        if not self.states_before:
+            return 0.0
+        return 1.0 - self.states_after / self.states_before
+
+
+def _merge_signature(automaton: Automaton, predecessors: list[frozenset[int]]):
+    """Group states by (class, start, reporting, code, predecessors)."""
+    groups: dict[tuple, list[int]] = {}
+    for ste in automaton.states:
+        key = (
+            ste.symbol_class.mask,
+            ste.start,
+            ste.reporting,
+            ste.report_code,
+            predecessors[ste.ste_id],
+        )
+        groups.setdefault(key, []).append(ste.ste_id)
+    return [members for members in groups.values() if len(members) > 1]
+
+
+def _rebuild(automaton: Automaton, leader_of: dict[int, int]) -> Automaton:
+    """Rebuild with every state replaced by its merge leader."""
+    keep = sorted({leader_of[s] for s in range(len(automaton))})
+    remap = {old: new for new, old in enumerate(keep)}
+    out = Automaton(name=automaton.name)
+    for old in keep:
+        ste = automaton.states[old]
+        out.add_state(
+            ste.symbol_class,
+            start=ste.start,
+            reporting=ste.reporting,
+            report_code=ste.report_code,
+            name=ste.name,
+        )
+    for u, v in automaton.transitions():
+        out.add_transition(remap[leader_of[u]], remap[leader_of[v]])
+    return out
+
+
+def merge_common_prefixes(
+    automaton: Automaton, *, max_passes: int = 32
+) -> tuple[Automaton, OptimizationReport]:
+    """Merge prefix-equivalent states to a fixed point.
+
+    Returns the optimized automaton (a new object; the input is left
+    untouched) and a report of the reduction achieved.
+    """
+    states_before = len(automaton)
+    current = automaton
+    passes = 0
+    while passes < max_passes:
+        passes += 1
+        n = len(current)
+        predecessors = [frozenset() for _ in range(n)]
+        pred_sets: list[set[int]] = [set() for _ in range(n)]
+        for u, v in current.transitions():
+            pred_sets[v].add(u)
+        predecessors = [frozenset(p) for p in pred_sets]
+        groups = _merge_signature(current, predecessors)
+        if not groups:
+            break
+        leader_of = {s: s for s in range(n)}
+        for members in groups:
+            leader = members[0]
+            for other in members[1:]:
+                leader_of[other] = leader
+        # A merged state's self-predecessor references need one extra
+        # indirection (u may itself have been merged).
+        current = _rebuild(current, leader_of)
+    return current, OptimizationReport(
+        states_before=states_before,
+        states_after=len(current),
+        passes=passes,
+    )
+
+
+def remove_dead_states(automaton: Automaton) -> tuple[Automaton, OptimizationReport]:
+    """Drop states that can never contribute to a report.
+
+    A state is *dead* when no reporting state is reachable from it (in
+    the forward direction).  Unreachable-from-start states are already
+    rejected by :meth:`Automaton.validate`; dead states pass validation
+    but waste CAM entries and switch rows.
+    """
+    n = len(automaton)
+    # reverse reachability from reporting states
+    reverse: list[set[int]] = [set() for _ in range(n)]
+    for u, v in automaton.transitions():
+        reverse[v].add(u)
+    alive: set[int] = set()
+    frontier = [s.ste_id for s in automaton.reporting_states()]
+    alive.update(frontier)
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for u in reverse[v]:
+                if u not in alive:
+                    alive.add(u)
+                    nxt.append(u)
+        frontier = nxt
+    if len(alive) == n:
+        return automaton, OptimizationReport(n, n, 1)
+    optimized = automaton.subautomaton(sorted(alive), name=automaton.name)
+    return optimized, OptimizationReport(
+        states_before=n, states_after=len(optimized), passes=1
+    )
+
+
+def optimize(automaton: Automaton) -> tuple[Automaton, OptimizationReport]:
+    """The default pipeline: dead-state removal, then prefix merging."""
+    pruned, prune_report = remove_dead_states(automaton)
+    merged, merge_report = merge_common_prefixes(pruned)
+    return merged, OptimizationReport(
+        states_before=prune_report.states_before,
+        states_after=merge_report.states_after,
+        passes=prune_report.passes + merge_report.passes,
+    )

@@ -1,0 +1,329 @@
+"""Regular-expression front end.
+
+Parses a practical regex subset into a small AST that the Glushkov
+construction (:mod:`repro.automata.glushkov`) turns into a homogeneous
+NFA.  The subset covers what the paper's benchmark families use:
+
+* literals and escapes (``\\n``, ``\\t``, ``\\r``, ``\\xNN``, ``\\\\``, ...)
+* character classes ``[a-f0-9]``, negated classes ``[^\\x00]``,
+  the shorthands ``\\d \\D \\w \\W \\s \\S`` and ``.``
+* grouping ``( )``, alternation ``|``
+* quantifiers ``* + ?`` and counted repetition ``{m}``, ``{m,}``, ``{m,n}``
+
+Anchors are not part of the subset: spatial automata processors run
+patterns *unanchored* over a stream (every input position may begin a
+match), which is expressed in the automaton's start-state kind instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.symbols import ALPHABET_SIZE, SymbolClass
+from repro.errors import RegexSyntaxError
+
+_MAX_COUNTED_REPEAT = 1024
+
+
+# -- AST ----------------------------------------------------------------
+class Node:
+    """Base class for regex AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Epsilon(Node):
+    """Matches the empty string."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Symbol(Node):
+    """Matches one symbol from a class."""
+
+    symbol_class: SymbolClass
+
+    __slots__ = ("symbol_class",)
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    parts: tuple[Node, ...]
+
+    __slots__ = ("parts",)
+
+
+@dataclass(frozen=True)
+class Alt(Node):
+    options: tuple[Node, ...]
+
+    __slots__ = ("options",)
+
+
+@dataclass(frozen=True)
+class Star(Node):
+    """Zero or more repetitions."""
+
+    child: Node
+
+    __slots__ = ("child",)
+
+
+@dataclass(frozen=True)
+class Plus(Node):
+    """One or more repetitions."""
+
+    child: Node
+
+    __slots__ = ("child",)
+
+
+@dataclass(frozen=True)
+class Optional_(Node):
+    """Zero or one occurrence."""
+
+    child: Node
+
+    __slots__ = ("child",)
+
+
+_CLASS_SHORTHANDS = {
+    "d": SymbolClass.from_ranges((ord("0"), ord("9"))),
+    "w": SymbolClass.from_ranges(
+        (ord("a"), ord("z")), (ord("A"), ord("Z")), (ord("0"), ord("9"))
+    ).union(SymbolClass.from_symbols([ord("_")])),
+    "s": SymbolClass.from_symbols([ord(c) for c in " \t\n\r\f\v"]),
+}
+_CLASS_SHORTHANDS.update(
+    {key.upper(): cls.negate() for key, cls in list(_CLASS_SHORTHANDS.items())}
+)
+
+_SIMPLE_ESCAPES = {
+    "n": ord("\n"),
+    "r": ord("\r"),
+    "t": ord("\t"),
+    "f": ord("\f"),
+    "v": ord("\v"),
+    "a": 0x07,
+    "0": 0,
+}
+
+_METACHARS = set("()[]{}|*+?.\\")
+
+
+class _Parser:
+    """Recursive-descent parser over a pattern string."""
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    # -- character stream ----------------------------------------------
+    def _peek(self) -> str | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def _take(self) -> str:
+        ch = self._peek()
+        if ch is None:
+            raise RegexSyntaxError(self.pattern, self.pos, "unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(self.pattern, self.pos, message)
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> Node:
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            raise self._error(f"unexpected {self._peek()!r}")
+        return node
+
+    def _alternation(self) -> Node:
+        options = [self._concatenation()]
+        while self._peek() == "|":
+            self._take()
+            options.append(self._concatenation())
+        if len(options) == 1:
+            return options[0]
+        return Alt(tuple(options))
+
+    def _concatenation(self) -> Node:
+        parts: list[Node] = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch in "|)":
+                break
+            parts.append(self._repetition())
+        if not parts:
+            return Epsilon()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _repetition(self) -> Node:
+        node = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self._take()
+                node = Star(node)
+            elif ch == "+":
+                self._take()
+                node = Plus(node)
+            elif ch == "?":
+                self._take()
+                node = Optional_(node)
+            elif ch == "{":
+                node = self._counted(node)
+            else:
+                return node
+
+    def _counted(self, node: Node) -> Node:
+        start = self.pos
+        self._take()  # '{'
+        lo = self._integer()
+        hi: int | None = lo
+        if self._peek() == ",":
+            self._take()
+            hi = None if self._peek() == "}" else self._integer()
+        if self._take() != "}":
+            self.pos = start
+            raise self._error("malformed counted repetition")
+        if hi is not None and hi < lo:
+            raise self._error(f"counted repetition {{{lo},{hi}}} has max < min")
+        if max(lo, hi or 0) > _MAX_COUNTED_REPEAT:
+            raise self._error(
+                f"counted repetition exceeds limit {_MAX_COUNTED_REPEAT}"
+            )
+        # Expand structurally: Glushkov needs one position per occurrence,
+        # matching how spatial automata hardware unrolls bounded repeats.
+        required: list[Node] = [node] * lo
+        if hi is None:
+            if lo == 0:
+                return Star(node)
+            required[-1] = Plus(node)
+        else:
+            required.extend([Optional_(node)] * (hi - lo))
+        if not required:
+            return Epsilon()
+        if len(required) == 1:
+            return required[0]
+        return Concat(tuple(required))
+
+    def _integer(self) -> int:
+        digits = ""
+        while (ch := self._peek()) is not None and ch.isdigit():
+            digits += self._take()
+        if not digits:
+            raise self._error("expected an integer")
+        return int(digits)
+
+    def _atom(self) -> Node:
+        ch = self._peek()
+        if ch is None:
+            raise self._error("expected an atom")
+        if ch == "(":
+            self._take()
+            node = self._alternation()
+            if self._peek() != ")":
+                raise self._error("unbalanced '('")
+            self._take()
+            return node
+        if ch == "[":
+            return Symbol(self._bracket_class())
+        if ch == ".":
+            self._take()
+            return Symbol(SymbolClass.universe())
+        if ch == "\\":
+            return Symbol(self._escape())
+        if ch in "*+?{":
+            raise self._error(f"quantifier {ch!r} with nothing to repeat")
+        if ch in ")|":
+            raise self._error(f"unexpected {ch!r}")
+        self._take()
+        return Symbol(SymbolClass.from_symbols([ord(ch) % ALPHABET_SIZE]))
+
+    def _escape(self) -> SymbolClass:
+        self._take()  # backslash
+        ch = self._take()
+        if ch in _CLASS_SHORTHANDS:
+            return _CLASS_SHORTHANDS[ch]
+        if ch in _SIMPLE_ESCAPES:
+            return SymbolClass.from_symbols([_SIMPLE_ESCAPES[ch]])
+        if ch == "x":
+            hex_digits = ""
+            for _ in range(2):
+                hex_digits += self._take()
+            try:
+                return SymbolClass.from_symbols([int(hex_digits, 16)])
+            except ValueError:
+                raise self._error(f"bad hex escape \\x{hex_digits}") from None
+        # Any other escaped character is a literal (covers metacharacters).
+        return SymbolClass.from_symbols([ord(ch) % ALPHABET_SIZE])
+
+    def _bracket_class(self) -> SymbolClass:
+        self._take()  # '['
+        negate = False
+        if self._peek() == "^":
+            self._take()
+            negate = True
+        mask = 0
+        first = True
+        while True:
+            ch = self._peek()
+            if ch is None:
+                raise self._error("unterminated character class")
+            if ch == "]" and not first:
+                self._take()
+                break
+            lo_class = self._class_member()
+            first = False
+            if (
+                self._peek() == "-"
+                and self.pos + 1 < len(self.pattern)
+                and self.pattern[self.pos + 1] != "]"
+            ):
+                self._take()  # '-'
+                hi_class = self._class_member()
+                lo_syms, hi_syms = lo_class.symbols(), hi_class.symbols()
+                if len(lo_syms) != 1 or len(hi_syms) != 1:
+                    raise self._error("character range endpoints must be single")
+                lo, hi = lo_syms[0], hi_syms[0]
+                if lo > hi:
+                    raise self._error(f"reversed character range {lo}-{hi}")
+                mask |= SymbolClass.from_ranges((lo, hi)).mask
+            else:
+                mask |= lo_class.mask
+        cls = SymbolClass(mask)
+        return cls.negate() if negate else cls
+
+    def _class_member(self) -> SymbolClass:
+        ch = self._take()
+        if ch == "\\":
+            self.pos -= 1
+            return self._escape()
+        return SymbolClass.from_symbols([ord(ch) % ALPHABET_SIZE])
+
+
+def parse_regex(pattern: str) -> Node:
+    """Parse ``pattern`` into a regex AST.
+
+    Raises:
+        RegexSyntaxError: if the pattern is outside the supported subset.
+    """
+    return _Parser(pattern).parse()
+
+
+def literal(text: str | bytes) -> Node:
+    """AST matching ``text`` exactly (no metacharacter interpretation)."""
+    if isinstance(text, str):
+        text = text.encode("latin-1")
+    if not text:
+        return Epsilon()
+    parts = tuple(Symbol(SymbolClass.from_symbols([b])) for b in text)
+    return parts[0] if len(parts) == 1 else Concat(parts)

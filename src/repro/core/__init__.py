@@ -1,0 +1,66 @@
+"""CAMA core: encodings, CAM fabric, mapping, compiler and machine."""
+
+from repro.core.cam import CAM_COLUMNS, CAM_ROWS, CamArray, CamEntry
+from repro.core.compiler import CamaCompiler, CamaProgram, compile_automaton
+from repro.core.encoding import (
+    Encoding,
+    EncodingChoice,
+    InputEncoder,
+    MultiZerosEncoding,
+    OneZeroEncoding,
+    PrefixEncoding,
+    StateEncoding,
+    cam_match,
+    compress_class,
+    encode_state_class,
+    select_encoding,
+    verify_exact,
+)
+from repro.core.machine import CamaActivity, CamaMachine, CamaRunResult
+from repro.core.mapping import (
+    CamaMapping,
+    SwitchPlan,
+    TilePlan,
+    map_automaton,
+)
+from repro.core.rrcb import (
+    CAMA_KDIA,
+    EAP_KDIA,
+    GLOBAL_PORTS,
+    LocalSwitch,
+    rcb_band_feasible,
+)
+
+__all__ = [
+    "CAMA_KDIA",
+    "CAM_COLUMNS",
+    "CAM_ROWS",
+    "CamArray",
+    "CamEntry",
+    "CamaActivity",
+    "CamaCompiler",
+    "CamaMachine",
+    "CamaMapping",
+    "CamaProgram",
+    "CamaRunResult",
+    "EAP_KDIA",
+    "Encoding",
+    "EncodingChoice",
+    "GLOBAL_PORTS",
+    "InputEncoder",
+    "LocalSwitch",
+    "MultiZerosEncoding",
+    "OneZeroEncoding",
+    "PrefixEncoding",
+    "StateEncoding",
+    "SwitchPlan",
+    "TilePlan",
+    "cam_match",
+    "compile_automaton",
+    "compress_class",
+    "encode_state_class",
+    "map_automaton",
+    "rcb_band_feasible",
+    "select_encoding",
+    "verify_exact",
+]

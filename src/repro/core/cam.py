@@ -1,0 +1,128 @@
+"""Functional model of the 16x256 8T CAM state-matching array (§IV.A).
+
+Geometry: ``rows`` search lines (code bits, 16 per physical sub-array)
+by ``columns`` match lines (CAM entries).  Each column stores one
+entry: a code pattern, an optional inversion flag (negation
+optimization) and the owning state.  Searching broadcasts the encoded
+input on the search lines; a column matches when every stored '1' sees
+an input '1' (:func:`repro.core.encoding.base.cam_match`).
+
+Two architectural behaviours are modeled:
+
+* *selective precharge* (CAMA-E): only columns whose states are enabled
+  by the previous cycle's transitions are precharged — the enable mask
+  both saves energy and performs the AND with the transition results;
+* *row inverters*: columns flagged ``invert`` report the complement of
+  their raw match, realizing negated symbol classes; the encoder's
+  ``valid`` flag gates them so out-of-alphabet inputs cannot
+  spuriously activate negated states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MappingError
+
+CAM_ROWS = 16
+CAM_COLUMNS = 256
+
+
+@dataclass(frozen=True)
+class CamEntry:
+    """One programmed CAM column."""
+
+    column: int
+    pattern: int
+    invert: bool
+    state_id: int
+
+
+class CamArray:
+    """A rows x columns ternary-capable CAM built from 8T SRAM cells."""
+
+    def __init__(self, rows: int = CAM_ROWS, columns: int = CAM_COLUMNS) -> None:
+        if rows < 1 or columns < 1:
+            raise MappingError(f"bad CAM geometry: {rows}x{columns}")
+        self.rows = rows
+        self.columns = columns
+        self._patterns = np.zeros(columns, dtype=np.uint64)
+        self._valid = np.zeros(columns, dtype=bool)
+        self._invert = np.zeros(columns, dtype=bool)
+        self._owner = np.full(columns, -1, dtype=np.int64)
+        self._next_free = 0
+
+    # -- programming ------------------------------------------------------
+    def program(self, pattern: int, state_id: int, *, invert: bool = False) -> int:
+        """Program ``pattern`` into the next free column; returns it."""
+        if self._next_free >= self.columns:
+            raise MappingError("CAM array is full")
+        if not 0 < pattern < (1 << self.rows):
+            raise MappingError(
+                f"pattern {pattern:#x} does not fit {self.rows} rows "
+                f"(all-don't-care entries are forbidden)"
+            )
+        column = self._next_free
+        self._patterns[column] = pattern
+        self._valid[column] = True
+        self._invert[column] = invert
+        self._owner[column] = state_id
+        self._next_free += 1
+        return column
+
+    @property
+    def used_columns(self) -> int:
+        return self._next_free
+
+    @property
+    def free_columns(self) -> int:
+        return self.columns - self._next_free
+
+    def entries(self) -> list[CamEntry]:
+        return [
+            CamEntry(
+                column=i,
+                pattern=int(self._patterns[i]),
+                invert=bool(self._invert[i]),
+                state_id=int(self._owner[i]),
+            )
+            for i in range(self._next_free)
+        ]
+
+    def owners(self) -> np.ndarray:
+        """State id per programmed column."""
+        return self._owner[: self._next_free].copy()
+
+    # -- searching --------------------------------------------------------
+    def search(
+        self,
+        input_code: int,
+        input_valid: bool,
+        enable: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Column match vector for one encoded input.
+
+        Args:
+            input_code: the encoded search-line pattern.
+            input_valid: encoder valid flag; when False nothing matches.
+            enable: optional per-column precharge mask (CAMA-E); disabled
+                columns never match.
+        """
+        raw = np.zeros(self.columns, dtype=bool)
+        if input_valid:
+            live = self._valid
+            raw[live] = (
+                self._patterns[live] & np.uint64(~input_code & ((1 << self.rows) - 1))
+            ) == 0
+            # row inverters realize negated classes
+            raw = raw ^ (self._invert & live)
+        match = raw & self._valid
+        if enable is not None:
+            match = match & enable
+        return match
+
+    def enabled_column_count(self, enable: np.ndarray) -> int:
+        """Number of precharged columns — CAMA-E's energy driver."""
+        return int((enable & self._valid).sum())

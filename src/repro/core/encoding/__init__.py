@@ -1,0 +1,63 @@
+"""CAMA data-encoding framework (paper §V)."""
+
+from repro.core.encoding.base import Encoding, cam_match
+from repro.core.encoding.clustering import (
+    cluster_symbols,
+    cooccurrence_matrix,
+    identity_clusters,
+)
+from repro.core.encoding.compression import (
+    compress_class,
+    memory_bits,
+    verify_exact,
+)
+from repro.core.encoding.encoder import ENCODER_BITS, ENCODER_ROWS, InputEncoder
+from repro.core.encoding.multi_zeros import MultiZerosEncoding, multi_zeros_length
+from repro.core.encoding.negation import (
+    StateEncoding,
+    effective_class_size,
+    encode_state_class,
+)
+from repro.core.encoding.one_zero import OneZeroEncoding
+from repro.core.encoding.prefix import (
+    PrefixEncoding,
+    build_prefix_encoding,
+    one_zero_prefix_params,
+    two_zeros_prefix_params,
+)
+from repro.core.encoding.selection import (
+    ONE_ZERO_ALPHABET_LIMIT,
+    EncodingChoice,
+    class_statistics,
+    fixed_one_zero_prefix_encoding,
+    select_encoding,
+)
+
+__all__ = [
+    "ENCODER_BITS",
+    "ENCODER_ROWS",
+    "Encoding",
+    "EncodingChoice",
+    "InputEncoder",
+    "MultiZerosEncoding",
+    "ONE_ZERO_ALPHABET_LIMIT",
+    "OneZeroEncoding",
+    "PrefixEncoding",
+    "StateEncoding",
+    "build_prefix_encoding",
+    "cam_match",
+    "class_statistics",
+    "cluster_symbols",
+    "compress_class",
+    "cooccurrence_matrix",
+    "effective_class_size",
+    "encode_state_class",
+    "fixed_one_zero_prefix_encoding",
+    "identity_clusters",
+    "memory_bits",
+    "multi_zeros_length",
+    "one_zero_prefix_params",
+    "select_encoding",
+    "two_zeros_prefix_params",
+    "verify_exact",
+]

@@ -1,0 +1,101 @@
+"""Frequency-first symbol clustering (paper §V.B).
+
+After the encoding shape (ls, lp, zeros) is selected, symbols must be
+assigned to clusters (= prefixes).  Suffix compression can only merge
+symbols of the *same* cluster, so the goal is to co-locate symbols that
+tend to appear in the same symbol classes.
+
+The paper's algorithm, implemented here: compute each symbol's
+frequency across the automaton's symbol classes; seed each cluster with
+the most frequent unassigned symbol; then repeatedly add the unassigned
+symbol with the highest estimated probability of co-occurring with the
+cluster's current members (we use the co-occurrence count
+P(X, C) = sum over c in C of #classes containing both X and c),
+until the cluster is full; repeat until all symbols are assigned.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.automata.symbols import SymbolClass
+from repro.errors import EncodingError
+
+
+def cooccurrence_matrix(symbol_classes: Iterable[SymbolClass]) -> np.ndarray:
+    """256x256 matrix counting classes containing each symbol pair.
+
+    The diagonal holds plain symbol frequencies.  Duplicate classes are
+    weighted by multiplicity (a class used by many states makes its
+    symbols co-occur more often).
+    """
+    counts = Counter(symbol_classes)
+    matrix = np.zeros((256, 256), dtype=np.int64)
+    for symbol_class, count in counts.items():
+        index = np.fromiter(symbol_class, dtype=np.int64)
+        matrix[np.ix_(index, index)] += count
+    return matrix
+
+
+def cluster_symbols(
+    symbol_classes: Sequence[SymbolClass],
+    alphabet: SymbolClass,
+    cluster_capacity: int,
+    max_clusters: int,
+) -> list[list[int]]:
+    """Greedy frequency-first clustering of ``alphabet``.
+
+    Returns clusters (lists of symbols, slot order = insertion order).
+    Raises EncodingError when the capacity cannot hold the alphabet.
+    """
+    if cluster_capacity < 1:
+        raise EncodingError("cluster capacity must be positive")
+    symbols = list(alphabet)
+    if len(symbols) > cluster_capacity * max_clusters:
+        raise EncodingError(
+            f"alphabet of {len(symbols)} symbols does not fit "
+            f"{max_clusters} clusters of {cluster_capacity}"
+        )
+    matrix = cooccurrence_matrix(symbol_classes)
+    frequency = matrix.diagonal().copy()
+    unassigned = set(symbols)
+    clusters: list[list[int]] = []
+    while unassigned:
+        # Seed with the most frequent unassigned symbol (stable tie-break
+        # on symbol value for determinism).
+        seed = max(unassigned, key=lambda s: (frequency[s], -s))
+        cluster = [seed]
+        unassigned.remove(seed)
+        while len(cluster) < cluster_capacity and unassigned:
+            members = np.fromiter(cluster, dtype=np.int64)
+            # Sorted for determinism: set iteration order is unstable and
+            # argmax ties must resolve the same way on every run.
+            candidates = np.fromiter(sorted(unassigned), dtype=np.int64)
+            affinity = matrix[np.ix_(candidates, members)].sum(axis=1)
+            if affinity.max() > 0:
+                best = int(candidates[int(affinity.argmax())])
+            else:
+                # Nothing co-occurs with this cluster; fill with the most
+                # frequent remaining symbol (the paper fills all clusters).
+                best = max(unassigned, key=lambda s: (frequency[s], -s))
+            cluster.append(best)
+            unassigned.remove(best)
+        clusters.append(cluster)
+        if len(clusters) > max_clusters:
+            raise EncodingError("clustering exceeded the cluster budget")
+    return clusters
+
+
+def identity_clusters(
+    alphabet: SymbolClass, cluster_capacity: int
+) -> list[list[int]]:
+    """Clustering baseline used by Table II's "fixed 32-bit, no
+    clustering optimization" column: symbols packed in numeric order."""
+    symbols = list(alphabet)
+    return [
+        symbols[i : i + cluster_capacity]
+        for i in range(0, len(symbols), cluster_capacity)
+    ]

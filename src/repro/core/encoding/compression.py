@@ -1,0 +1,101 @@
+"""Exact symbol-class compression into CAM entries.
+
+A symbol class is stored as one or more CAM entries; each entry is the
+bitwise AND of its member codes.  An entry's *match set* (all alphabet
+symbols it matches) can exceed its members, so merging is only legal
+when the union of match sets still equals the class — the compression
+must be **exact** (no false positives, no false negatives).
+
+The algorithm: first apply the encoding's structural fast path
+(`Encoding.compress_groups`: same-prefix groups for prefix encodings,
+a single group for One-Zero), then greedily merge the remaining entries
+pairwise, verifying exactness with the encoding's match sets.  Entries
+are never compressed to the all-don't-care pattern 0 (a stored 0 would
+match *every* input, including out-of-alphabet miss codes); a group
+whose AND would be 0 is split instead.
+"""
+
+from __future__ import annotations
+
+from repro.automata.symbols import SymbolClass
+from repro.core.encoding.base import Encoding
+from repro.errors import EncodingError
+
+
+def _merge_nonzero(codes: list[int]) -> list[int]:
+    """AND ``codes`` into as few non-zero patterns as possible.
+
+    The AND of a guaranteed-mergeable group is only zero in the corner
+    case where the group exhausts every '1' position (e.g. a one-zero
+    class covering the whole alphabet); splitting the group in half
+    restores a '1' in each part.
+    """
+    merged = codes[0]
+    for code in codes[1:]:
+        merged &= code
+    if merged != 0 or len(codes) == 1:
+        if merged == 0:
+            raise EncodingError("single code word is zero")
+        return [merged]
+    mid = len(codes) // 2
+    return _merge_nonzero(codes[:mid]) + _merge_nonzero(codes[mid:])
+
+
+def compress_class(encoding: Encoding, symbol_class: SymbolClass) -> list[int]:
+    """Compress ``symbol_class`` into an exact list of stored patterns.
+
+    Raises EncodingError if the class contains unencodable symbols.
+    """
+    if not symbol_class:
+        raise EncodingError("cannot compress an empty symbol class")
+    if not symbol_class.issubset(encoding.alphabet):
+        missing = symbol_class - encoding.alphabet
+        raise EncodingError(
+            f"class contains symbols outside the encoding alphabet: "
+            f"{missing.to_anml()}"
+        )
+    codes = [encoding.symbol_code(s) for s in symbol_class]
+
+    # Phase 1: structural fast path (exact by the encoding's contract).
+    entries: list[int] = []
+    for group in encoding.compress_groups(codes):
+        entries.extend(_merge_nonzero(group))
+
+    # Phase 2: greedy verified pairwise merging (prefix compression for
+    # the prefix encodings; opportunistic merging otherwise).
+    class_mask = symbol_class.mask
+    merged_any = True
+    while merged_any and len(entries) > 1:
+        merged_any = False
+        for i in range(len(entries)):
+            if merged_any:
+                break
+            for j in range(i + 1, len(entries)):
+                candidate = entries[i] & entries[j]
+                if candidate == 0:
+                    continue
+                if encoding.match_set(candidate).mask & ~class_mask == 0:
+                    entries[i] = candidate
+                    del entries[j]
+                    merged_any = True
+                    break
+    return entries
+
+
+def verify_exact(
+    encoding: Encoding, symbol_class: SymbolClass, entries: list[int]
+) -> bool:
+    """True iff ``entries`` match exactly ``symbol_class``.
+
+    Used by tests and by the compiler's self-check mode.
+    """
+    covered = SymbolClass.empty()
+    for stored in entries:
+        covered = covered | encoding.match_set(stored)
+    return covered == symbol_class
+
+
+def memory_bits(encoding: Encoding, entries: list[int]) -> int:
+    """State-matching memory bits consumed: entries x code length
+    (Table II's "memory usage = code length x #states")."""
+    return len(entries) * encoding.code_length

@@ -1,0 +1,71 @@
+"""Multi-Zeros encoding: balanced codes with ⌊L/2⌋ zeros (paper Eq. 1).
+
+Balanced codes maximize the number of distinct code words per bit
+(C(L, L/2) codes of length L), so this is the shortest possible code —
+but compression is nearly impossible: ANDing k codes produces m > L/2
+zeros and the merged entry matches *all* C(m, L/2) codes inside the
+zero positions, which is almost never exactly the wanted class.  The
+selection algorithm therefore picks Multi-Zeros only when the average
+symbol-class size (with negation optimization) is exactly 1, i.e. no
+compression is needed (Brill, Hamming, Levenshtein: L = 11 for a
+256-symbol alphabet).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+from repro.automata.symbols import SymbolClass
+from repro.core.encoding.base import Encoding
+from repro.errors import EncodingError
+from repro.utils.bitvec import bits_from_positions, mask_of_width
+
+
+def multi_zeros_length(alphabet_size: int) -> int:
+    """Eq. (1): minimal L with C(L, ⌊L/2⌋) >= alphabet size."""
+    if alphabet_size < 1:
+        raise EncodingError("alphabet size must be positive")
+    length = 1
+    while comb(length, length // 2) < alphabet_size:
+        length += 1
+    return length
+
+
+class MultiZerosEncoding(Encoding):
+    """Balanced fixed-weight code; symbols take combinations in rank order."""
+
+    name = "multi-zeros"
+
+    def __init__(self, alphabet: SymbolClass, length: int | None = None) -> None:
+        if not alphabet:
+            raise EncodingError("multi-zeros encoding needs a non-empty alphabet")
+        self._alphabet = alphabet
+        self._length = length or multi_zeros_length(len(alphabet))
+        zeros = self._length // 2
+        if comb(self._length, zeros) < len(alphabet):
+            raise EncodingError(
+                f"length {self._length} encodes only "
+                f"{comb(self._length, zeros)} symbols, need {len(alphabet)}"
+            )
+        full = mask_of_width(self._length)
+        self._codes: dict[int, int] = {}
+        combos = combinations(range(self._length), zeros)
+        for symbol, zero_positions in zip(alphabet, combos):
+            self._codes[symbol] = full ^ bits_from_positions(zero_positions)
+
+    @property
+    def code_length(self) -> int:
+        return self._length
+
+    @property
+    def alphabet(self) -> SymbolClass:
+        return self._alphabet
+
+    def symbol_code(self, symbol: int) -> int:
+        try:
+            return self._codes[symbol]
+        except KeyError:
+            raise EncodingError(
+                f"symbol {symbol} is not in the multi-zeros alphabet"
+            ) from None

@@ -1,0 +1,71 @@
+"""Negation Optimization (NO, paper §IV.A and Table I).
+
+Symbol classes written with negation (``[^abcd]``) accept almost the
+whole alphabet; storing them directly costs many CAM entries.  CAMA
+instead stores the *excluded* symbols and inverts the row's match
+output.  The row inverter flips a single match line, so the negated
+form is only hardware-realizable when the complement compresses into
+**one** CAM entry — with frequency clustering the excluded symbols of a
+real negated class almost always share a cluster, so this holds in
+practice.  When it does not, or when it would not reduce the entry
+count, the state falls back to the direct form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.symbols import SymbolClass
+from repro.core.encoding.base import Encoding
+from repro.core.encoding.compression import compress_class
+
+
+@dataclass(frozen=True)
+class StateEncoding:
+    """The CAM realization of one state's symbol class."""
+
+    patterns: tuple[int, ...]
+    #: True when the row output is inverted (patterns store the complement)
+    negated: bool
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.patterns)
+
+
+def effective_class_size(symbol_class: SymbolClass, alphabet: SymbolClass) -> int:
+    """Symbol-class size *with NO*: min(|C|, |alphabet \\ C|) when the
+    complement is non-empty (Table I's "Symbol Class Size with NO")."""
+    complement = alphabet - symbol_class
+    if not complement:
+        return len(symbol_class)
+    return min(len(symbol_class), len(complement))
+
+
+def encode_state_class(
+    encoding: Encoding,
+    symbol_class: SymbolClass,
+    *,
+    allow_negation: bool = True,
+) -> StateEncoding:
+    """Choose the cheaper of direct and negated CAM forms for a class."""
+    direct = compress_class(encoding, symbol_class)
+    if allow_negation:
+        complement = encoding.alphabet - symbol_class
+        if not complement:
+            # The class covers the whole live alphabet: store the
+            # all-ones pattern inverted.  Every valid input code has at
+            # least one '0', so the raw search always misses and the
+            # inverter turns the row into "match any alphabet symbol"
+            # (the encoder's valid flag keeps out-of-alphabet symbols
+            # from matching).
+            if len(direct) > 1:
+                all_ones = (1 << encoding.code_length) - 1
+                return StateEncoding(patterns=(all_ones,), negated=True)
+        elif len(complement) < len(symbol_class):
+            negated = compress_class(encoding, complement)
+            # A single inverted row is the only hardware-realizable
+            # negated form (one inverter per match line).
+            if len(negated) == 1 and len(negated) < len(direct):
+                return StateEncoding(patterns=tuple(negated), negated=True)
+    return StateEncoding(patterns=tuple(direct), negated=False)

@@ -1,0 +1,56 @@
+"""One-Zero encoding: code length = alphabet size, one '0' per code.
+
+This is the bit-vector (one-hot, complemented) representation of AP and
+CA expressed in CAM form: symbol with rank r gets the all-ones word
+with bit r cleared.  Any subset of symbols compresses into a single
+entry (clear every member's bit), which is why the paper adopts it
+whenever the alphabet is small enough to fit a CAM word outright
+(e.g. BlockRings with its 2-symbol alphabet).
+"""
+
+from __future__ import annotations
+
+from repro.automata.symbols import SymbolClass
+from repro.core.encoding.base import Encoding
+from repro.errors import EncodingError
+from repro.utils.bitvec import mask_of_width
+
+
+class OneZeroEncoding(Encoding):
+    """One '0' at the symbol's alphabet rank; code length = |alphabet|."""
+
+    name = "one-zero"
+
+    def __init__(self, alphabet: SymbolClass) -> None:
+        if not alphabet:
+            raise EncodingError("one-zero encoding needs a non-empty alphabet")
+        self._alphabet = alphabet
+        self._rank = {symbol: i for i, symbol in enumerate(alphabet)}
+        # A 1-symbol alphabet would yield the all-don't-care code 0;
+        # pad to two bits so every code keeps at least one '1'.
+        self._width = max(2, len(alphabet))
+        self._full = mask_of_width(self._width)
+
+    @property
+    def code_length(self) -> int:
+        return self._width
+
+    @property
+    def alphabet(self) -> SymbolClass:
+        return self._alphabet
+
+    def symbol_code(self, symbol: int) -> int:
+        try:
+            rank = self._rank[symbol]
+        except KeyError:
+            raise EncodingError(
+                f"symbol {symbol} is not in the one-zero alphabet"
+            ) from None
+        return self._full ^ (1 << rank)
+
+    def compress_groups(self, codes: list[int]) -> list[list[int]]:
+        # Any subset of one-zero codes merges exactly: the AND clears
+        # exactly the members' rank bits, and a non-member code keeps a
+        # '1' at its own rank where the AND also keeps '1' only if the
+        # rank is not a member — so non-members always mismatch.
+        return [list(codes)]

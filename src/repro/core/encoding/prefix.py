@@ -1,0 +1,199 @@
+"""Prefix encodings: Two-Zeros-Prefix and One-Zero-Prefix (paper §V.A).
+
+A code word is split into a *suffix* (low ``ls`` bits, One-Zero style:
+exactly one '0') and a *prefix* (high ``lp`` bits with exactly one or
+two '0's).  Symbols are grouped into *clusters*: all symbols of a
+cluster share the prefix and occupy distinct suffix slots.
+
+* *Suffix compression* — clearing suffix '1's merges any subset of one
+  cluster into a single entry, always exactly.
+* *Prefix compression* — clearing prefix '1's merges entries that share
+  a suffix pattern across clusters; with a one-zero prefix any subset
+  of clusters merges exactly, with a two-zeros prefix only complete
+  combinatorial sets do (the C(m, n) rule), which is why the two
+  schemes trade code length against compression space.
+
+Capacity: C(lp, zeros) clusters x ls slots >= alphabet size (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb, isqrt
+
+from repro.automata.symbols import SymbolClass
+from repro.core.encoding.base import Encoding
+from repro.errors import EncodingError
+from repro.utils.bitvec import bits_from_positions, mask_of_width
+
+
+class PrefixEncoding(Encoding):
+    """Shared implementation of both prefix schemes.
+
+    Args:
+        assignment: symbol -> (cluster index, suffix slot) map; slots
+            must be unique within a cluster and < ``suffix_length``.
+        suffix_length: ls, number of suffix bits (= cluster capacity).
+        prefix_length: lp, number of prefix bits.
+        prefix_zeros: 1 (One-Zero-Prefix) or 2 (Two-Zeros-Prefix).
+    """
+
+    def __init__(
+        self,
+        assignment: dict[int, tuple[int, int]],
+        suffix_length: int,
+        prefix_length: int,
+        prefix_zeros: int,
+    ) -> None:
+        if prefix_zeros not in (1, 2):
+            raise EncodingError("prefix must have one or two zeros")
+        if suffix_length < 1 or prefix_length <= prefix_zeros:
+            raise EncodingError(
+                f"bad prefix-encoding shape: ls={suffix_length}, lp={prefix_length}"
+            )
+        if not assignment:
+            raise EncodingError("prefix encoding needs a non-empty assignment")
+        self._ls = suffix_length
+        self._lp = prefix_length
+        self._zeros = prefix_zeros
+        self.name = "one-zero-prefix" if prefix_zeros == 1 else "two-zeros-prefix"
+
+        max_clusters = comb(prefix_length, prefix_zeros)
+        self._prefix_patterns = _prefix_patterns(prefix_length, prefix_zeros)
+        used = {}
+        for symbol, (cluster, slot) in assignment.items():
+            if not 0 <= symbol < 256:
+                raise EncodingError(f"symbol out of range: {symbol}")
+            if not 0 <= cluster < max_clusters:
+                raise EncodingError(
+                    f"cluster {cluster} exceeds capacity {max_clusters}"
+                )
+            if not 0 <= slot < suffix_length:
+                raise EncodingError(f"slot {slot} exceeds suffix length")
+            key = (cluster, slot)
+            if key in used:
+                raise EncodingError(
+                    f"symbols {used[key]} and {symbol} share cluster/slot {key}"
+                )
+            used[key] = symbol
+        self._assignment = dict(assignment)
+        self._alphabet = SymbolClass.from_symbols(assignment)
+        suffix_full = mask_of_width(suffix_length)
+        self._codes = {
+            symbol: (self._prefix_patterns[cluster] << suffix_length)
+            | (suffix_full ^ (1 << slot))
+            for symbol, (cluster, slot) in assignment.items()
+        }
+
+    # -- shape accessors --------------------------------------------------
+    @property
+    def suffix_length(self) -> int:
+        return self._ls
+
+    @property
+    def prefix_length(self) -> int:
+        return self._lp
+
+    @property
+    def prefix_zeros(self) -> int:
+        return self._zeros
+
+    @property
+    def code_length(self) -> int:
+        return self._ls + self._lp
+
+    @property
+    def alphabet(self) -> SymbolClass:
+        return self._alphabet
+
+    def cluster_of(self, symbol: int) -> int:
+        return self._assignment[symbol][0]
+
+    def symbol_code(self, symbol: int) -> int:
+        try:
+            return self._codes[symbol]
+        except KeyError:
+            raise EncodingError(
+                f"symbol {symbol} is not in the prefix-encoding alphabet"
+            ) from None
+
+    def compress_groups(self, codes: list[int]) -> list[list[int]]:
+        # Same prefix => suffix compression, exact for any subset.
+        groups: dict[int, list[int]] = {}
+        prefix_mask = mask_of_width(self._lp) << self._ls
+        for code in codes:
+            groups.setdefault(code & prefix_mask, []).append(code)
+        return list(groups.values())
+
+
+def _prefix_patterns(prefix_length: int, zeros: int) -> list[int]:
+    full = mask_of_width(prefix_length)
+    return [
+        full ^ bits_from_positions(zero_positions)
+        for zero_positions in combinations(range(prefix_length), zeros)
+    ]
+
+
+def build_prefix_encoding(
+    clusters: list[list[int]],
+    suffix_length: int,
+    prefix_length: int,
+    prefix_zeros: int,
+) -> PrefixEncoding:
+    """Build a prefix encoding from explicit symbol clusters.
+
+    ``clusters[i]`` lists the symbols of cluster ``i`` in slot order.
+    """
+    assignment: dict[int, tuple[int, int]] = {}
+    for cluster_index, members in enumerate(clusters):
+        if len(members) > suffix_length:
+            raise EncodingError(
+                f"cluster {cluster_index} has {len(members)} symbols, "
+                f"suffix length is {suffix_length}"
+            )
+        for slot, symbol in enumerate(members):
+            if symbol in assignment:
+                raise EncodingError(f"symbol {symbol} assigned twice")
+            assignment[symbol] = (cluster_index, slot)
+    return PrefixEncoding(assignment, suffix_length, prefix_length, prefix_zeros)
+
+
+def two_zeros_prefix_params(
+    alphabet_size: int, mean_class_size: float
+) -> tuple[int, int] | None:
+    """Eq. (2): the (ls, lp) minimizing code length for Two-Zeros-Prefix.
+
+    Sweeps the suffix length from max(2, ⌈S⌉) to ⌊√A⌋; for each ls the
+    minimal lp satisfies C(lp, 2) * ls >= A.  Returns None when the sweep
+    range is empty (S > √A), in which case One-Zero-Prefix must be used.
+    Ties prefer the larger suffix (more suffix-compression headroom).
+    """
+    if alphabet_size < 1:
+        raise EncodingError("alphabet size must be positive")
+    lo = max(2, -(-int(mean_class_size * 1e9) // 10**9))  # ceil without fp drift
+    hi = isqrt(alphabet_size)
+    best: tuple[int, int] | None = None
+    for ls in range(lo, hi + 1):
+        lp = 3
+        while comb(lp, 2) * ls < alphabet_size:
+            lp += 1
+        if best is None or ls + lp <= best[0] + best[1]:
+            best = (ls, lp)
+    return best
+
+
+def one_zero_prefix_params(alphabet_size: int) -> tuple[int, int]:
+    """Minimal (ls, lp) with lp * ls >= A; total ≈ 2√A (Cauchy).
+
+    Ties prefer the larger suffix.
+    """
+    if alphabet_size < 1:
+        raise EncodingError("alphabet size must be positive")
+    best: tuple[int, int] | None = None
+    for ls in range(2, alphabet_size + 1):
+        lp = max(2, -(-alphabet_size // ls))
+        if best is None or ls + lp <= best[0] + best[1]:
+            best = (ls, lp)
+        if ls > alphabet_size // 2 + 1:
+            break
+    return best

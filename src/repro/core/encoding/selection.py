@@ -1,0 +1,182 @@
+"""Encoding-scheme selection (paper §V.B).
+
+Given an automaton's symbol classes, pick the scheme and code length
+that balance CAM entry count against code length:
+
+1. alphabet fits a CAM word (A <= 16)  ->  One-Zero, L = A
+   (every class compresses to one entry);
+2. every class is a singleton after negation optimization (S = 1)
+   ->  Multi-Zeros with Eq. (1): no compression needed, shortest code;
+3. otherwise compare Two-Zeros-Prefix via the Eq. (2) sweep against
+   One-Zero-Prefix at its minimal length (~2 sqrt(A)); pick the shorter,
+   preferring Two-Zeros on ties.  When the mean class size exceeds
+   sqrt(A) the Eq. (2) sweep is empty and One-Zero-Prefix is forced
+   (RandomForest is the paper's example: S ~ 52, L = 32).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.automata.nfa import Automaton
+from repro.automata.symbols import SymbolClass
+from repro.core.encoding.base import Encoding
+from repro.core.encoding.clustering import cluster_symbols, identity_clusters
+from repro.core.encoding.multi_zeros import MultiZerosEncoding, multi_zeros_length
+from repro.core.encoding.negation import effective_class_size
+from repro.core.encoding.one_zero import OneZeroEncoding
+from repro.core.encoding.prefix import (
+    build_prefix_encoding,
+    one_zero_prefix_params,
+    two_zeros_prefix_params,
+)
+from repro.errors import EncodingError
+
+#: a CAM word has 16 rows; alphabets at most this big use plain One-Zero
+ONE_ZERO_ALPHABET_LIMIT = 16
+
+
+@dataclass(frozen=True)
+class EncodingChoice:
+    """The outcome of encoding selection for one automaton."""
+
+    encoding: Encoding
+    scheme: str
+    code_length: int
+    alphabet_size: int
+    #: mean symbol-class size with negation optimization (the paper's S)
+    mean_class_size_no: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.scheme}(L={self.code_length}, A={self.alphabet_size}, "
+            f"S={self.mean_class_size_no:.2f})"
+        )
+
+
+def class_statistics(
+    symbol_classes: Sequence[SymbolClass],
+) -> tuple[SymbolClass, float]:
+    """(alphabet, mean class size with NO) over the given classes."""
+    if not symbol_classes:
+        raise EncodingError("cannot select an encoding for zero classes")
+    alphabet = SymbolClass.empty()
+    for symbol_class in symbol_classes:
+        alphabet = alphabet | symbol_class
+    sizes = [effective_class_size(c, alphabet) for c in symbol_classes]
+    return alphabet, sum(sizes) / len(sizes)
+
+
+def stored_classes(
+    symbol_classes: Sequence[SymbolClass], alphabet: SymbolClass
+) -> list[SymbolClass]:
+    """What the CAM actually stores per state: the class itself, or its
+    complement when negation optimization will flip the row.  Symbol
+    clustering must co-locate the *stored* symbols, so the frequency
+    statistics are computed over these."""
+    stored = []
+    for symbol_class in symbol_classes:
+        complement = alphabet - symbol_class
+        if complement and len(complement) < len(symbol_class):
+            stored.append(complement)
+        else:
+            stored.append(symbol_class)
+    return stored
+
+
+def select_encoding(
+    source: Automaton | Sequence[SymbolClass],
+    *,
+    clustered: bool = True,
+) -> EncodingChoice:
+    """Select and *construct* the optimal encoding for an automaton.
+
+    Args:
+        source: an automaton or its list of symbol classes.
+        clustered: apply frequency-first clustering (True, the proposed
+            flow) or pack symbols in numeric order (the Table II
+            "without clustering" baseline).
+    """
+    if isinstance(source, Automaton):
+        symbol_classes = [s.symbol_class for s in source.states]
+    else:
+        symbol_classes = list(source)
+    alphabet, mean_no = class_statistics(symbol_classes)
+    a_size = len(alphabet)
+
+    if a_size <= ONE_ZERO_ALPHABET_LIMIT:
+        encoding: Encoding = OneZeroEncoding(alphabet)
+        return EncodingChoice(
+            encoding, encoding.name, encoding.code_length, a_size, mean_no
+        )
+
+    if mean_no <= 1.0 + 1e-12:
+        encoding = MultiZerosEncoding(alphabet)
+        return EncodingChoice(
+            encoding, encoding.name, encoding.code_length, a_size, mean_no
+        )
+
+    two = two_zeros_prefix_params(a_size, mean_no)
+    one_ls, one_lp = one_zero_prefix_params(a_size)
+    if two is not None and (two[0] + two[1]) <= (one_ls + one_lp):
+        ls, lp, zeros = two[0], two[1], 2
+    else:
+        ls, lp, zeros = one_ls, one_lp, 1
+    clusters = (
+        cluster_symbols(
+            stored_classes(symbol_classes, alphabet),
+            alphabet,
+            ls,
+            _max_clusters(lp, zeros),
+        )
+        if clustered
+        else identity_clusters(alphabet, ls)
+    )
+    encoding = build_prefix_encoding(clusters, ls, lp, zeros)
+    return EncodingChoice(
+        encoding, encoding.name, encoding.code_length, a_size, mean_no
+    )
+
+
+def fixed_one_zero_prefix_encoding(
+    source: Automaton | Sequence[SymbolClass],
+    *,
+    suffix_length: int = 16,
+    prefix_length: int = 16,
+    clustered: bool = False,
+) -> EncodingChoice:
+    """The Table II baseline: fixed 32-bit One-Zero-Prefix encoding.
+
+    The paper compares its selected encodings against this fixed shape
+    without clustering optimization; both knobs are exposed so the
+    ablation bench can isolate their effects.
+    """
+    if isinstance(source, Automaton):
+        symbol_classes = [s.symbol_class for s in source.states]
+    else:
+        symbol_classes = list(source)
+    alphabet, mean_no = class_statistics(symbol_classes)
+    if clustered:
+        clusters = cluster_symbols(
+            stored_classes(symbol_classes, alphabet),
+            alphabet,
+            suffix_length,
+            prefix_length,
+        )
+    else:
+        clusters = identity_clusters(alphabet, suffix_length)
+    encoding = build_prefix_encoding(clusters, suffix_length, prefix_length, 1)
+    return EncodingChoice(
+        encoding,
+        f"fixed-{encoding.name}",
+        encoding.code_length,
+        len(alphabet),
+        mean_no,
+    )
+
+
+def _max_clusters(prefix_length: int, zeros: int) -> int:
+    from math import comb
+
+    return comb(prefix_length, zeros)

@@ -1,0 +1,88 @@
+"""The 128x128 reconfigurable reduced crossbar (RRCB, §IV.B).
+
+One physical 128x128 8T SRAM array realizes the tile's local switch.
+It operates in one of two modes:
+
+* **RCB mode** — a remapping of a 256x256 full crossbar restricted to a
+  diagonal band: with BFS placement, a transition (u -> v) is routable
+  iff |pos(u) - pos(v)| <= k_dia (43 for CAMA; eAP's 96x96 RCB uses 21).
+  The diagonal groups are folded two-per-column into the physical
+  array, which is why the band and the 128^2 cell budget both bind.
+* **FCB mode** — reconfigured into a full 128x128 crossbar: any
+  transition among a 128-state *domain* is routable, but the domain is
+  half a tile.
+
+This module is the structural model: it validates routability, stores
+the programmed transitions, and routes active-state vectors (used by
+the functional CAMA machine).  Energy/area live in :mod:`repro.arch`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MappingError
+
+SWITCH_SIZE = 128
+#: diagonal band half-width of CAMA's RCB remapping (paper Fig. 4b)
+CAMA_KDIA = 43
+#: eAP's 96x96 RCB band (paper §III.C)
+EAP_KDIA = 21
+#: logical positions served by one switch in RCB mode (256x256 remapped)
+RCB_POSITIONS = 256
+#: logical positions served by one switch in FCB mode (one domain)
+FCB_POSITIONS = 128
+#: STEs a local switch can send to / receive from the global switch
+GLOBAL_PORTS = 16
+
+
+class LocalSwitch:
+    """One 128x128 RRCB programmed with intra-switch transitions."""
+
+    def __init__(self, mode: str, kdia: int = CAMA_KDIA) -> None:
+        if mode not in ("rcb", "fcb"):
+            raise MappingError(f"unknown switch mode: {mode!r}")
+        self.mode = mode
+        self.kdia = kdia
+        self.positions = RCB_POSITIONS if mode == "rcb" else FCB_POSITIONS
+        self._matrix = np.zeros((self.positions, self.positions), dtype=bool)
+        self._cells = SWITCH_SIZE * SWITCH_SIZE
+
+    def routable(self, src: int, dst: int) -> bool:
+        """Whether a (src -> dst) position pair is physically routable."""
+        if not (0 <= src < self.positions and 0 <= dst < self.positions):
+            return False
+        if self.mode == "fcb":
+            return True
+        return abs(src - dst) <= self.kdia
+
+    def program(self, src: int, dst: int) -> None:
+        if not self.routable(src, dst):
+            raise MappingError(
+                f"transition ({src} -> {dst}) not routable in {self.mode} mode "
+                f"(kdia={self.kdia})"
+            )
+        self._matrix[src, dst] = True
+        if int(self._matrix.sum()) > self._cells:
+            raise MappingError("local switch cell budget exceeded")
+
+    def route(self, active: np.ndarray) -> np.ndarray:
+        """Positions enabled next cycle given active positions (bool[positions])."""
+        if active.shape != (self.positions,):
+            raise MappingError(
+                f"active vector must have {self.positions} positions"
+            )
+        if not active.any():
+            return np.zeros(self.positions, dtype=bool)
+        return self._matrix[active].any(axis=0)
+
+    @property
+    def num_transitions(self) -> int:
+        return int(self._matrix.sum())
+
+
+def rcb_band_feasible(
+    edges: list[tuple[int, int]], positions: dict[int, int], kdia: int = CAMA_KDIA
+) -> bool:
+    """Whether every edge fits the RCB diagonal band under ``positions``."""
+    return all(abs(positions[u] - positions[v]) <= kdia for u, v in edges)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the CAMA reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AutomatonError(ReproError):
+    """A homogeneous NFA is structurally invalid (bad state ids, dangling
+    transitions, empty symbol classes, and similar)."""
+
+
+class RegexSyntaxError(ReproError):
+    """The regex parser rejected a pattern."""
+
+    def __init__(self, pattern: str, position: int, message: str) -> None:
+        self.pattern = pattern
+        self.position = position
+        super().__init__(f"{message} at position {position} in {pattern!r}")
+
+
+class ParseError(ReproError):
+    """An ANML or MNRL document could not be parsed."""
+
+
+class EncodingError(ReproError):
+    """An encoding cannot represent the requested alphabet or symbol class."""
+
+
+class MappingError(ReproError):
+    """The mapper could not place an automaton onto the CAMA fabric."""
+
+
+class SimulationError(ReproError):
+    """The cycle simulator was driven with invalid inputs."""
+
+
+class ModelError(ReproError):
+    """An architecture model was queried outside its calibrated domain."""

@@ -1,0 +1,37 @@
+"""Experiment harnesses: one module per paper table/figure."""
+
+from repro.experiments import (
+    extra_report_buffers,
+    fig10_area,
+    fig11_density_energy_power,
+    fig12_energy_breakdown,
+    fig13_multistride,
+    table1_symbol_classes,
+    table2_encoding,
+    table4_timing,
+    table5_switch_mapping,
+)
+from repro.experiments.common import (
+    DESIGNS,
+    ExperimentContext,
+    ExperimentTable,
+    geometric_mean,
+)
+from repro.experiments.run_all import run_all
+
+__all__ = [
+    "DESIGNS",
+    "ExperimentContext",
+    "ExperimentTable",
+    "extra_report_buffers",
+    "fig10_area",
+    "fig11_density_energy_power",
+    "fig12_energy_breakdown",
+    "fig13_multistride",
+    "geometric_mean",
+    "run_all",
+    "table1_symbol_classes",
+    "table2_encoding",
+    "table4_timing",
+    "table5_switch_mapping",
+]

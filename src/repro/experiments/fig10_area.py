@@ -1,0 +1,62 @@
+"""Fig. 10: chip area per benchmark for CAMA, 2-stride Impala, eAP, CA.
+
+Shape to reproduce: CAMA needs the least area on every benchmark; on
+the largest benchmark the paper reports 2.48x (CA), 1.91x (Impala) and
+1.78x (eAP) more area than CAMA.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+
+AREA_DESIGNS = ("CAMA-E", "2-stride Impala", "eAP", "CA")
+PAPER_LARGEST_RATIOS = {"CA": 2.48, "2-stride Impala": 1.91, "eAP": 1.78}
+
+
+def run(ctx: ExperimentContext) -> ExperimentTable:
+    rows = []
+    largest = None
+    for name in ctx.benchmarks:
+        areas = {
+            design: ctx.build(name, design).area_mm2 for design in AREA_DESIGNS
+        }
+        cama = areas["CAMA-E"]
+        rows.append(
+            [
+                name,
+                round(cama, 4),
+                round(areas["2-stride Impala"], 4),
+                round(areas["eAP"], 4),
+                round(areas["CA"], 4),
+                round(areas["2-stride Impala"] / cama, 2),
+                round(areas["eAP"] / cama, 2),
+                round(areas["CA"] / cama, 2),
+            ]
+        )
+        # "largest tested benchmark" in the paper's sense: most states
+        paper_states = ctx.benchmark(name).profile.paper.onehot_states
+        if largest is None or paper_states > largest[3]:
+            largest = (name, cama, areas, paper_states)
+    name, cama, areas, _ = largest
+    notes = (
+        f"Largest benchmark ({name}): area ratios over CAMA — "
+        f"CA {areas['CA'] / cama:.2f}x (paper {PAPER_LARGEST_RATIOS['CA']}x), "
+        f"Impala {areas['2-stride Impala'] / cama:.2f}x "
+        f"(paper {PAPER_LARGEST_RATIOS['2-stride Impala']}x), "
+        f"eAP {areas['eAP'] / cama:.2f}x (paper {PAPER_LARGEST_RATIOS['eAP']}x)."
+    )
+    return ExperimentTable(
+        experiment="Fig 10 — chip area in mm^2 (CAMA-E/T share one mapping)",
+        headers=[
+            "benchmark",
+            "CAMA",
+            "Impala",
+            "eAP",
+            "CA",
+            "Impala/CAMA",
+            "eAP/CAMA",
+            "CA/CAMA",
+        ],
+        rows=rows,
+        notes=notes,
+    )

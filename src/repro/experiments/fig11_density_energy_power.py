@@ -1,0 +1,79 @@
+"""Fig. 11: compute density (a), energy per symbol (b), power (c).
+
+All three panels are normalized to CAMA-E, as in the paper.  Headline
+shapes: CAMA-T has the highest compute density (2.68x Impala, 3.87x CA,
+2.62x eAP on average); CAMA-E has the lowest energy (2.1x vs CA, 2.8x
+vs Impala, 2.04x vs eAP and CAMA-T) and the lowest power.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DESIGNS,
+    ExperimentContext,
+    ExperimentTable,
+    geometric_mean,
+)
+
+PAPER_AVG_ENERGY_RATIO = {"CA": 2.1, "2-stride Impala": 2.8, "eAP": 2.04, "CAMA-T": 2.04}
+PAPER_AVG_DENSITY_RATIO_CAMA_T = {"2-stride Impala": 2.68, "CA": 3.87, "eAP": 2.62}
+
+
+def run(ctx: ExperimentContext) -> ExperimentTable:
+    rows = []
+    ratios: dict[str, list[float]] = {d: [] for d in DESIGNS}
+    density_t: dict[str, list[float]] = {d: [] for d in DESIGNS}
+    for name in ctx.benchmarks:
+        density = {}
+        energy = {}
+        power = {}
+        for design in DESIGNS:
+            build = ctx.build(name, design)
+            stats = ctx.stats(name, design)
+            density[design] = build.compute_density_gbps_mm2()
+            energy[design] = build.energy(stats).per_cycle_pj()
+            power[design] = build.power_w(stats)
+        base_e = energy["CAMA-E"]
+        base_d = density["CAMA-E"]
+        base_p = power["CAMA-E"]
+        for design in DESIGNS:
+            ratios[design].append(energy[design] / base_e)
+            density_t[design].append(density["CAMA-T"] / density[design])
+        rows.append(
+            [
+                name,
+                round(base_d, 2),
+                round(base_e, 1),
+                round(base_p, 3),
+                *(round(density[d] / base_d, 2) for d in DESIGNS[1:]),
+                *(round(energy[d] / base_e, 2) for d in DESIGNS[1:]),
+            ]
+        )
+    avg_energy = {d: geometric_mean(ratios[d]) for d in DESIGNS}
+    avg_density = {d: geometric_mean(density_t[d]) for d in DESIGNS}
+    notes_lines = ["Average energy ratio vs CAMA-E (measured, paper):"]
+    for design, paper_value in PAPER_AVG_ENERGY_RATIO.items():
+        notes_lines.append(
+            f"  {design}: {avg_energy[design]:.2f}x (paper {paper_value}x)"
+        )
+    notes_lines.append("Average CAMA-T compute-density advantage (measured, paper):")
+    for design, paper_value in PAPER_AVG_DENSITY_RATIO_CAMA_T.items():
+        notes_lines.append(
+            f"  vs {design}: {avg_density[design]:.2f}x (paper {paper_value}x)"
+        )
+    return ExperimentTable(
+        experiment=(
+            "Fig 11 — compute density / energy / power "
+            "(CAMA-E absolutes, then ratios to CAMA-E)"
+        ),
+        headers=[
+            "benchmark",
+            "CAMA-E Gbps/mm2",
+            "CAMA-E pJ/cyc",
+            "CAMA-E W",
+            *(f"dens {d}" for d in DESIGNS[1:]),
+            *(f"energy {d}" for d in DESIGNS[1:]),
+        ],
+        rows=rows,
+        notes="\n".join(notes_lines),
+    )

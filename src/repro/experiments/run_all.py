@@ -1,0 +1,97 @@
+"""Run every experiment and emit the results (console + results/ dir).
+
+Usage:
+    python -m repro.experiments.run_all [--scale 0.0625] [--stream 10000]
+                                        [--out results]
+
+Regenerates every table and figure of the paper's evaluation; the
+printed output is what EXPERIMENTS.md's measured columns record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    extra_report_buffers,
+    fig10_area,
+    fig11_density_energy_power,
+    fig12_energy_breakdown,
+    fig13_multistride,
+    table1_symbol_classes,
+    table2_encoding,
+    table4_timing,
+    table5_switch_mapping,
+)
+from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.workloads.profiles import DEFAULT_SCALE
+
+EXPERIMENTS = [
+    ("table1", table1_symbol_classes),
+    ("table2", table2_encoding),
+    ("table4", table4_timing),
+    ("table5", table5_switch_mapping),
+    ("fig10", fig10_area),
+    ("fig11", fig11_density_energy_power),
+    ("fig12", fig12_energy_breakdown),
+    ("fig13", fig13_multistride),
+    ("buffers", extra_report_buffers),
+]
+
+
+def write_csv(table: ExperimentTable, path: Path) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.headers)
+        writer.writerows(table.rows)
+
+
+def run_all(
+    scale: float = DEFAULT_SCALE,
+    stream_length: int = 10_000,
+    out_dir: str | Path | None = "results",
+    only: list[str] | None = None,
+) -> dict[str, ExperimentTable]:
+    ctx = ExperimentContext(scale=scale, stream_length=stream_length)
+    results: dict[str, ExperimentTable] = {}
+    out_path = Path(out_dir) if out_dir else None
+    if out_path:
+        out_path.mkdir(parents=True, exist_ok=True)
+    for key, module in EXPERIMENTS:
+        if only and key not in only:
+            continue
+        started = time.time()
+        table = module.run(ctx)
+        results[key] = table
+        print(table.format())
+        print(f"[{key} done in {time.time() - started:.1f}s]\n")
+        if out_path:
+            write_csv(table, out_path / f"{key}.csv")
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--stream", type=int, default=10_000)
+    parser.add_argument("--out", type=str, default="results")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=[key for key, _ in EXPERIMENTS],
+        help="run a subset of experiments",
+    )
+    args = parser.parse_args()
+    run_all(
+        scale=args.scale,
+        stream_length=args.stream,
+        out_dir=args.out,
+        only=args.only,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Table II: the proposed encoding vs one-hot and fixed 32-bit baselines.
+
+Columns: states under 256-bit one-hot (= automaton states), CAM entries
+under a fixed 32-bit One-Zero-Prefix encoding *without* clustering, and
+the proposed selected encoding's code length and entries.  Shape to
+reproduce: the proposed flow increases entries by ~13% on average over
+one-hot while the fixed-32-bit flow costs ~25% (and always 32 bits).
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import CamaCompiler
+from repro.experiments.common import ExperimentContext, ExperimentTable
+
+
+def run(ctx: ExperimentContext) -> ExperimentTable:
+    rows = []
+    proposed_increase = []
+    fixed_increase = []
+    for name in ctx.benchmarks:
+        benchmark = ctx.benchmark(name)
+        automaton = benchmark.automaton
+        paper = benchmark.profile.paper
+        onehot_states = len(automaton)
+        program = ctx.program(name)
+        fixed = CamaCompiler(fixed_32bit=True).compile(automaton)
+        proposed_increase.append(program.total_entries / onehot_states)
+        fixed_increase.append(fixed.total_entries / onehot_states)
+        rows.append(
+            [
+                name,
+                onehot_states,
+                fixed.total_entries,
+                program.choice.code_length,
+                paper.code_length,
+                program.total_entries,
+                round(program.total_entries / onehot_states, 3),
+                round(paper.proposed_states / paper.onehot_states, 3),
+            ]
+        )
+    avg_prop = sum(proposed_increase) / len(proposed_increase)
+    avg_fixed = sum(fixed_increase) / len(fixed_increase)
+    return ExperimentTable(
+        experiment="Table II — encoding comparison (measured vs paper)",
+        headers=[
+            "benchmark",
+            "one-hot states",
+            "fixed-32b states",
+            "L",
+            "L(paper)",
+            "proposed states",
+            "increase",
+            "increase(paper)",
+        ],
+        rows=rows,
+        notes=(
+            f"Average state increase: proposed {avg_prop - 1:+.1%} "
+            f"(paper ~+13%), fixed 32-bit {avg_fixed - 1:+.1%} (paper ~+25%)."
+        ),
+    )

@@ -1,0 +1,53 @@
+"""Table IV: stage delays and clock frequencies per design.
+
+Fully analytic (no workload dependence): the circuit library plus the
+wire-delay model must reproduce the paper's row for every design.
+"""
+
+from __future__ import annotations
+
+from repro.arch.timing import all_timings
+from repro.experiments.common import ExperimentContext, ExperimentTable
+
+_PAPER = {
+    "CAMA-E": (325, 292, 420.1, 1.34, 1.21),
+    "CAMA-T": (325, 292, 420.1, 2.38, 2.14),
+    "2-stride Impala": (317, 394, 442.69, 2.26, 2.03),
+    "eAP": (394, 394, 515, 1.94, 1.75),
+    "CA": (416, 394, 493, 2.03, 1.82),
+    "AP": (None, None, None, 0.133, 0.133),
+}
+
+
+def run(ctx: ExperimentContext) -> ExperimentTable:
+    rows = []
+    for timing in all_timings(ctx.lib):
+        paper = _PAPER[timing.design]
+        rows.append(
+            [
+                timing.design,
+                round(timing.state_match_ps, 1) if paper[0] else "-",
+                paper[0] or "-",
+                round(timing.global_switch_ps, 1) if paper[2] else "-",
+                paper[2] or "-",
+                round(timing.freq_max_ghz, 3),
+                paper[3],
+                round(timing.freq_operated_ghz, 3),
+                paper[4],
+            ]
+        )
+    return ExperimentTable(
+        experiment="Table IV — delays and frequency (measured vs paper)",
+        headers=[
+            "design",
+            "SM ps",
+            "SM ps(paper)",
+            "G-sw ps",
+            "G-sw ps(paper)",
+            "f_max GHz",
+            "f_max(paper)",
+            "f_op GHz",
+            "f_op(paper)",
+        ],
+        rows=rows,
+    )

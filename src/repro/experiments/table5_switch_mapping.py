@@ -1,0 +1,58 @@
+"""Table V: switch mapping results for CA (baseline) and CAMA (proposed).
+
+Shape to reproduce: which benchmarks map entirely to RCB-mode switches,
+which need FCB mode (RandomForest, EntityResolution fully; Snort,
+Protomata, TCP partially), and which need global switches.  Counts are
+at the context's scale (1/16 of the paper's by default); the paper
+columns are printed scaled for comparison.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+
+
+def run(ctx: ExperimentContext) -> ExperimentTable:
+    rows = []
+    for name in ctx.benchmarks:
+        paper = ctx.benchmark(name).profile.paper
+        baseline = ctx.baseline_mapping(name)
+        mapping = ctx.program(name).mapping
+        s = ctx.scale
+        rows.append(
+            [
+                name,
+                baseline.num_partitions,
+                round(paper.baseline_local * s, 1),
+                baseline.num_global_switches,
+                paper.baseline_global,
+                mapping.num_rcb_switches,
+                round(paper.rcb_mode * s, 1),
+                mapping.num_global_switches,
+                paper.proposed_global,
+                mapping.num_fcb_switches,
+                round(paper.fcb_mode * s, 1),
+            ]
+        )
+    return ExperimentTable(
+        experiment="Table V — switch mapping (measured vs scaled paper)",
+        headers=[
+            "benchmark",
+            "B.local",
+            "B.local(paper*s)",
+            "B.global",
+            "B.global(paper)",
+            "RCB",
+            "RCB(paper*s)",
+            "global",
+            "global(paper)",
+            "FCB",
+            "FCB(paper*s)",
+        ],
+        rows=rows,
+        notes=(
+            "Global-switch counts do not scale linearly (they count "
+            "arrays touched, not volume); compare which benchmarks need "
+            "any at all."
+        ),
+    )

@@ -1,0 +1,30 @@
+"""Cycle-accurate functional simulation (the VASim role)."""
+
+from repro.sim.buffers import (
+    INPUT_BUFFER_ENTRIES,
+    OUTPUT_BUFFER_ENTRIES,
+    BufferActivity,
+    buffer_activity,
+    input_interrupts,
+    output_interrupts,
+)
+from repro.sim.engine import Engine, SimulationResult, StridedEngine
+from repro.sim.reports import Report, report_codes_at, report_positions
+from repro.sim.trace import PartitionAssignment, TraceStats
+
+__all__ = [
+    "BufferActivity",
+    "Engine",
+    "INPUT_BUFFER_ENTRIES",
+    "OUTPUT_BUFFER_ENTRIES",
+    "PartitionAssignment",
+    "Report",
+    "SimulationResult",
+    "StridedEngine",
+    "TraceStats",
+    "buffer_activity",
+    "input_interrupts",
+    "output_interrupts",
+    "report_codes_at",
+    "report_positions",
+]

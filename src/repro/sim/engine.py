@@ -1,0 +1,335 @@
+"""Reference cycle-accurate simulator for homogeneous NFAs.
+
+This plays the role VASim plays for the paper: it executes an automaton
+one input symbol per cycle and records reports plus the activity
+statistics the energy models need.  The implementation propagates
+*active-state index sets* through precomputed successor arrays, which is
+the right trade-off for automata whose per-cycle active fraction is a
+few percent (the regime the paper's benchmarks live in).
+
+Per-cycle semantics (identical to AP/CA/Impala/eAP/CAMA):
+
+    enabled(t) = all-input starts
+               | start-of-data starts (t == 0 only)
+               | successors(active(t-1))
+    active(t)  = { s in enabled(t) : input[t] in C(s) }
+    reports(t) = active(t) & reporting
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.automata.nfa import Automaton, StartKind
+from repro.automata.striding import StridedAutomaton, stride_pairs
+from repro.errors import SimulationError
+from repro.sim.reports import Report
+from repro.sim.trace import PartitionAssignment, TraceStats
+
+_MAX_KEPT_REPORTS = 1_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Reports plus activity statistics of one run."""
+
+    reports: list[Report]
+    stats: TraceStats
+
+    @property
+    def num_reports(self) -> int:
+        return self.stats.num_reports
+
+
+class Engine:
+    """Compiled simulator for one :class:`Automaton`."""
+
+    def __init__(self, automaton: Automaton) -> None:
+        automaton.validate()
+        self.automaton = automaton
+        n = len(automaton)
+        self._n = n
+        # match_table[symbol] is the boolean vector of states accepting it
+        # (this is exactly the bit-vector representation of CA/Impala).
+        table = np.zeros((256, n), dtype=bool)
+        for ste in automaton.states:
+            for symbol in ste.symbol_class:
+                table[symbol, ste.ste_id] = True
+        self._match_table = table
+        self._successors = [
+            np.fromiter(sorted(automaton.successors(s)), dtype=np.int64, count=-1)
+            for s in range(n)
+        ]
+        self._start_all = np.fromiter(
+            (s.ste_id for s in automaton.states if s.start is StartKind.ALL_INPUT),
+            dtype=np.int64,
+        )
+        self._start_sod = np.fromiter(
+            (
+                s.ste_id
+                for s in automaton.states
+                if s.start is StartKind.START_OF_DATA
+            ),
+            dtype=np.int64,
+        )
+        self._reporting = np.zeros(n, dtype=bool)
+        for ste in automaton.states:
+            if ste.reporting:
+                self._reporting[ste.ste_id] = True
+        self._report_codes = [s.report_code for s in automaton.states]
+
+    # -- single-step API (used by the CAMA machine for lock-step checks) --
+    def enabled_at(self, active: np.ndarray, first_cycle: bool) -> np.ndarray:
+        """Indices of states enabled next cycle, given active indices."""
+        parts = [self._start_all]
+        if first_cycle:
+            parts.append(self._start_sod)
+        for s in active:
+            parts.append(self._successors[s])
+        merged = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        return np.unique(merged)
+
+    def match(self, enabled: np.ndarray, symbol: int) -> np.ndarray:
+        """Subset of ``enabled`` whose class contains ``symbol``."""
+        if not 0 <= symbol < 256:
+            raise SimulationError(f"input symbol out of range: {symbol}")
+        return enabled[self._match_table[symbol, enabled]]
+
+    # -- full run ---------------------------------------------------------
+    def run(
+        self,
+        data: bytes,
+        *,
+        placement: PartitionAssignment | None = None,
+        keep_per_cycle: bool = False,
+        max_reports: int = _MAX_KEPT_REPORTS,
+    ) -> SimulationResult:
+        """Simulate ``data`` and return reports plus activity statistics.
+
+        Args:
+            data: the input symbol stream.
+            placement: optional state->partition map; when given, the
+                per-partition activity the energy model needs is recorded.
+            keep_per_cycle: retain per-cycle enabled/active counts.
+            max_reports: stop *recording* (not counting) reports beyond
+                this limit, protecting memory on report-heavy runs.
+        """
+        stats = TraceStats(num_states=self._n)
+        part = cross_any = weights = None
+        if placement is not None:
+            if len(placement.partition_of) != self._n:
+                raise SimulationError(
+                    "placement size does not match automaton size"
+                )
+            part = np.asarray(placement.partition_of, dtype=np.int64)
+            if placement.weights is not None:
+                weights = np.asarray(placement.weights, dtype=np.float64)
+            stats.num_partitions = placement.num_partitions
+            stats.partition_enabled_cycles = np.zeros(
+                placement.num_partitions, dtype=np.int64
+            )
+            stats.partition_active_cycles = np.zeros(
+                placement.num_partitions, dtype=np.int64
+            )
+            stats.partition_enabled_states_sum = np.zeros(
+                placement.num_partitions, dtype=np.int64
+            )
+            stats.partition_enabled_weight_sum = np.zeros(
+                placement.num_partitions, dtype=np.float64
+            )
+            stats.partition_active_states_sum = np.zeros(
+                placement.num_partitions, dtype=np.int64
+            )
+            # cross_any[s] is True when s has a successor in another partition
+            cross_any = np.zeros(self._n, dtype=bool)
+            for s in range(self._n):
+                succ = self._successors[s]
+                if succ.size and np.any(part[succ] != part[s]):
+                    cross_any[s] = True
+
+        reports: list[Report] = []
+        active = np.empty(0, dtype=np.int64)
+        for cycle, symbol in enumerate(data):
+            enabled = self.enabled_at(active, first_cycle=cycle == 0)
+            active = self.match(enabled, symbol)
+
+            stats.num_cycles += 1
+            stats.enabled_states_sum += int(enabled.size)
+            stats.active_states_sum += int(active.size)
+            if keep_per_cycle:
+                stats.enabled_per_cycle.append(int(enabled.size))
+                stats.active_per_cycle.append(int(active.size))
+            if part is not None:
+                if enabled.size:
+                    counts = np.bincount(
+                        part[enabled], minlength=stats.num_partitions
+                    )
+                    stats.partition_enabled_cycles += counts > 0
+                    stats.partition_enabled_states_sum += counts
+                    if weights is None:
+                        stats.partition_enabled_weight_sum += counts
+                    else:
+                        stats.partition_enabled_weight_sum += np.bincount(
+                            part[enabled],
+                            weights=weights[enabled],
+                            minlength=stats.num_partitions,
+                        )
+                if active.size:
+                    acounts = np.bincount(
+                        part[active], minlength=stats.num_partitions
+                    )
+                    stats.partition_active_states_sum += acounts
+                    stats.partition_active_cycles += acounts > 0
+                    crossing = active[cross_any[active]]
+                    stats.global_crossing_states_sum += int(crossing.size)
+                    if crossing.size:
+                        stats.global_source_partitions_sum += int(
+                            np.unique(part[crossing]).size
+                        )
+
+            firing = active[self._reporting[active]]
+            stats.num_reports += int(firing.size)
+            if firing.size and len(reports) < max_reports:
+                for s in firing:
+                    reports.append(
+                        Report(
+                            cycle=cycle,
+                            state_id=int(s),
+                            code=self._report_codes[int(s)],
+                        )
+                    )
+        return SimulationResult(reports=reports, stats=stats)
+
+
+class StridedEngine:
+    """Simulator for 2-strided automata (16-bit symbol pairs per cycle)."""
+
+    def __init__(self, strided: StridedAutomaton) -> None:
+        if not len(strided):
+            raise SimulationError("strided automaton has no states")
+        self.automaton = strided
+        n = len(strided)
+        self._n = n
+        hi = np.zeros((256, n), dtype=bool)
+        lo = np.zeros((256, n), dtype=bool)
+        for ste in strided.states:
+            for symbol in ste.product.first:
+                hi[symbol, ste.ste_id] = True
+            for symbol in ste.product.second:
+                lo[symbol, ste.ste_id] = True
+        self._hi_table = hi
+        self._lo_table = lo
+        self._successors = [
+            np.fromiter(sorted(strided.successors(s)), dtype=np.int64, count=-1)
+            for s in range(n)
+        ]
+        self._start_all = np.fromiter(
+            (s.ste_id for s in strided.states if s.start is StartKind.ALL_INPUT),
+            dtype=np.int64,
+        )
+        self._start_sod = np.fromiter(
+            (
+                s.ste_id
+                for s in strided.states
+                if s.start is StartKind.START_OF_DATA
+            ),
+            dtype=np.int64,
+        )
+        self._reporting = np.zeros(n, dtype=bool)
+        for ste in strided.states:
+            if ste.reporting:
+                self._reporting[ste.ste_id] = True
+
+    def run(
+        self,
+        data: bytes,
+        *,
+        placement: PartitionAssignment | None = None,
+        keep_per_cycle: bool = False,
+    ) -> SimulationResult:
+        """Simulate an even-length byte stream, one pair per cycle.
+
+        Reports carry the *original* automaton's reporting-state id and
+        original symbol position, so results compare directly against
+        the unstrided engine's.
+        """
+        pairs = stride_pairs(data)
+        stats = TraceStats(num_states=self._n)
+        part = weights = None
+        if placement is not None:
+            if len(placement.partition_of) != self._n:
+                raise SimulationError(
+                    "placement size does not match strided automaton size"
+                )
+            part = np.asarray(placement.partition_of, dtype=np.int64)
+            if placement.weights is not None:
+                weights = np.asarray(placement.weights, dtype=np.float64)
+            stats.num_partitions = placement.num_partitions
+            stats.partition_enabled_cycles = np.zeros(
+                placement.num_partitions, dtype=np.int64
+            )
+            stats.partition_active_cycles = np.zeros(
+                placement.num_partitions, dtype=np.int64
+            )
+            stats.partition_enabled_states_sum = np.zeros(
+                placement.num_partitions, dtype=np.int64
+            )
+            stats.partition_enabled_weight_sum = np.zeros(
+                placement.num_partitions, dtype=np.float64
+            )
+            stats.partition_active_states_sum = np.zeros(
+                placement.num_partitions, dtype=np.int64
+            )
+        reports: set[tuple[int, int]] = set()
+        active = np.empty(0, dtype=np.int64)
+        states = self.automaton.states
+        for stride_idx, (first, second) in enumerate(pairs):
+            parts = [self._start_all]
+            if stride_idx == 0:
+                parts.append(self._start_sod)
+            for s in active:
+                parts.append(self._successors[s])
+            enabled = np.unique(np.concatenate(parts))
+            match = self._hi_table[first, enabled] & self._lo_table[second, enabled]
+            active = enabled[match]
+
+            stats.num_cycles += 1
+            stats.enabled_states_sum += int(enabled.size)
+            stats.active_states_sum += int(active.size)
+            if keep_per_cycle:
+                stats.enabled_per_cycle.append(int(enabled.size))
+                stats.active_per_cycle.append(int(active.size))
+            if part is not None:
+                if enabled.size:
+                    counts = np.bincount(
+                        part[enabled], minlength=stats.num_partitions
+                    )
+                    stats.partition_enabled_cycles += counts > 0
+                    stats.partition_enabled_states_sum += counts
+                    if weights is None:
+                        stats.partition_enabled_weight_sum += counts
+                    else:
+                        stats.partition_enabled_weight_sum += np.bincount(
+                            part[enabled],
+                            weights=weights[enabled],
+                            minlength=stats.num_partitions,
+                        )
+                if active.size:
+                    acounts = np.bincount(
+                        part[active], minlength=stats.num_partitions
+                    )
+                    stats.partition_active_states_sum += acounts
+                    stats.partition_active_cycles += acounts > 0
+
+            for s in active[self._reporting[active]]:
+                ste = states[int(s)]
+                offset = 0 if ste.reports_on_first_half else 1
+                reports.add((2 * stride_idx + offset, ste.report_origin))
+        stats.num_reports = len(reports)
+        out = [
+            Report(cycle=cycle, state_id=origin)
+            for cycle, origin in sorted(reports)
+        ]
+        return SimulationResult(reports=out, stats=stats)

@@ -1,0 +1,29 @@
+"""Report records emitted by automata simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Report:
+    """One report event: ``state_id`` fired at input offset ``cycle``.
+
+    ``cycle`` is the 0-based index of the input symbol that produced the
+    report. ``code`` carries the ANML report code when one exists.
+    """
+
+    cycle: int
+    state_id: int
+    code: str | None = None
+
+
+def report_positions(reports: list[Report]) -> set[tuple[int, int]]:
+    """Reduce reports to a set of (cycle, state_id) pairs."""
+    return {(r.cycle, r.state_id) for r in reports}
+
+
+def report_codes_at(reports: list[Report]) -> set[tuple[int, str | None]]:
+    """Reduce reports to (cycle, code) pairs — the view transforms must
+    preserve even when state identity changes."""
+    return {(r.cycle, r.code) for r in reports}

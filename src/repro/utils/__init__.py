@@ -1,0 +1,19 @@
+"""Small shared utilities: bit vectors and table rendering."""
+
+from repro.utils.bitvec import (
+    bit_positions,
+    bits_from_positions,
+    iter_submasks,
+    mask_of_width,
+    popcount,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "bit_positions",
+    "bits_from_positions",
+    "iter_submasks",
+    "mask_of_width",
+    "popcount",
+    "format_table",
+]

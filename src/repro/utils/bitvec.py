@@ -1,0 +1,57 @@
+"""Fixed-width bitset helpers on top of Python integers.
+
+Symbol classes, CAM codes and CAM entries are all fixed-width bit
+strings.  Python integers give constant-factor-fast bitwise operations
+on 256-bit values, so the whole library represents bit vectors as plain
+``int`` masks plus an explicit width carried by the owning object.
+Bit ``i`` of a mask corresponds to element ``i`` (symbol value, code
+position, ...).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask``."""
+    return mask.bit_count()
+
+
+def mask_of_width(width: int) -> int:
+    """An all-ones mask of ``width`` bits."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit_positions(mask: int) -> Iterator[int]:
+    """Yield the indices of set bits in ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits_from_positions(positions: Iterable[int]) -> int:
+    """Build a mask with the given bit positions set."""
+    mask = 0
+    for pos in positions:
+        if pos < 0:
+            raise ValueError(f"bit position must be non-negative, got {pos}")
+        mask |= 1 << pos
+    return mask
+
+
+def iter_submasks(mask: int) -> Iterator[int]:
+    """Yield every submask of ``mask`` (including 0 and ``mask`` itself).
+
+    Uses the standard ``(sub - 1) & mask`` enumeration; the caller is
+    responsible for keeping ``popcount(mask)`` small.
+    """
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask

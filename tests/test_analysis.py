@@ -1,0 +1,118 @@
+"""Tests for connected components, BFS ordering and statistics."""
+
+from repro.automata.analysis import (
+    automaton_stats,
+    bandwidth_under_order,
+    bfs_order,
+    connected_components,
+)
+from repro.automata.glushkov import compile_regex_set, glushkov_nfa
+from repro.automata.nfa import Automaton, StartKind
+
+
+def ring(n: int) -> Automaton:
+    nfa = Automaton(name=f"ring{n}")
+    for i in range(n):
+        nfa.add_state(
+            "a",
+            start=StartKind.ALL_INPUT if i == 0 else StartKind.NONE,
+            reporting=i == n - 1,
+        )
+    for i in range(n):
+        nfa.add_transition(i, (i + 1) % n)
+    return nfa
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        assert len(connected_components(ring(5))) == 1
+
+    def test_multiple_components_largest_first(self):
+        nfa = compile_regex_set(["abcde", "xy", "pqr"])
+        components = connected_components(nfa)
+        assert [len(c) for c in components] == [5, 3, 2]
+
+    def test_isolated_states_are_components(self):
+        nfa = Automaton()
+        nfa.add_state("a", start=StartKind.ALL_INPUT, reporting=True)
+        nfa.add_state("b", start=StartKind.ALL_INPUT, reporting=True)
+        assert len(connected_components(nfa)) == 2
+
+    def test_components_partition_states(self):
+        nfa = compile_regex_set(["ab(c|d)", "x+y"])
+        components = connected_components(nfa)
+        all_states = sorted(s for c in components for s in c)
+        assert all_states == list(range(len(nfa)))
+
+    def test_undirected_grouping(self):
+        # two chains converging on one state are a single weak component
+        nfa = Automaton()
+        a = nfa.add_state("a", start=StartKind.ALL_INPUT)
+        b = nfa.add_state("b", start=StartKind.ALL_INPUT)
+        c = nfa.add_state("c", reporting=True)
+        nfa.add_transition(a, c)
+        nfa.add_transition(b, c)
+        assert len(connected_components(nfa)) == 1
+
+
+class TestBfsOrder:
+    def test_is_permutation(self):
+        nfa = glushkov_nfa("(a|b)(c|d)(e|f)g")
+        component = connected_components(nfa)[0]
+        order = bfs_order(nfa, component)
+        assert sorted(order) == component
+
+    def test_starts_first(self):
+        nfa = glushkov_nfa("ab*c")
+        order = bfs_order(nfa, connected_components(nfa)[0])
+        assert order[0] == 0
+
+    def test_chain_order_is_linear(self):
+        nfa = glushkov_nfa("abcdef")
+        order = bfs_order(nfa, connected_components(nfa)[0])
+        assert order == list(range(6))
+
+    def test_chain_bandwidth_is_one(self):
+        nfa = glushkov_nfa("abcdef")
+        order = bfs_order(nfa, connected_components(nfa)[0])
+        assert bandwidth_under_order(nfa, order) == 1
+
+    def test_handles_backward_only_states(self):
+        # state 1 reaches 0 but nothing reaches 1 => appended at the end
+        nfa = Automaton()
+        nfa.add_state("a", start=StartKind.ALL_INPUT, reporting=True)
+        nfa.add_state("b")
+        nfa.add_transition(1, 0)
+        order = bfs_order(nfa, [0, 1])
+        assert sorted(order) == [0, 1]
+
+    def test_bandwidth_of_ring(self):
+        nfa = ring(10)
+        order = bfs_order(nfa, connected_components(nfa)[0])
+        # the closing edge of the ring spans the whole order
+        assert bandwidth_under_order(nfa, order) == 9
+
+
+class TestStats:
+    def test_basic_counts(self):
+        nfa = glushkov_nfa("(a|b)e*cd+")
+        stats = automaton_stats(nfa)
+        assert stats.num_states == 5
+        assert stats.num_start == 2
+        assert stats.num_reporting == 1
+        assert stats.num_components == 1
+        assert stats.largest_component == 5
+
+    def test_symbol_class_sizes(self):
+        nfa = Automaton(name="x")
+        nfa.add_state("[ab]", start=StartKind.ALL_INPUT, reporting=True)
+        nfa.add_state("[a-d]")
+        nfa.add_transition(0, 1)
+        stats = automaton_stats(nfa)
+        assert stats.avg_symbol_class_size == 3.0
+        assert stats.max_symbol_class_size == 4
+        assert stats.alphabet_size == 4
+
+    def test_out_degree(self):
+        nfa = ring(4)
+        assert automaton_stats(nfa).avg_out_degree == 1.0

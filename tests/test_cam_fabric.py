@@ -1,0 +1,161 @@
+"""Tests for the CAM array and RRCB structural models."""
+
+import numpy as np
+import pytest
+
+from repro.core.cam import CamArray
+from repro.core.rrcb import (
+    CAMA_KDIA,
+    EAP_KDIA,
+    LocalSwitch,
+    rcb_band_feasible,
+)
+from repro.errors import MappingError
+
+
+class TestCamArray:
+    def test_program_sequential_columns(self):
+        cam = CamArray(rows=4, columns=8)
+        assert cam.program(0b0111, state_id=0) == 0
+        assert cam.program(0b1011, state_id=1) == 1
+        assert cam.used_columns == 2
+        assert cam.free_columns == 6
+
+    def test_full_array_rejected(self):
+        cam = CamArray(rows=4, columns=1)
+        cam.program(0b0111, 0)
+        with pytest.raises(MappingError, match="full"):
+            cam.program(0b1011, 1)
+
+    def test_zero_pattern_rejected(self):
+        cam = CamArray(rows=4, columns=2)
+        with pytest.raises(MappingError, match="don't-care"):
+            cam.program(0, 0)
+
+    def test_oversized_pattern_rejected(self):
+        cam = CamArray(rows=4, columns=2)
+        with pytest.raises(MappingError):
+            cam.program(1 << 4, 0)
+
+    def test_search_exact_match(self):
+        cam = CamArray(rows=4, columns=4)
+        cam.program(0b0111, 0)
+        cam.program(0b1011, 1)
+        match = cam.search(0b0111, input_valid=True)
+        assert list(match[:2]) == [True, False]
+
+    def test_search_dont_care(self):
+        cam = CamArray(rows=4, columns=4)
+        cam.program(0b0011, 0)  # zeros in high bits = don't care
+        assert cam.search(0b0111, True)[0]
+        assert cam.search(0b1011, True)[0]
+        assert not cam.search(0b0101, True)[0]
+
+    def test_invalid_input_matches_nothing(self):
+        cam = CamArray(rows=4, columns=4)
+        cam.program(0b0111, 0)
+        cam.program(0b1011, 1, invert=True)
+        match = cam.search(0, input_valid=False)
+        assert not match.any()
+
+    def test_inverted_entry(self):
+        cam = CamArray(rows=4, columns=4)
+        cam.program(0b0111, 0, invert=True)
+        assert not cam.search(0b0111, True)[0]  # raw hit -> inverted miss
+        assert cam.search(0b1011, True)[0]  # raw miss -> inverted hit
+
+    def test_enable_mask_gates_matches(self):
+        cam = CamArray(rows=4, columns=4)
+        cam.program(0b0111, 0)
+        enable = np.zeros(4, dtype=bool)
+        assert not cam.search(0b0111, True, enable=enable).any()
+        enable[0] = True
+        assert cam.search(0b0111, True, enable=enable)[0]
+
+    def test_enabled_column_count(self):
+        cam = CamArray(rows=4, columns=4)
+        cam.program(0b0111, 0)
+        cam.program(0b1011, 1)
+        enable = np.array([True, True, True, False])
+        assert cam.enabled_column_count(enable) == 2  # only programmed cols
+
+    def test_entries_snapshot(self):
+        cam = CamArray(rows=4, columns=4)
+        cam.program(0b0111, 7, invert=True)
+        (entry,) = cam.entries()
+        assert entry.state_id == 7
+        assert entry.invert
+        assert entry.pattern == 0b0111
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(MappingError):
+            CamArray(rows=0)
+
+
+class TestLocalSwitch:
+    def test_rcb_band_routability(self):
+        switch = LocalSwitch("rcb")
+        assert switch.routable(0, CAMA_KDIA)
+        assert not switch.routable(0, CAMA_KDIA + 1)
+        assert switch.routable(100, 60)
+
+    def test_rcb_positions_256(self):
+        assert LocalSwitch("rcb").positions == 256
+
+    def test_fcb_positions_128(self):
+        assert LocalSwitch("fcb").positions == 128
+
+    def test_fcb_routes_anything_in_domain(self):
+        switch = LocalSwitch("fcb")
+        assert switch.routable(0, 127)
+        assert not switch.routable(0, 128)
+
+    def test_program_and_route(self):
+        switch = LocalSwitch("rcb")
+        switch.program(0, 1)
+        switch.program(1, 2)
+        active = np.zeros(256, dtype=bool)
+        active[0] = True
+        enabled = switch.route(active)
+        assert enabled[1] and not enabled[2]
+
+    def test_route_empty(self):
+        switch = LocalSwitch("fcb")
+        assert not switch.route(np.zeros(128, dtype=bool)).any()
+
+    def test_unroutable_program_rejected(self):
+        switch = LocalSwitch("rcb")
+        with pytest.raises(MappingError):
+            switch.program(0, 200)
+
+    def test_wrong_vector_size_rejected(self):
+        switch = LocalSwitch("rcb")
+        with pytest.raises(MappingError):
+            switch.route(np.zeros(128, dtype=bool))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(MappingError):
+            LocalSwitch("mesh")
+
+    def test_eap_band_narrower(self):
+        switch = LocalSwitch("rcb", kdia=EAP_KDIA)
+        assert switch.routable(0, 21)
+        assert not switch.routable(0, 22)
+
+
+class TestBandFeasibility:
+    def test_chain_feasible(self):
+        edges = [(i, i + 1) for i in range(10)]
+        positions = {i: i for i in range(11)}
+        assert rcb_band_feasible(edges, positions)
+
+    def test_long_edge_infeasible(self):
+        edges = [(0, 1), (0, 100)]
+        positions = {0: 0, 1: 1, 100: 100}
+        assert not rcb_band_feasible(edges, positions)
+
+    def test_band_boundary_inclusive(self):
+        edges = [(0, 43)]
+        positions = {0: 0, 43: 43}
+        assert rcb_band_feasible(edges, positions, kdia=43)
+        assert not rcb_band_feasible(edges, positions, kdia=42)

@@ -1,0 +1,176 @@
+"""Tests anchoring the circuit library and timing model to the paper."""
+
+import pytest
+
+from repro.arch.circuits import (
+    CAM_SELECTIVE_FLOOR_PJ,
+    CircuitLibrary,
+    selective_precharge_energy,
+)
+from repro.arch.timing import (
+    all_timings,
+    ap_timing,
+    ca_timing,
+    cama_timing,
+    eap_timing,
+    impala_timing,
+)
+from repro.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return CircuitLibrary()
+
+
+class TestTableIIIAnchors:
+    """Table III values must be returned verbatim."""
+
+    @pytest.mark.parametrize(
+        "family,rows,cols,energy,delay,area,leak",
+        [
+            ("6T", 256, 256, 19.45, 416, 14877, 532),
+            ("6T", 16, 256, 15.3, 317, 3659, 247),
+            ("8T", 128, 128, 8.67, 292, 5655, 243),
+            ("8T", 256, 256, 17.9, 394, 18153, 584),
+            ("CAM", 16, 256, 16.78, 325, 3919, 299),
+        ],
+    )
+    def test_anchor(self, lib, family, rows, cols, energy, delay, area, leak):
+        macro = lib.macro(family, rows, cols)
+        assert macro.is_anchor
+        assert macro.energy_pj == pytest.approx(energy)
+        assert macro.delay_ps == pytest.approx(delay)
+        assert macro.area_um2 == pytest.approx(area)
+        assert macro.leakage_ua == pytest.approx(leak)
+
+    def test_cam_64_row_energy_anchor(self, lib):
+        # §VIII.D: 64x256 CAM access is 22 pJ
+        assert lib.cam8t(64, 256).energy_pj == pytest.approx(22.0)
+
+    def test_unknown_family_rejected(self, lib):
+        with pytest.raises(ModelError):
+            lib.macro("10T", 16, 256)
+
+    def test_bad_geometry_rejected(self, lib):
+        with pytest.raises(ModelError):
+            lib.macro("6T", 0, 256)
+
+
+class TestScaling:
+    def test_interpolated_macro_between_anchors(self, lib):
+        macro = lib.sram8t(192, 256)
+        low = lib.sram8t(128, 256)
+        high = lib.sram8t(256, 256)
+        assert low.energy_pj < macro.energy_pj < high.energy_pj
+
+    def test_energy_monotone_in_rows(self, lib):
+        energies = [lib.sram8t(r, 128).energy_pj for r in (64, 128, 192, 256)]
+        assert energies == sorted(energies)
+
+    def test_energy_linear_in_columns(self, lib):
+        half = lib.sram8t(128, 64).energy_pj
+        full = lib.sram8t(128, 128).energy_pj
+        assert full == pytest.approx(2 * half)
+
+    def test_eap_rcb_smaller_than_cama_switch(self, lib):
+        assert lib.eap_rcb().area_um2 < lib.local_switch().area_um2
+        assert lib.eap_rcb().energy_pj < lib.local_switch().energy_pj
+
+    def test_encoder_macro_small(self, lib):
+        encoder = lib.encoder_sram()
+        # must be a tiny fraction of a state-matching access (<= ~15%)
+        assert encoder.energy_pj < 0.15 * lib.state_match_cam().energy_pj
+
+    def test_mode32_cam_energy_between_16_and_64(self, lib):
+        e16 = lib.state_match_cam().energy_pj
+        e32 = lib.state_match_cam_32().energy_pj
+        e64 = lib.cam8t(64, 256).energy_pj
+        assert e16 < e32 < e64
+
+
+class TestSelectivePrecharge:
+    def test_floor_at_zero_enabled(self):
+        assert selective_precharge_energy(16.78, 0) == pytest.approx(
+            CAM_SELECTIVE_FLOOR_PJ
+        )
+
+    def test_full_at_all_enabled(self):
+        assert selective_precharge_energy(16.78, 256) == pytest.approx(16.78)
+
+    def test_paper_fermi_worst_case(self):
+        # §VIII.C: Fermi averages 7.8 pJ under selective enabling;
+        # that corresponds to ~93 of 256 entries enabled
+        energy = selective_precharge_energy(16.78, 93)
+        assert energy == pytest.approx(7.8, abs=0.2)
+
+    def test_clamps_out_of_range(self):
+        assert selective_precharge_energy(16.78, 400) == pytest.approx(16.78)
+
+    def test_bad_total_rejected(self):
+        with pytest.raises(ModelError):
+            selective_precharge_energy(16.78, 10, total_entries=0)
+
+
+class TestTableIV:
+    """Table IV's delays and frequencies must reproduce."""
+
+    def test_cama_global_delay(self, lib):
+        timing = cama_timing("T", lib)
+        assert timing.global_switch_ps == pytest.approx(420.1, abs=0.2)
+
+    def test_impala_global_delay(self, lib):
+        assert impala_timing(lib).global_switch_ps == pytest.approx(442.69, abs=0.3)
+
+    def test_eap_global_delay(self, lib):
+        assert eap_timing(lib).global_switch_ps == pytest.approx(515.0, abs=1.0)
+
+    def test_ca_global_delay(self, lib):
+        assert ca_timing(lib).global_switch_ps == pytest.approx(493.0, abs=0.5)
+
+    def test_cama_t_frequency(self, lib):
+        timing = cama_timing("T", lib)
+        assert timing.freq_max_ghz == pytest.approx(2.38, abs=0.01)
+        assert timing.freq_operated_ghz == pytest.approx(2.14, abs=0.01)
+
+    def test_cama_e_frequency(self, lib):
+        timing = cama_timing("E", lib)
+        assert timing.freq_max_ghz == pytest.approx(1.34, abs=0.01)
+        assert timing.freq_operated_ghz == pytest.approx(1.21, abs=0.01)
+
+    def test_impala_frequency(self, lib):
+        assert impala_timing(lib).freq_max_ghz == pytest.approx(2.26, abs=0.01)
+
+    def test_eap_frequency(self, lib):
+        assert eap_timing(lib).freq_max_ghz == pytest.approx(1.94, abs=0.01)
+
+    def test_ca_frequency(self, lib):
+        assert ca_timing(lib).freq_max_ghz == pytest.approx(2.03, abs=0.01)
+
+    def test_ap_constant(self):
+        assert ap_timing().freq_operated_ghz == pytest.approx(0.133)
+
+    def test_state_match_delays(self, lib):
+        assert cama_timing("T", lib).state_match_ps == pytest.approx(325)
+        assert impala_timing(lib).state_match_ps == pytest.approx(317)
+        assert eap_timing(lib).state_match_ps == pytest.approx(394)
+        assert ca_timing(lib).state_match_ps == pytest.approx(416)
+
+    def test_throughput_ranking(self, lib):
+        # §VIII.A: CAMA-T > Impala > CA > eAP > CAMA-E in throughput
+        rows = {t.design: t.throughput_gbps() for t in all_timings(lib)}
+        assert rows["CAMA-T"] > rows["2-stride Impala"] > rows["CA"]
+        assert rows["CA"] > rows["eAP"] > rows["CAMA-E"]
+
+    def test_cama_t_speedup_over_ap(self, lib):
+        # §VIII.A: 16.1x over AP for CAMA-T, 9.1x for CAMA-E
+        assert cama_timing("T", lib).freq_operated_ghz / 0.133 == pytest.approx(
+            16.1, abs=0.3
+        )
+        assert cama_timing("E", lib).freq_operated_ghz / 0.133 == pytest.approx(
+            9.1, abs=0.3
+        )
+
+    def test_unknown_variant_rejected(self, lib):
+        with pytest.raises(ModelError):
+            cama_timing("Z", lib)

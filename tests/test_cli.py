@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import load_automaton, main
+from repro.automata import dumps_anml, dumps_mnrl, glushkov_nfa
+from repro.errors import ReproError
+
+
+@pytest.fixture()
+def anml_file(tmp_path):
+    path = tmp_path / "rules.anml"
+    path.write_text(dumps_anml(glushkov_nfa("(a|b)e*cd+", report_code="m")))
+    return path
+
+
+@pytest.fixture()
+def regex_file(tmp_path):
+    path = tmp_path / "rules.regex"
+    path.write_text("# comment\nabc\nx+y\n\n")
+    return path
+
+
+@pytest.fixture()
+def input_file(tmp_path):
+    path = tmp_path / "input.bin"
+    path.write_bytes(b"aecdabcxxy" * 40)
+    return path
+
+
+class TestLoaders:
+    def test_load_anml(self, anml_file):
+        assert len(load_automaton(str(anml_file))) == 5
+
+    def test_load_mnrl(self, tmp_path):
+        path = tmp_path / "rules.mnrl"
+        path.write_text(dumps_mnrl(glushkov_nfa("abc")))
+        assert len(load_automaton(str(path))) == 3
+
+    def test_load_regex_list(self, regex_file):
+        nfa = load_automaton(str(regex_file))
+        assert len(nfa) == 5  # abc (3) + x+y (2)
+
+    def test_missing_file(self):
+        with pytest.raises(ReproError, match="no such file"):
+            load_automaton("/nonexistent.anml")
+
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "rules.yaml"
+        path.write_text("x")
+        with pytest.raises(ReproError, match="unrecognized"):
+            load_automaton(str(path))
+
+
+class TestCommands:
+    def test_compile(self, anml_file, capsys):
+        assert main(["compile", str(anml_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cam_entries" in out
+
+    def test_compile_with_optimize(self, regex_file, capsys):
+        assert main(["compile", str(regex_file), "--optimize"]) == 0
+        assert "optimized:" in capsys.readouterr().out
+
+    def test_run(self, anml_file, input_file, capsys):
+        assert main(["run", str(anml_file), str(input_file)]) == 0
+        out = capsys.readouterr().out
+        assert "reports over" in out
+        assert "code=m" in out
+
+    def test_run_with_limit(self, anml_file, input_file, capsys):
+        assert main(["run", str(anml_file), str(input_file), "--limit", "4"]) == 0
+        assert "4 cycles" in capsys.readouterr().out
+
+    def test_evaluate(self, anml_file, input_file, capsys):
+        assert main(["evaluate", str(anml_file), str(input_file)]) == 0
+        out = capsys.readouterr().out
+        for design in ("CAMA-E", "CAMA-T", "CA", "eAP"):
+            assert design in out
+
+    def test_error_path_returns_nonzero(self, capsys):
+        assert main(["compile", "/nonexistent.anml"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiments_subset(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "experiments",
+                    "--only",
+                    "table4",
+                    "--out",
+                    str(tmp_path / "results"),
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "results" / "table4.csv").exists()

@@ -1,0 +1,230 @@
+"""Integration tests: compiler, mapping, and machine-vs-engine equivalence.
+
+The decisive check: for every benchmark-shaped automaton and input, the
+functional CAMA machine (CAM search + inverters + switch routing) must
+produce exactly the reference simulator's reports.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.glushkov import compile_regex_set, glushkov_nfa
+from repro.automata.nfa import Automaton, StartKind
+from repro.automata.symbols import SymbolClass
+from repro.core.compiler import CamaCompiler, compile_automaton
+from repro.core.machine import CamaMachine
+from repro.core.mapping import map_automaton
+from repro.core.rrcb import GLOBAL_PORTS
+from repro.errors import MappingError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.reports import report_positions
+
+
+def random_text(seed: int, length: int, alphabet: str = "abcdex") -> bytes:
+    rng = random.Random(seed)
+    return bytes(ord(rng.choice(alphabet)) for _ in range(length))
+
+
+def assert_machine_equivalent(automaton: Automaton, data: bytes, variant="E"):
+    program = compile_automaton(automaton)
+    machine = CamaMachine(program, variant=variant)
+    expected = report_positions(Engine(automaton).run(data).reports)
+    got = report_positions(machine.run(data).reports)
+    assert got == expected
+
+
+class TestCompiler:
+    def test_small_regex_compiles(self):
+        program = compile_automaton(glushkov_nfa("(a|b)e*cd+"))
+        assert program.code_length >= 2
+        assert program.total_entries >= len(program.automaton)
+
+    def test_summary_keys(self):
+        program = compile_automaton(glushkov_nfa("ab+c"))
+        summary = program.summary()
+        assert summary["states"] == 3  # Glushkov positions: a, b, c
+        assert summary["tiles"] >= 1
+
+    def test_negation_counted(self):
+        nfa = glushkov_nfa("a[^b]c")
+        program = compile_automaton(nfa)
+        assert program.num_negated_states == 1
+
+    def test_negation_disabled(self):
+        nfa = glushkov_nfa("a[^b]c")
+        program = CamaCompiler(allow_negation=False).compile(nfa)
+        assert program.num_negated_states == 0
+
+    def test_fixed_32bit_mode(self):
+        program = CamaCompiler(fixed_32bit=True).compile(glushkov_nfa("abc"))
+        assert program.code_length == 32
+        assert all(t.mode == "mode32" for t in program.mapping.tiles)
+
+    def test_memory_bits(self):
+        program = compile_automaton(glushkov_nfa("abc"))
+        assert program.memory_bits == program.total_entries * program.code_length
+
+    def test_invalid_automaton_rejected(self):
+        nfa = Automaton()
+        nfa.add_state("a")  # no start, no report
+        with pytest.raises(Exception):
+            compile_automaton(nfa)
+
+
+class TestMapping:
+    def test_small_cc_single_switch(self):
+        nfa = glushkov_nfa("abcdef")
+        program = compile_automaton(nfa)
+        assert program.mapping.num_rcb_switches == 1
+        assert program.mapping.num_global_switches == 0
+
+    def test_positions_within_capacity(self):
+        nfa = compile_regex_set([f"pat{i}x+y" for i in range(40)])
+        program = compile_automaton(nfa)
+        mapping = program.mapping
+        for state in range(len(nfa)):
+            switch = mapping.switches[mapping.state_switch[state]]
+            assert 0 <= mapping.state_position[state] < switch.capacity_states
+
+    def test_large_component_spans_switches(self):
+        # one linear chain of 600 states: needs >= 3 RCB switches (256 cap)
+        nfa = Automaton(name="chain600")
+        prev = None
+        for i in range(600):
+            ste = nfa.add_state(
+                "[ab]",
+                start=StartKind.ALL_INPUT if i == 0 else StartKind.NONE,
+                reporting=i == 599,
+            )
+            if prev is not None:
+                nfa.add_transition(prev, ste)
+            prev = ste
+        program = compile_automaton(nfa)
+        assert program.mapping.num_rcb_switches >= 3
+        assert program.mapping.num_global_switches >= 1
+        assert len(program.mapping.cross_edges) == 2
+
+    def test_dense_component_goes_fcb(self):
+        # a 60-state clique: bandwidth 59 > 43 -> FCB mode
+        nfa = Automaton(name="clique")
+        for i in range(60):
+            nfa.add_state(
+                "[ab]",
+                start=StartKind.ALL_INPUT if i == 0 else StartKind.NONE,
+                reporting=i == 59,
+            )
+        for i in range(60):
+            for j in range(60):
+                if i != j:
+                    nfa.add_transition(i, j)
+        program = compile_automaton(nfa)
+        assert program.mapping.num_fcb_switches >= 1
+        assert program.mapping.num_rcb_switches == 0
+        assert all(t.mode == "fcb16" for t in program.mapping.tiles)
+
+    def test_diagonal_component_stays_rcb(self):
+        nfa = compile_regex_set(["abcdefghij"])
+        program = compile_automaton(nfa)
+        assert program.mapping.num_fcb_switches == 0
+
+    def test_port_budget_respected(self):
+        nfa = compile_regex_set([f"w{i}xyz" for i in range(100)])
+        program = compile_automaton(nfa)
+        for switch in program.mapping.switches:
+            assert switch.in_signals <= GLOBAL_PORTS
+            assert switch.out_signals <= GLOBAL_PORTS
+
+    def test_entry_overflow_detected(self):
+        nfa = glushkov_nfa("ab")
+        program = compile_automaton(nfa)
+        big = [
+            type(se)(patterns=tuple(range(1, 300)), negated=False)
+            for se in program.state_encodings
+        ]
+        with pytest.raises(MappingError, match="entries"):
+            map_automaton(nfa, program.choice.encoding, big)
+
+    def test_placement_units_dense(self):
+        nfa = compile_regex_set(["abc", "de+f", "[xy]z"])
+        program = compile_automaton(nfa)
+        placement = program.placement("cam")
+        assert placement.partition_of.min() >= 0
+        assert placement.partition_of.max() < placement.num_partitions
+
+    def test_placement_weights_are_entries(self):
+        nfa = glushkov_nfa("a[bc]d")
+        program = compile_automaton(nfa)
+        placement = program.placement("cam")
+        assert placement.weights.sum() == program.total_entries
+
+
+class TestMachineEquivalence:
+    PATTERN_SETS = [
+        ["(a|b)e*cd+"],
+        ["abc", "bcd", "cde"],
+        ["a[^b]c", "x+y"],
+        ["[a-e]{2,4}x"],
+        ["a.b", ".*cd"],
+    ]
+
+    @pytest.mark.parametrize("patterns", PATTERN_SETS)
+    @pytest.mark.parametrize("variant", ["E", "T"])
+    def test_equivalence(self, patterns, variant):
+        nfa = compile_regex_set(patterns)
+        data = random_text(hash(tuple(patterns)) & 0xFFFF, 300)
+        assert_machine_equivalent(nfa, data, variant)
+
+    def test_negated_heavy_automaton(self):
+        nfa = compile_regex_set(["[^a]+b", "c[^d]e"])
+        assert_machine_equivalent(nfa, random_text(3, 400))
+
+    def test_out_of_alphabet_symbols_no_false_matches(self):
+        # alphabet {a, b}; stream contains bytes outside it
+        nfa = compile_regex_set(["ab", "ba"])
+        data = b"ab\xf0ba\x00abba"
+        assert_machine_equivalent(nfa, data)
+
+    def test_multi_entry_states(self):
+        # class spanning clusters -> multiple CAM entries per state
+        nfa = glushkov_nfa("a[am]c")  # 'a' and 'm' likely cluster apart
+        assert_machine_equivalent(nfa, b"aacamcabc" * 10)
+
+    def test_activity_counters_populated(self):
+        nfa = compile_regex_set(["abc", "bcd"])
+        program = compile_automaton(nfa)
+        machine = CamaMachine(program)
+        result = machine.run(b"abcd" * 50)
+        assert result.activity.num_cycles == 200
+        assert result.activity.entries_enabled_sum > 0
+        assert result.activity.switches_active_sum > 0
+
+    def test_unknown_variant_rejected(self):
+        program = compile_automaton(glushkov_nfa("ab"))
+        with pytest.raises(SimulationError):
+            CamaMachine(program, variant="X")
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        words=st.lists(
+            st.text(alphabet="abcd", min_size=1, max_size=5),
+            min_size=1,
+            max_size=4,
+        ),
+        seed=st.integers(0, 2**16),
+    )
+    def test_equivalence_property(self, words, seed):
+        nfa = compile_regex_set(sorted(set(words)))
+        data = random_text(seed, 120, alphabet="abcdz")
+        assert_machine_equivalent(nfa, data)
+
+    def test_fixed_32bit_machine_equivalence(self):
+        nfa = compile_regex_set(["abc", "d[ef]g"])
+        program = CamaCompiler(fixed_32bit=True).compile(nfa)
+        machine = CamaMachine(program)
+        data = random_text(9, 200, alphabet="abcdefg")
+        expected = report_positions(Engine(nfa).run(data).reports)
+        assert report_positions(machine.run(data).reports) == expected

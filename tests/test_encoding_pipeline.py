@@ -1,0 +1,328 @@
+"""Tests for clustering, compression, negation and encoding selection.
+
+The central invariant: for every encoding and every symbol class, the
+compressed entry set matches *exactly* the class — checked directly and
+by hypothesis over random classes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.glushkov import glushkov_nfa
+from repro.automata.symbols import SymbolClass
+from repro.core.encoding.clustering import (
+    cluster_symbols,
+    cooccurrence_matrix,
+    identity_clusters,
+)
+from repro.core.encoding.compression import (
+    compress_class,
+    memory_bits,
+    verify_exact,
+)
+from repro.core.encoding.encoder import InputEncoder
+from repro.core.encoding.multi_zeros import MultiZerosEncoding
+from repro.core.encoding.negation import (
+    effective_class_size,
+    encode_state_class,
+)
+from repro.core.encoding.one_zero import OneZeroEncoding
+from repro.core.encoding.prefix import build_prefix_encoding
+from repro.core.encoding.selection import (
+    fixed_one_zero_prefix_encoding,
+    select_encoding,
+)
+from repro.errors import EncodingError
+
+
+def full_alphabet():
+    return SymbolClass.universe()
+
+
+def prefix16(zeros=2):
+    # 16-bit prefix encoding over the full 256 alphabet: ls=6, lp=10 (2 zeros)
+    symbols = list(range(256))
+    if zeros == 2:
+        clusters = [symbols[i : i + 6] for i in range(0, 256, 6)]
+        return build_prefix_encoding(clusters, 6, 10, 2)
+    clusters = [symbols[i : i + 16] for i in range(0, 256, 16)]
+    return build_prefix_encoding(clusters, 16, 16, 1)
+
+
+class TestCooccurrence:
+    def test_diagonal_is_frequency(self):
+        classes = [SymbolClass.parse("[ab]"), SymbolClass.parse("[a]")]
+        matrix = cooccurrence_matrix(classes)
+        assert matrix[ord("a"), ord("a")] == 2
+        assert matrix[ord("b"), ord("b")] == 1
+
+    def test_offdiagonal_counts_pairs(self):
+        classes = [SymbolClass.parse("[ab]")] * 3
+        matrix = cooccurrence_matrix(classes)
+        assert matrix[ord("a"), ord("b")] == 3
+
+    def test_symmetry(self):
+        classes = [SymbolClass.parse("[abc]"), SymbolClass.parse("[bc]")]
+        matrix = cooccurrence_matrix(classes)
+        assert (matrix == matrix.T).all()
+
+
+class TestClustering:
+    def test_partitions_alphabet(self):
+        alphabet = SymbolClass.from_symbols(range(20))
+        clusters = cluster_symbols([], alphabet, 4, 6)
+        flat = sorted(s for c in clusters for s in c)
+        assert flat == list(range(20))
+
+    def test_respects_capacity(self):
+        alphabet = SymbolClass.from_symbols(range(20))
+        clusters = cluster_symbols([], alphabet, 4, 6)
+        assert all(len(c) <= 4 for c in clusters)
+
+    def test_cooccurring_symbols_colocated(self):
+        # 'a' and 'b' always appear together: they must share a cluster
+        classes = [SymbolClass.parse("[ab]")] * 10 + [
+            SymbolClass.from_symbols([s]) for s in range(10)
+        ]
+        alphabet = SymbolClass.from_symbols(list(range(10)) + [97, 98])
+        clusters = cluster_symbols(classes, alphabet, 3, 5)
+        cluster_of = {s: i for i, c in enumerate(clusters) for s in c}
+        assert cluster_of[97] == cluster_of[98]
+
+    def test_overflow_rejected(self):
+        alphabet = SymbolClass.from_symbols(range(20))
+        with pytest.raises(EncodingError):
+            cluster_symbols([], alphabet, 4, 4)
+
+    def test_identity_clusters_ordered(self):
+        clusters = identity_clusters(SymbolClass.from_symbols(range(10)), 4)
+        assert clusters == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_deterministic(self):
+        classes = [SymbolClass.parse("[a-f]")] * 3
+        alphabet = SymbolClass.from_symbols(range(97, 110))
+        a = cluster_symbols(classes, alphabet, 4, 5)
+        b = cluster_symbols(classes, alphabet, 4, 5)
+        assert a == b
+
+
+class TestCompression:
+    def test_singleton_class_one_entry(self):
+        enc = prefix16()
+        entries = compress_class(enc, SymbolClass.from_symbols([65]))
+        assert len(entries) == 1
+        assert verify_exact(enc, SymbolClass.from_symbols([65]), entries)
+
+    def test_same_cluster_compresses_to_one(self):
+        enc = prefix16()
+        cls = SymbolClass.from_symbols([0, 1, 2])  # identity clusters: same
+        entries = compress_class(enc, cls)
+        assert len(entries) == 1
+        assert verify_exact(enc, cls, entries)
+
+    def test_cross_cluster_needs_more_entries(self):
+        enc = prefix16()
+        cls = SymbolClass.from_symbols([0, 100])
+        entries = compress_class(enc, cls)
+        assert len(entries) == 2
+        assert verify_exact(enc, cls, entries)
+
+    def test_one_zero_always_one_entry(self):
+        enc = OneZeroEncoding(SymbolClass.from_symbols(range(16)))
+        cls = SymbolClass.from_symbols([0, 3, 7, 11, 15])
+        entries = compress_class(enc, cls)
+        assert len(entries) == 1
+        assert verify_exact(enc, cls, entries)
+
+    def test_one_zero_full_alphabet_never_stores_zero(self):
+        enc = OneZeroEncoding(SymbolClass.from_symbols(range(8)))
+        cls = SymbolClass.from_symbols(range(8))
+        entries = compress_class(enc, cls)
+        assert all(e != 0 for e in entries)
+        assert verify_exact(enc, cls, entries)
+
+    def test_one_zero_prefix_merges_across_clusters(self):
+        enc = prefix16(zeros=1)
+        # same slot (0 and 16 are slot 0 of clusters 0 and 1)
+        cls = SymbolClass.from_symbols([0, 16])
+        entries = compress_class(enc, cls)
+        assert len(entries) == 1
+        assert verify_exact(enc, cls, entries)
+
+    def test_multi_zeros_rarely_compresses_but_stays_exact(self):
+        enc = MultiZerosEncoding(full_alphabet())
+        cls = SymbolClass.from_symbols([1, 2, 3])
+        entries = compress_class(enc, cls)
+        assert verify_exact(enc, cls, entries)
+
+    def test_unencodable_class_rejected(self):
+        enc = OneZeroEncoding(SymbolClass.from_symbols(range(4)))
+        with pytest.raises(EncodingError):
+            compress_class(enc, SymbolClass.from_symbols([9]))
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(EncodingError):
+            compress_class(prefix16(), SymbolClass.empty())
+
+    def test_memory_bits(self):
+        enc = prefix16()
+        entries = compress_class(enc, SymbolClass.from_symbols([0, 100]))
+        assert memory_bits(enc, entries) == 2 * 16
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.frozensets(st.integers(0, 255), min_size=1, max_size=24))
+    def test_exactness_property_two_zeros(self, symbols):
+        enc = prefix16(zeros=2)
+        cls = SymbolClass.from_symbols(symbols)
+        assert verify_exact(enc, cls, compress_class(enc, cls))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.frozensets(st.integers(0, 255), min_size=1, max_size=24))
+    def test_exactness_property_one_zero_prefix(self, symbols):
+        enc = prefix16(zeros=1)
+        cls = SymbolClass.from_symbols(symbols)
+        assert verify_exact(enc, cls, compress_class(enc, cls))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.frozensets(st.integers(0, 255), min_size=1, max_size=10))
+    def test_exactness_property_multi_zeros(self, symbols):
+        enc = MultiZerosEncoding(full_alphabet())
+        cls = SymbolClass.from_symbols(symbols)
+        assert verify_exact(enc, cls, compress_class(enc, cls))
+
+
+class TestNegation:
+    def test_effective_class_size(self):
+        alphabet = full_alphabet()
+        assert effective_class_size(SymbolClass.parse("[^a]"), alphabet) == 1
+        assert effective_class_size(SymbolClass.parse("[ab]"), alphabet) == 2
+        assert effective_class_size(alphabet, alphabet) == 256
+
+    def test_negated_class_uses_one_inverted_entry(self):
+        enc = prefix16()
+        state = encode_state_class(enc, SymbolClass.parse("[^a]"))
+        assert state.negated
+        assert state.num_entries == 1
+
+    def test_small_class_not_negated(self):
+        enc = prefix16()
+        state = encode_state_class(enc, SymbolClass.parse("[ab]"))
+        assert not state.negated
+
+    def test_negation_can_be_disabled(self):
+        enc = prefix16()
+        state = encode_state_class(
+            enc, SymbolClass.parse("[^a]"), allow_negation=False
+        )
+        assert not state.negated
+        assert state.num_entries > 1
+
+    def test_negated_complement_spanning_clusters_falls_back(self):
+        enc = prefix16()
+        # complement {0, 100} spans clusters -> 2 entries -> no NO
+        cls = full_alphabet() - SymbolClass.from_symbols([0, 100])
+        state = encode_state_class(enc, cls)
+        assert not state.negated
+
+
+class TestSelection:
+    def test_small_alphabet_one_zero(self):
+        # BlockRings: A=2 -> one-zero, L=2
+        classes = [SymbolClass.from_symbols([0]), SymbolClass.from_symbols([1])]
+        choice = select_encoding(classes)
+        assert choice.scheme == "one-zero"
+        assert choice.code_length == 2
+
+    def test_singleton_classes_multi_zeros(self):
+        # Brill-like: A=256, S=1 -> multi-zeros, L=11
+        classes = [SymbolClass.from_symbols([s]) for s in range(256)]
+        choice = select_encoding(classes)
+        assert choice.scheme == "multi-zeros"
+        assert choice.code_length == 11
+
+    def test_negated_classes_count_as_singletons(self):
+        # TCP-like [^x] classes: NO size 1 each -> multi-zeros
+        classes = [SymbolClass.from_symbols([s]).negate() for s in range(256)]
+        choice = select_encoding(classes)
+        assert choice.scheme == "multi-zeros"
+
+    def test_moderate_classes_two_zeros_16(self):
+        # Snort-like: A=256, small classes > 1 -> two-zeros-prefix, L=16
+        classes = [SymbolClass.from_symbols([s]) for s in range(256)]
+        classes += [SymbolClass.from_symbols([10, 11, 12])] * 40
+        choice = select_encoding(classes)
+        assert choice.scheme == "two-zeros-prefix"
+        assert choice.code_length == 16
+
+    def test_huge_classes_one_zero_prefix_32(self):
+        # RandomForest-like: S >> sqrt(A) -> one-zero-prefix, L=32
+        import random
+
+        rng = random.Random(7)
+        classes = [
+            SymbolClass.from_symbols(rng.sample(range(256), 120))
+            for _ in range(50)
+        ]
+        choice = select_encoding(classes)
+        assert choice.scheme == "one-zero-prefix"
+        assert choice.code_length == 32
+
+    def test_restricted_alphabet_shorter_code(self):
+        # Ranges1-like: A=115, small classes -> 13-bit two-zeros
+        classes = [SymbolClass.from_symbols([s]) for s in range(115)]
+        classes += [SymbolClass.from_symbols([3, 4])] * 30
+        choice = select_encoding(classes)
+        assert choice.scheme == "two-zeros-prefix"
+        assert choice.code_length == 13
+
+    def test_selected_encoding_is_usable(self):
+        nfa = glushkov_nfa("(a|b)e*cd+")
+        choice = select_encoding(nfa)
+        choice.encoding.validate()
+        for ste in nfa.states:
+            entries = compress_class(choice.encoding, ste.symbol_class)
+            assert verify_exact(choice.encoding, ste.symbol_class, entries)
+
+    def test_fixed_32bit_baseline(self):
+        classes = [SymbolClass.from_symbols([s]) for s in range(256)]
+        choice = fixed_one_zero_prefix_encoding(classes)
+        assert choice.code_length == 32
+        assert choice.scheme.startswith("fixed-")
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            select_encoding([])
+
+
+class TestInputEncoder:
+    def test_roundtrip_alphabet(self):
+        enc = prefix16()
+        encoder = InputEncoder(enc)
+        for symbol in [0, 65, 255]:
+            code, valid = encoder.encode(symbol)
+            assert valid
+            assert code == enc.symbol_code(symbol)
+
+    def test_out_of_alphabet_invalid(self):
+        enc = OneZeroEncoding(SymbolClass.from_symbols(range(4)))
+        encoder = InputEncoder(enc)
+        code, valid = encoder.encode(200)
+        assert code == 0 and not valid
+
+    def test_stream_encoding(self):
+        enc = prefix16()
+        encoder = InputEncoder(enc)
+        codes, valid = encoder.encode_stream(b"AB")
+        assert list(valid) == [True, True]
+        assert int(codes[0]) == enc.symbol_code(ord("A"))
+
+    def test_code_too_long_rejected(self):
+        symbols = list(range(256))
+        clusters = [symbols[i : i + 8] for i in range(0, 256, 8)]
+        enc = build_prefix_encoding(clusters, 8, 32, 1)  # L=40 > 32
+        with pytest.raises(EncodingError):
+            InputEncoder(enc)
+
+    def test_utilized_bits(self):
+        assert InputEncoder(prefix16()).utilized_bits == 16

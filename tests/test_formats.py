@@ -1,0 +1,179 @@
+"""ANML and MNRL round-trip and error-path tests."""
+
+import pytest
+
+from repro.automata.anml import dump_anml, dumps_anml, load_anml, loads_anml
+from repro.automata.glushkov import compile_regex_set, glushkov_nfa
+from repro.automata.mnrl import dump_mnrl, dumps_mnrl, load_mnrl, loads_mnrl
+from repro.automata.nfa import Automaton, StartKind
+from repro.errors import ParseError
+from repro.sim.engine import Engine
+from repro.sim.reports import report_positions
+
+
+def sample_nfa() -> Automaton:
+    nfa = glushkov_nfa("(a|b)e*cd+", name="paper-example", report_code="m")
+    return nfa
+
+
+def assert_equivalent(a: Automaton, b: Automaton, data: bytes) -> None:
+    ra = Engine(a).run(data)
+    rb = Engine(b).run(data)
+    assert report_positions(ra.reports) == report_positions(rb.reports)
+
+
+class TestAnmlRoundTrip:
+    def test_roundtrip_preserves_structure(self):
+        nfa = sample_nfa()
+        back = loads_anml(dumps_anml(nfa))
+        assert len(back) == len(nfa)
+        assert back.num_transitions() == nfa.num_transitions()
+        assert [s.start for s in back.states] == [s.start for s in nfa.states]
+        assert [s.reporting for s in back.states] == [
+            s.reporting for s in nfa.states
+        ]
+
+    def test_roundtrip_behaviour(self):
+        nfa = sample_nfa()
+        back = loads_anml(dumps_anml(nfa))
+        assert_equivalent(nfa, back, b"aecdabecddd")
+
+    def test_report_code_preserved(self):
+        back = loads_anml(dumps_anml(sample_nfa()))
+        codes = {s.report_code for s in back.reporting_states()}
+        assert codes == {"m"}
+
+    def test_file_io(self, tmp_path):
+        path = tmp_path / "x.anml"
+        dump_anml(sample_nfa(), path)
+        assert len(load_anml(path)) == 5
+
+    def test_multi_component(self):
+        nfa = compile_regex_set(["ab", "cd+"])
+        back = loads_anml(dumps_anml(nfa))
+        assert_equivalent(nfa, back, b"abxcddd")
+
+
+class TestAnmlErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(ParseError, match="malformed"):
+            loads_anml("<anml><oops")
+
+    def test_missing_network(self):
+        with pytest.raises(ParseError, match="automata-network"):
+            loads_anml("<anml/>")
+
+    def test_no_elements(self):
+        with pytest.raises(ParseError, match="no state-transition-element"):
+            loads_anml('<automata-network id="x"/>')
+
+    def test_missing_symbol_set(self):
+        doc = (
+            '<automata-network id="x">'
+            '<state-transition-element id="a" start="all-input"/>'
+            "</automata-network>"
+        )
+        with pytest.raises(ParseError, match="symbol-set"):
+            loads_anml(doc)
+
+    def test_unknown_start_kind(self):
+        doc = (
+            '<automata-network id="x">'
+            '<state-transition-element id="a" symbol-set="a" start="maybe"/>'
+            "</automata-network>"
+        )
+        with pytest.raises(ParseError, match="start kind"):
+            loads_anml(doc)
+
+    def test_dangling_edge(self):
+        doc = (
+            '<automata-network id="x">'
+            '<state-transition-element id="a" symbol-set="a" start="all-input">'
+            '<activate-on-match element="ghost"/>'
+            "</state-transition-element></automata-network>"
+        )
+        with pytest.raises(ParseError, match="unknown STE"):
+            loads_anml(doc)
+
+    def test_duplicate_id(self):
+        doc = (
+            '<automata-network id="x">'
+            '<state-transition-element id="a" symbol-set="a"/>'
+            '<state-transition-element id="a" symbol-set="b"/>'
+            "</automata-network>"
+        )
+        with pytest.raises(ParseError, match="duplicate"):
+            loads_anml(doc)
+
+
+class TestMnrlRoundTrip:
+    def test_roundtrip_preserves_structure(self):
+        nfa = sample_nfa()
+        back = loads_mnrl(dumps_mnrl(nfa))
+        assert len(back) == len(nfa)
+        assert back.num_transitions() == nfa.num_transitions()
+
+    def test_roundtrip_behaviour(self):
+        nfa = sample_nfa()
+        back = loads_mnrl(dumps_mnrl(nfa))
+        assert_equivalent(nfa, back, b"aecdabecddd")
+
+    def test_start_kinds_mapped(self):
+        nfa = Automaton(name="starts")
+        nfa.add_state("a", start=StartKind.ALL_INPUT)
+        nfa.add_state("b", start=StartKind.START_OF_DATA, reporting=True)
+        nfa.add_transition(0, 1)
+        back = loads_mnrl(dumps_mnrl(nfa))
+        assert back.states[0].start is StartKind.ALL_INPUT
+        assert back.states[1].start is StartKind.START_OF_DATA
+
+    def test_file_io(self, tmp_path):
+        path = tmp_path / "x.mnrl"
+        dump_mnrl(sample_nfa(), path)
+        assert len(load_mnrl(path)) == 5
+
+    def test_report_id_preserved(self):
+        back = loads_mnrl(dumps_mnrl(sample_nfa()))
+        assert {s.report_code for s in back.reporting_states()} == {"m"}
+
+
+class TestMnrlErrors:
+    def test_malformed_json(self):
+        with pytest.raises(ParseError, match="malformed"):
+            loads_mnrl("{nope")
+
+    def test_missing_nodes(self):
+        with pytest.raises(ParseError, match="nodes"):
+            loads_mnrl("{}")
+
+    def test_unsupported_node_type(self):
+        with pytest.raises(ParseError, match="unsupported"):
+            loads_mnrl('{"nodes": [{"id": "a", "type": "upCounter"}]}')
+
+    def test_missing_symbol_set(self):
+        with pytest.raises(ParseError, match="symbolSet"):
+            loads_mnrl('{"nodes": [{"id": "a", "type": "hState"}]}')
+
+    def test_unknown_enable(self):
+        doc = (
+            '{"nodes": [{"id": "a", "type": "hState", "enable": "never",'
+            ' "attributes": {"symbolSet": "a"}}]}'
+        )
+        with pytest.raises(ParseError, match="enable"):
+            loads_mnrl(doc)
+
+    def test_dangling_activation(self):
+        doc = (
+            '{"nodes": [{"id": "a", "type": "hState",'
+            ' "attributes": {"symbolSet": "a"},'
+            ' "outputDefs": [{"activate": [{"id": "ghost"}]}]}]}'
+        )
+        with pytest.raises(ParseError, match="unknown node"):
+            loads_mnrl(doc)
+
+
+class TestCrossFormat:
+    def test_anml_to_mnrl_to_anml(self):
+        nfa = sample_nfa()
+        via = loads_mnrl(dumps_mnrl(loads_anml(dumps_anml(nfa))))
+        assert_equivalent(nfa, via, b"becdaecddabc")

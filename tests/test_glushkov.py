@@ -1,0 +1,173 @@
+"""Glushkov construction tests, including equivalence with Python's re.
+
+The cross-check: our engine reports at input offset t iff some
+(un)anchored match of the pattern ends at t.  We brute-force that oracle
+with re.fullmatch over all substrings, which is exact for the regex
+subset we support.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.glushkov import compile_regex_set, glushkov_nfa
+from repro.automata.nfa import StartKind
+from repro.errors import RegexSyntaxError
+from repro.sim.engine import Engine
+
+
+def oracle_end_positions(pattern: str, text: str, anchored: bool) -> set[int]:
+    compiled = re.compile(pattern)
+    ends = set()
+    for t in range(len(text)):
+        starts = [0] if anchored else range(t + 1)
+        if any(compiled.fullmatch(text, s, t + 1) for s in starts):
+            ends.add(t)
+    return ends
+
+
+def engine_end_positions(pattern: str, text: str, anchored: bool) -> set[int]:
+    nfa = glushkov_nfa(pattern, anchored=anchored)
+    result = Engine(nfa).run(text.encode("latin-1"))
+    return {r.cycle for r in result.reports}
+
+
+PATTERNS = [
+    "a",
+    "ab",
+    "a|b",
+    "(a|b)c",
+    "a*b",
+    "ab*",
+    "a+",
+    "ab?c",
+    "(ab)+",
+    "(a|bc)*d",
+    "[ab]c",
+    "[^a]b",
+    "a.c",
+    "a{3}",
+    "a{1,3}b",
+    "(a|b)e*cd+",  # the paper's running example (Fig. 1)
+    "x(yz)*",
+    "(ab|cd)(e|f)g?",
+    "a(b|c)*a",
+]
+TEXTS = [
+    "",
+    "a",
+    "ab",
+    "abc",
+    "aab",
+    "abab",
+    "aecdd",
+    "aeecd",
+    "becddd",
+    "xyzyz",
+    "cdfg",
+    "aaaab",
+    "abcabcabc",
+    "bbbb",
+    "acbca",
+]
+
+
+class TestAgainstRe:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize("anchored", [False, True])
+    def test_matches_re(self, pattern, anchored):
+        for text in TEXTS:
+            if not text:
+                continue
+            assert engine_end_positions(pattern, text, anchored) == (
+                oracle_end_positions(pattern, text, anchored)
+            ), f"pattern={pattern!r} text={text!r} anchored={anchored}"
+
+
+class TestStructure:
+    def test_paper_example_has_four_states(self):
+        # (a|b)e*cd+ has positions {a, b, e, c, d} -> 5 Glushkov states;
+        # the paper's Fig. 1 draws the merged-[ab] ANML form with 4 STEs.
+        nfa = glushkov_nfa("(a|b)e*cd+")
+        assert len(nfa) == 5
+
+    def test_start_kind_unanchored(self):
+        nfa = glushkov_nfa("ab")
+        assert nfa.states[0].start is StartKind.ALL_INPUT
+        assert nfa.states[1].start is StartKind.NONE
+
+    def test_start_kind_anchored(self):
+        nfa = glushkov_nfa("ab", anchored=True)
+        assert nfa.states[0].start is StartKind.START_OF_DATA
+
+    def test_reporting_positions(self):
+        nfa = glushkov_nfa("ab|c")
+        reporting = {s.ste_id for s in nfa.reporting_states()}
+        assert reporting == {1, 2}
+
+    def test_star_loops_back(self):
+        nfa = glushkov_nfa("(ab)*x")
+        # b loops to a
+        assert 0 in nfa.successors(1)
+
+    def test_report_code_attached(self):
+        nfa = glushkov_nfa("ab", report_code="rule7")
+        assert nfa.states[1].report_code == "rule7"
+        assert nfa.states[0].report_code is None
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            glushkov_nfa("")
+
+    def test_epsilon_only_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            glushkov_nfa("a{0,0}")
+
+    def test_validates(self):
+        glushkov_nfa("(a|b)e*cd+").validate()
+
+
+class TestRegexSet:
+    def test_components_per_pattern(self):
+        from repro.automata.analysis import connected_components
+
+        nfa = compile_regex_set(["abc", "de", "f+g"])
+        assert len(connected_components(nfa)) == 3
+
+    def test_report_codes_identify_patterns(self):
+        nfa = compile_regex_set({"r1": "ab", "r2": "cd"})
+        result = Engine(nfa).run(b"abcd")
+        assert {r.code for r in result.reports} == {"r1", "r2"}
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_regex_set([])
+
+
+# hypothesis: random literal patterns over a tiny alphabet, fuzzing both
+# the parser path and the automaton semantics.
+@settings(max_examples=60, deadline=None)
+@given(
+    words=st.lists(st.text(alphabet="abc", min_size=1, max_size=4), min_size=1, max_size=3),
+    text=st.text(alphabet="abc", min_size=1, max_size=12),
+)
+def test_alternation_of_literals_matches_re(words, text):
+    pattern = "|".join(words)
+    assert engine_end_positions(pattern, text, False) == oracle_end_positions(
+        pattern, text, False
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    prefix=st.text(alphabet="ab", min_size=1, max_size=3),
+    suffix=st.text(alphabet="ab", min_size=1, max_size=3),
+    text=st.text(alphabet="ab", min_size=1, max_size=10),
+)
+def test_dotstar_patterns_match_re(prefix, suffix, text):
+    pattern = f"{re.escape(prefix)}.*{re.escape(suffix)}"
+    assert engine_end_positions(pattern, text, False) == oracle_end_positions(
+        pattern, text, False
+    )

@@ -1,0 +1,142 @@
+"""Tests for the VASim-style optimization passes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.glushkov import compile_regex_set
+from repro.automata.nfa import Automaton, StartKind
+from repro.automata.optimize import (
+    merge_common_prefixes,
+    optimize,
+    remove_dead_states,
+)
+from repro.sim.engine import Engine
+from repro.sim.reports import report_codes_at
+
+
+def equivalent(a: Automaton, b: Automaton, data: bytes) -> bool:
+    ra = Engine(a).run(data)
+    rb = Engine(b).run(data)
+    return report_codes_at(ra.reports) == report_codes_at(rb.reports)
+
+
+def random_text(seed: int, n: int, alphabet=b"abcdx") -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.choice(alphabet) for _ in range(n))
+
+
+class TestPrefixMerging:
+    def test_shared_prefix_merges(self):
+        # "abcd" and "abce" share a 3-state prefix
+        nfa = compile_regex_set(["abcd", "abce"])
+        merged, report = merge_common_prefixes(nfa)
+        assert len(merged) == 5  # a, b, c, d, e
+        assert report.reduction == pytest.approx(3 / 8)
+
+    def test_language_preserved(self):
+        nfa = compile_regex_set(["abcd", "abce", "abc"])
+        merged, _ = merge_common_prefixes(nfa)
+        for seed in range(5):
+            data = random_text(seed, 200, b"abcdex")
+            assert equivalent(nfa, merged, data)
+
+    def test_distinct_report_codes_not_merged(self):
+        nfa = compile_regex_set({"r1": "ab", "r2": "ab"})
+        merged, _ = merge_common_prefixes(nfa)
+        # final states carry different codes: only the 'a' states merge
+        assert len(merged) == 3
+
+    def test_no_merge_when_nothing_shared(self):
+        nfa = compile_regex_set(["ab", "cd"])
+        merged, report = merge_common_prefixes(nfa)
+        assert len(merged) == len(nfa)
+        assert report.reduction == 0.0
+
+    def test_iterates_to_fixed_point(self):
+        # three identical long patterns collapse into one chain
+        nfa = compile_regex_set(["abcdefgh"] * 1)
+        big = compile_regex_set(["wxyzabcd", "wxyzabce", "wxyzabcf"])
+        merged, report = merge_common_prefixes(big)
+        assert len(merged) == 7 + 3
+        assert report.passes >= 2
+
+    def test_self_loops_preserved(self):
+        nfa = compile_regex_set(["ab*c", "ab*d"])
+        merged, _ = merge_common_prefixes(nfa)
+        for seed in range(4):
+            data = random_text(seed, 150)
+            assert equivalent(nfa, merged, data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        words=st.lists(
+            st.text(alphabet="abc", min_size=1, max_size=6), min_size=2, max_size=5
+        ),
+        seed=st.integers(0, 1000),
+    )
+    def test_equivalence_property(self, words, seed):
+        nfa = compile_regex_set(sorted(set(words)))
+        merged, _ = merge_common_prefixes(nfa)
+        assert equivalent(nfa, merged, random_text(seed, 120))
+
+
+class TestDeadStateRemoval:
+    def test_dead_tail_removed(self):
+        nfa = Automaton(name="dead")
+        a = nfa.add_state("a", start=StartKind.ALL_INPUT)
+        b = nfa.add_state("b", reporting=True)
+        c = nfa.add_state("c")  # reachable but reports nothing
+        nfa.add_transition(a, b)
+        nfa.add_transition(a, c)
+        pruned, report = remove_dead_states(nfa)
+        assert len(pruned) == 2
+        assert report.reduction == pytest.approx(1 / 3)
+
+    def test_live_automaton_untouched(self):
+        nfa = compile_regex_set(["abc"])
+        pruned, report = remove_dead_states(nfa)
+        assert pruned is nfa
+        assert report.reduction == 0.0
+
+    def test_language_preserved(self):
+        nfa = Automaton(name="dead2")
+        a = nfa.add_state("a", start=StartKind.ALL_INPUT)
+        b = nfa.add_state("b", reporting=True, report_code="hit")
+        c = nfa.add_state("c")
+        d = nfa.add_state("d")
+        nfa.add_transition(a, b)
+        nfa.add_transition(a, c)
+        nfa.add_transition(c, d)
+        pruned, _ = remove_dead_states(nfa)
+        assert equivalent(nfa, pruned, b"abacbabd" * 10)
+
+
+class TestPipeline:
+    def test_combined_pipeline(self):
+        nfa = compile_regex_set(["abcde", "abcdf", "abcdg"])
+        optimized, report = optimize(nfa)
+        assert len(optimized) == 7
+        assert report.states_before == 15
+        assert report.states_after == 7
+
+    def test_pipeline_equivalence_on_benchmark(self):
+        from repro.workloads import get_benchmark
+
+        automaton = get_benchmark("Brill", scale=1 / 128).automaton
+        optimized, report = optimize(automaton)
+        assert report.states_after <= report.states_before
+        data = get_benchmark("Brill", scale=1 / 128).input_stream(2000)
+        assert equivalent(automaton, optimized, data)
+
+    def test_optimized_compiles_to_fewer_entries(self):
+        from repro.core.compiler import compile_automaton
+
+        nfa = compile_regex_set([f"sharedprefix{suffix}" for suffix in "abcdef"])
+        optimized, _ = optimize(nfa)
+        assert (
+            compile_automaton(optimized).total_entries
+            < compile_automaton(nfa).total_entries
+        )

@@ -1,0 +1,168 @@
+"""Tests for the regex parser."""
+
+import pytest
+
+from repro.automata.regex import (
+    Alt,
+    Concat,
+    Epsilon,
+    Optional_,
+    Plus,
+    Star,
+    Symbol,
+    literal,
+    parse_regex,
+)
+from repro.automata.symbols import SymbolClass
+from repro.errors import RegexSyntaxError
+
+
+class TestAtoms:
+    def test_single_literal(self):
+        node = parse_regex("a")
+        assert isinstance(node, Symbol)
+        assert set(node.symbol_class) == {ord("a")}
+
+    def test_dot_is_universe(self):
+        node = parse_regex(".")
+        assert node.symbol_class == SymbolClass.universe()
+
+    def test_bracket_class(self):
+        node = parse_regex("[a-c]")
+        assert set(node.symbol_class) == {97, 98, 99}
+
+    def test_negated_class(self):
+        node = parse_regex("[^a-c]")
+        assert len(node.symbol_class) == 253
+
+    def test_shorthand_digit(self):
+        node = parse_regex(r"\d")
+        assert set(node.symbol_class) == set(range(48, 58))
+
+    def test_shorthand_negated(self):
+        node = parse_regex(r"\D")
+        assert len(node.symbol_class) == 246
+
+    def test_shorthand_word_and_space(self):
+        assert ord("_") in parse_regex(r"\w").symbol_class
+        assert ord(" ") in parse_regex(r"\s").symbol_class
+
+    def test_hex_escape(self):
+        node = parse_regex(r"\x41")
+        assert set(node.symbol_class) == {0x41}
+
+    def test_escaped_metachar(self):
+        node = parse_regex(r"\*")
+        assert set(node.symbol_class) == {ord("*")}
+
+    def test_class_shorthand_inside_bracket(self):
+        node = parse_regex(r"[\d_]")
+        assert set(node.symbol_class) == set(range(48, 58)) | {ord("_")}
+
+
+class TestOperators:
+    def test_concat(self):
+        node = parse_regex("ab")
+        assert isinstance(node, Concat)
+        assert len(node.parts) == 2
+
+    def test_alternation(self):
+        node = parse_regex("a|b|c")
+        assert isinstance(node, Alt)
+        assert len(node.options) == 3
+
+    def test_star_plus_optional(self):
+        assert isinstance(parse_regex("a*"), Star)
+        assert isinstance(parse_regex("a+"), Plus)
+        assert isinstance(parse_regex("a?"), Optional_)
+
+    def test_grouping(self):
+        node = parse_regex("(ab)+")
+        assert isinstance(node, Plus)
+        assert isinstance(node.child, Concat)
+
+    def test_empty_alternative(self):
+        node = parse_regex("a|")
+        assert isinstance(node, Alt)
+        assert isinstance(node.options[1], Epsilon)
+
+    def test_precedence_alt_weakest(self):
+        node = parse_regex("ab|cd")
+        assert isinstance(node, Alt)
+
+    def test_double_quantifier(self):
+        node = parse_regex("a*?")  # parsed as (a*)? — no lazy semantics
+        assert isinstance(node, Optional_)
+
+
+class TestCountedRepetition:
+    def test_exact(self):
+        node = parse_regex("a{3}")
+        assert isinstance(node, Concat)
+        assert len(node.parts) == 3
+
+    def test_range(self):
+        node = parse_regex("a{2,4}")
+        assert isinstance(node, Concat)
+        assert len(node.parts) == 4
+        assert isinstance(node.parts[2], Optional_)
+        assert isinstance(node.parts[3], Optional_)
+
+    def test_open_ended(self):
+        node = parse_regex("a{2,}")
+        assert isinstance(node, Concat)
+        assert isinstance(node.parts[-1], Plus)
+
+    def test_zero_min_open(self):
+        assert isinstance(parse_regex("a{0,}"), Star)
+
+    def test_zero_zero(self):
+        assert isinstance(parse_regex("a{0,0}"), Epsilon)
+
+    def test_reversed_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a{4,2}")
+
+    def test_huge_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a{100000}")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "pattern",
+        ["(", ")", "a)", "(a", "[", "[a", "*", "+a|*", "a{", "a{2,", r"\x4g", ""],
+    )
+    def test_rejected(self, pattern):
+        if pattern == "":
+            # empty pattern parses to Epsilon; glushkov rejects it later
+            from repro.automata.regex import Epsilon as Eps
+
+            assert isinstance(parse_regex(""), Eps)
+        else:
+            with pytest.raises(RegexSyntaxError):
+                parse_regex(pattern)
+
+    def test_error_carries_position(self):
+        with pytest.raises(RegexSyntaxError) as info:
+            parse_regex("ab(cd")
+        assert info.value.position >= 2
+
+
+class TestLiteral:
+    def test_literal_escapes_nothing(self):
+        node = literal("a*b")
+        assert isinstance(node, Concat)
+        assert len(node.parts) == 3
+        assert set(node.parts[1].symbol_class) == {ord("*")}
+
+    def test_literal_bytes(self):
+        node = literal(b"\x00\xff")
+        assert set(node.parts[0].symbol_class) == {0}
+        assert set(node.parts[1].symbol_class) == {255}
+
+    def test_single_char(self):
+        assert isinstance(literal("x"), Symbol)
+
+    def test_empty(self):
+        assert isinstance(literal(""), Epsilon)

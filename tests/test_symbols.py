@@ -1,0 +1,162 @@
+"""Tests for SymbolClass: construction, set algebra, ANML parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.automata.symbols import ALPHABET_SIZE, FULL_MASK, SymbolClass
+from repro.errors import AutomatonError
+
+symbol_sets = st.frozensets(
+    st.integers(min_value=0, max_value=255), max_size=256
+)
+
+
+class TestConstruction:
+    def test_from_symbols(self):
+        cls = SymbolClass.from_symbols([1, 5, 255])
+        assert 1 in cls and 5 in cls and 255 in cls
+        assert 2 not in cls
+        assert len(cls) == 3
+
+    def test_from_symbols_rejects_out_of_range(self):
+        with pytest.raises(AutomatonError):
+            SymbolClass.from_symbols([256])
+        with pytest.raises(AutomatonError):
+            SymbolClass.from_symbols([-1])
+
+    def test_from_bytes_str(self):
+        assert SymbolClass.from_bytes("ab") == SymbolClass.from_symbols([97, 98])
+
+    def test_from_bytes_bytes(self):
+        assert SymbolClass.from_bytes(b"\x00\xff") == SymbolClass.from_symbols(
+            [0, 255]
+        )
+
+    def test_from_ranges(self):
+        cls = SymbolClass.from_ranges((10, 12), (250, 255))
+        assert set(cls) == {10, 11, 12, 250, 251, 252, 253, 254, 255}
+
+    def test_from_ranges_rejects_reversed(self):
+        with pytest.raises(AutomatonError):
+            SymbolClass.from_ranges((5, 4))
+
+    def test_universe(self):
+        assert len(SymbolClass.universe()) == ALPHABET_SIZE
+
+    def test_empty_falsey(self):
+        assert not SymbolClass.empty()
+        assert SymbolClass.from_symbols([0])
+
+
+class TestSetAlgebra:
+    def test_union_intersection(self):
+        a = SymbolClass.from_symbols([1, 2, 3])
+        b = SymbolClass.from_symbols([3, 4])
+        assert set(a | b) == {1, 2, 3, 4}
+        assert set(a & b) == {3}
+
+    def test_difference(self):
+        a = SymbolClass.from_symbols([1, 2, 3])
+        b = SymbolClass.from_symbols([3])
+        assert set(a - b) == {1, 2}
+
+    def test_negate_involution(self):
+        a = SymbolClass.from_symbols([0, 100, 255])
+        assert a.negate().negate() == a
+
+    def test_negate_size(self):
+        a = SymbolClass.from_symbols(range(10))
+        assert len(a.negate()) == ALPHABET_SIZE - 10
+
+    def test_issubset(self):
+        small = SymbolClass.from_symbols([5])
+        big = SymbolClass.from_symbols([5, 6])
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_hashable_and_ordered(self):
+        a = SymbolClass.from_symbols([1])
+        b = SymbolClass.from_symbols([2])
+        assert len({a, b, SymbolClass.from_symbols([1])}) == 2
+        assert (a < b) == (a.mask < b.mask)
+
+
+class TestAnmlParsing:
+    def test_star(self):
+        assert SymbolClass.parse("*") == SymbolClass.universe()
+
+    def test_single_char(self):
+        assert SymbolClass.parse("a") == SymbolClass.from_symbols([ord("a")])
+
+    def test_bracket_list(self):
+        assert set(SymbolClass.parse("[abc]")) == {97, 98, 99}
+
+    def test_bracket_range(self):
+        assert set(SymbolClass.parse("[a-e]")) == set(range(97, 102))
+
+    def test_bracket_mixed(self):
+        assert set(SymbolClass.parse("[a-cz]")) == {97, 98, 99, 122}
+
+    def test_negated(self):
+        cls = SymbolClass.parse("[^a]")
+        assert len(cls) == 255
+        assert ord("a") not in cls
+
+    def test_hex_escape(self):
+        assert set(SymbolClass.parse(r"[\x00-\x03]")) == {0, 1, 2, 3}
+
+    def test_escaped_specials(self):
+        assert ord("]") in SymbolClass.parse(r"[\]]")
+        assert ord("-") in SymbolClass.parse(r"[\-]")
+        assert ord("^") in SymbolClass.parse(r"[a\^]")
+
+    def test_trailing_dash_literal(self):
+        assert set(SymbolClass.parse("[a-]")) == {ord("a"), ord("-")}
+
+    def test_newline_escape(self):
+        assert set(SymbolClass.parse(r"[\n]")) == {10}
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(AutomatonError):
+            SymbolClass.parse("[z-a]")
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(AutomatonError):
+            SymbolClass.parse("[\\")
+
+    def test_multichar_non_bracket_rejected(self):
+        with pytest.raises(AutomatonError):
+            SymbolClass.parse("ab")
+
+
+class TestRendering:
+    def test_universe_renders_star(self):
+        assert SymbolClass.universe().to_anml() == "*"
+
+    def test_small_class_not_negated(self):
+        assert SymbolClass.parse("[abc]").to_anml() == "[a-c]"
+
+    def test_large_class_negated(self):
+        rendered = SymbolClass.parse("[^q]").to_anml()
+        assert rendered == "[^q]"
+
+    @given(symbol_sets.filter(lambda s: s))
+    def test_roundtrip(self, symbols):
+        cls = SymbolClass.from_symbols(symbols)
+        assert SymbolClass.parse(cls.to_anml()) == cls
+
+
+@given(symbol_sets, symbol_sets)
+def test_union_size_bounds(a_syms, b_syms):
+    a = SymbolClass.from_symbols(a_syms)
+    b = SymbolClass.from_symbols(b_syms)
+    u = a | b
+    assert max(len(a), len(b)) <= len(u) <= len(a) + len(b)
+
+
+@given(symbol_sets)
+def test_negation_partitions_alphabet(symbols):
+    cls = SymbolClass.from_symbols(symbols)
+    assert (cls | cls.negate()).mask == FULL_MASK
+    assert not (cls & cls.negate())

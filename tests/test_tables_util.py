@@ -1,0 +1,29 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

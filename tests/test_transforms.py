@@ -1,0 +1,205 @@
+"""Equivalence tests for the bit-split (Impala) and 2-stride transforms.
+
+These are the load-bearing correctness arguments for the multi-stride
+energy comparisons: the transformed automata must report the same
+(position, pattern) events as the original on every input.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.bitsplit import (
+    bitsplit,
+    nibble_stream,
+    rectangle_decomposition,
+)
+from repro.automata.glushkov import compile_regex_set, glushkov_nfa
+from repro.automata.striding import pad_input, stride2, stride_pairs
+from repro.automata.symbols import SymbolClass
+from repro.errors import AutomatonError
+from repro.sim.engine import Engine, StridedEngine
+
+PATTERNS = [
+    "ab",
+    "a|b",
+    "(a|b)e*cd+",
+    "a.c",
+    "[a-f]x",
+    "ab{2,4}",
+    "(ab)+c?",
+    "[^a]b",
+]
+INPUTS = [b"aecd", b"abab", b"aXcY", b"ffffx", b"abbbbc", b"cdcdcd", b"zzzz"]
+
+
+def original_reports(nfa, data):
+    return {(r.cycle, r.state_id) for r in Engine(nfa).run(data).reports}
+
+
+class TestRectangleDecomposition:
+    def test_single_symbol(self):
+        rects = rectangle_decomposition(SymbolClass.from_symbols([0x41]))
+        assert rects == [(1 << 4, 1 << 1)]
+
+    def test_full_row(self):
+        # all symbols with high nibble 2 -> one rectangle {2} x {0..15}
+        cls = SymbolClass.from_ranges((0x20, 0x2F))
+        assert rectangle_decomposition(cls) == [(1 << 2, 0xFFFF)]
+
+    def test_universe_is_one_rectangle(self):
+        assert rectangle_decomposition(SymbolClass.universe()) == [
+            (0xFFFF, 0xFFFF)
+        ]
+
+    def test_exact_cover(self):
+        cls = SymbolClass.from_symbols([0x12, 0x15, 0x32, 0x35, 0x47])
+        rects = rectangle_decomposition(cls)
+        covered = set()
+        for hi_mask, lo_mask in rects:
+            for hi in range(16):
+                if hi_mask >> hi & 1:
+                    for lo in range(16):
+                        if lo_mask >> lo & 1:
+                            symbol = hi << 4 | lo
+                            assert symbol not in covered, "rectangles overlap"
+                            covered.add(symbol)
+        assert covered == set(cls)
+
+    @given(st.frozensets(st.integers(0, 255), min_size=1, max_size=40))
+    def test_exact_cover_property(self, symbols):
+        cls = SymbolClass.from_symbols(symbols)
+        rects = rectangle_decomposition(cls)
+        covered = set()
+        for hi_mask, lo_mask in rects:
+            for hi in range(16):
+                if hi_mask >> hi & 1:
+                    for lo in range(16):
+                        if lo_mask >> lo & 1:
+                            covered.add(hi << 4 | lo)
+        assert covered == set(symbols)
+
+
+class TestNibbleStream:
+    def test_interleaving(self):
+        assert nibble_stream(b"\xab") == bytes([0xA, 16 + 0xB])
+
+    def test_length_doubles(self):
+        assert len(nibble_stream(b"xyz")) == 6
+
+
+class TestBitsplitEquivalence:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_reports_match_on_inputs(self, pattern):
+        nfa = glushkov_nfa(pattern)
+        split = bitsplit(nfa)
+        split.automaton.validate()
+        engine = Engine(split.automaton)
+        for data in INPUTS:
+            expected = original_reports(nfa, data)
+            got = {
+                ((r.cycle - 1) // 2, split.report_origin[r.state_id])
+                for r in engine.run(nibble_stream(data)).reports
+            }
+            assert got == expected, f"pattern={pattern!r} data={data!r}"
+
+    def test_reports_only_on_lo_phase(self):
+        nfa = glushkov_nfa("ab")
+        split = bitsplit(nfa)
+        reports = Engine(split.automaton).run(nibble_stream(b"abab")).reports
+        assert all(r.cycle % 2 == 1 for r in reports)
+
+    def test_state_counts_recorded(self):
+        nfa = glushkov_nfa("[ab][cd]")
+        split = bitsplit(nfa)
+        assert split.num_hi_states + split.num_lo_states == len(split.automaton)
+
+    def test_anchored_preserved(self):
+        nfa = glushkov_nfa("ab", anchored=True)
+        split = bitsplit(nfa)
+        engine = Engine(split.automaton)
+        assert engine.run(nibble_stream(b"ab")).num_reports == 1
+        assert engine.run(nibble_stream(b"xab")).num_reports == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        words=st.lists(
+            st.text(alphabet="abc", min_size=1, max_size=3), min_size=1, max_size=2
+        ),
+        data=st.binary(min_size=1, max_size=10),
+    )
+    def test_equivalence_property(self, words, data):
+        nfa = compile_regex_set(["|".join(words)])
+        split = bitsplit(nfa)
+        expected = original_reports(nfa, data)
+        got = {
+            ((r.cycle - 1) // 2, split.report_origin[r.state_id])
+            for r in Engine(split.automaton).run(nibble_stream(data)).reports
+        }
+        assert got == expected
+
+
+class TestStride2Equivalence:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_reports_match_on_inputs(self, pattern):
+        nfa = glushkov_nfa(pattern)
+        strided = stride2(nfa)
+        engine = StridedEngine(strided)
+        for data in INPUTS:
+            padded = pad_input(data)
+            expected = original_reports(nfa, padded)
+            got = {(r.cycle, r.state_id) for r in engine.run(padded).reports}
+            assert got == expected, f"pattern={pattern!r} data={data!r}"
+
+    def test_anchored(self):
+        nfa = glushkov_nfa("abcd", anchored=True)
+        strided = stride2(nfa)
+        engine = StridedEngine(strided)
+        assert engine.run(b"abcd").num_reports == 1
+        assert engine.run(b"xabc").num_reports == 0
+
+    def test_odd_position_report(self):
+        # match ends on the first half of a stride -> exit state fires
+        nfa = glushkov_nfa("abc")
+        strided = stride2(nfa)
+        reports = StridedEngine(strided).run(pad_input(b"abc")).reports
+        assert {r.cycle for r in reports} == {2}
+
+    def test_even_start_position(self):
+        # match starts on the second half of a stride -> entry state fires
+        nfa = glushkov_nfa("ab")
+        strided = stride2(nfa)
+        reports = StridedEngine(strided).run(b"xabx").reports
+        assert {r.cycle for r in reports} == {2}
+
+    def test_unpadded_odd_input_rejected(self):
+        with pytest.raises(AutomatonError):
+            stride_pairs(b"abc")
+
+    def test_state_growth_bounded_by_edges(self):
+        nfa = glushkov_nfa("(a|b)e*cd+")
+        strided = stride2(nfa)
+        bound = (
+            nfa.num_transitions()
+            + len(nfa.start_states())
+            + len(nfa.reporting_states())
+        )
+        assert len(strided) <= bound
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        words=st.lists(
+            st.text(alphabet="ab", min_size=1, max_size=4), min_size=1, max_size=2
+        ),
+        data=st.binary(min_size=2, max_size=12),
+    )
+    def test_equivalence_property(self, words, data):
+        nfa = compile_regex_set(["|".join(words)])
+        strided = stride2(nfa)
+        padded = pad_input(data)
+        expected = original_reports(nfa, padded)
+        got = {
+            (r.cycle, r.state_id)
+            for r in StridedEngine(strided).run(padded).reports
+        }
+        assert got == expected

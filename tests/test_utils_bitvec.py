@@ -1,0 +1,89 @@
+"""Unit and property tests for repro.utils.bitvec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitvec import (
+    bit_positions,
+    bits_from_positions,
+    iter_submasks,
+    mask_of_width,
+    popcount,
+)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_single_bits(self):
+        for i in range(0, 300, 37):
+            assert popcount(1 << i) == 1
+
+    def test_all_ones(self):
+        assert popcount(mask_of_width(256)) == 256
+
+
+class TestMaskOfWidth:
+    def test_zero_width(self):
+        assert mask_of_width(0) == 0
+
+    def test_small(self):
+        assert mask_of_width(4) == 0b1111
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of_width(-1)
+
+
+class TestBitPositions:
+    def test_empty(self):
+        assert list(bit_positions(0)) == []
+
+    def test_ascending(self):
+        assert list(bit_positions(0b101001)) == [0, 3, 5]
+
+    def test_high_bits(self):
+        assert list(bit_positions(1 << 255)) == [255]
+
+
+class TestBitsFromPositions:
+    def test_roundtrip(self):
+        mask = 0b1011010
+        assert bits_from_positions(bit_positions(mask)) == mask
+
+    def test_duplicates_collapse(self):
+        assert bits_from_positions([3, 3, 3]) == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_from_positions([-1])
+
+
+class TestIterSubmasks:
+    def test_count_is_power_of_two(self):
+        subs = list(iter_submasks(0b1011))
+        assert len(subs) == 8
+        assert set(subs) == {
+            0b1011, 0b1010, 0b1001, 0b1000, 0b0011, 0b0010, 0b0001, 0,
+        }
+
+    def test_zero(self):
+        assert list(iter_submasks(0)) == [0]
+
+
+@given(st.integers(min_value=0, max_value=(1 << 256) - 1))
+def test_positions_roundtrip_property(mask):
+    assert bits_from_positions(bit_positions(mask)) == mask
+
+
+@given(st.integers(min_value=0, max_value=(1 << 256) - 1))
+def test_popcount_matches_positions(mask):
+    assert popcount(mask) == len(list(bit_positions(mask)))
+
+
+@given(st.integers(min_value=0, max_value=0xFFF))
+def test_submasks_are_subsets(mask):
+    for sub in iter_submasks(mask):
+        assert sub & ~mask == 0

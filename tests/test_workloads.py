@@ -1,0 +1,190 @@
+"""Tests that the synthetic benchmarks track their published statistics."""
+
+import pytest
+
+from repro.automata.analysis import automaton_stats, connected_components
+from repro.core.encoding.selection import class_statistics, select_encoding
+from repro.errors import ReproError
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    PROFILES,
+    benchmark_input,
+    get_benchmark,
+    profile_of,
+)
+
+SMALL_SCALE = 1.0 / 32.0  # keep the full-suite tests quick
+
+
+@pytest.fixture(scope="module")
+def benchmarks():
+    return {name: get_benchmark(name, scale=SMALL_SCALE) for name in BENCHMARK_NAMES}
+
+
+class TestRegistry:
+    def test_twenty_one_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 21
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError, match="unknown benchmark"):
+            profile_of("NotABenchmark")
+
+    def test_caching_returns_same_instance(self):
+        a = get_benchmark("Brill", scale=SMALL_SCALE)
+        b = get_benchmark("Brill", scale=SMALL_SCALE)
+        assert a is b
+
+    def test_determinism_across_scales(self):
+        a = get_benchmark("TCP", scale=SMALL_SCALE)
+        assert a.automaton.name == "TCP"
+        assert len(a.automaton) > 0
+
+
+class TestStatisticsMatchPaper:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_valid_automaton(self, benchmarks, name):
+        benchmarks[name].automaton.validate()
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_state_count_near_target(self, benchmarks, name):
+        automaton = benchmarks[name].automaton
+        target = PROFILES[name].target_states(SMALL_SCALE)
+        assert target <= len(automaton) <= target * 1.35
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_raw_class_size_tracks_paper(self, benchmarks, name):
+        stats = automaton_stats(benchmarks[name].automaton)
+        paper = PROFILES[name].paper.class_size_raw
+        measured = stats.avg_symbol_class_size
+        # generous tolerance: random draws at 1/32 scale are noisy for
+        # the benchmarks whose wide classes are rare (Dotstar03/09)
+        assert measured == pytest.approx(paper, rel=0.45, abs=2.0), (
+            f"{name}: raw class size {measured:.2f} vs paper {paper}"
+        )
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_class_size_with_no_tracks_paper(self, benchmarks, name):
+        automaton = benchmarks[name].automaton
+        classes = [s.symbol_class for s in automaton.states]
+        _, measured = class_statistics(classes)
+        paper = PROFILES[name].paper.class_size_no
+        assert measured == pytest.approx(paper, rel=0.8, abs=1.6), (
+            f"{name}: NO class size {measured:.2f} vs paper {paper}"
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["Ranges1", "Ranges05", "ExactMath", "BlockRings"]
+    )
+    def test_restricted_alphabets(self, benchmarks, name):
+        stats = automaton_stats(benchmarks[name].automaton)
+        assert stats.alphabet_size <= PROFILES[name].paper.alphabet
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("Brill", "multi-zeros"),
+            ("BlockRings", "one-zero"),
+            ("TCP", "two-zeros-prefix"),
+            ("SPM", "two-zeros-prefix"),
+            ("RandomForest", "one-zero-prefix"),
+            ("EntityResolution", "two-zeros-prefix"),
+        ],
+    )
+    def test_selected_scheme(self, benchmarks, name, expected):
+        choice = select_encoding(benchmarks[name].automaton)
+        assert choice.scheme == expected
+
+    @pytest.mark.parametrize(
+        "name,paper_length",
+        [("Brill", 11), ("TCP", 16), ("BlockRings", 2), ("RandomForest", 32)],
+    )
+    def test_code_length_matches_paper(self, benchmarks, name, paper_length):
+        choice = select_encoding(benchmarks[name].automaton)
+        assert choice.code_length == paper_length
+
+
+class TestStructure:
+    def test_blockrings_are_rings(self, benchmarks):
+        automaton = benchmarks["BlockRings"].automaton
+        components = connected_components(automaton)
+        ring_len = PROFILES["BlockRings"].params["ring_len"]
+        assert all(len(c) == ring_len for c in components)
+
+    def test_dense_benchmarks_have_large_band(self, benchmarks):
+        from repro.automata.analysis import bandwidth_under_order, bfs_order
+
+        for name in ("RandomForest", "EntityResolution"):
+            automaton = benchmarks[name].automaton
+            component = connected_components(automaton)[0]
+            order = bfs_order(automaton, component)
+            assert bandwidth_under_order(automaton, order) > 43, name
+
+    def test_string_benchmarks_have_small_band(self, benchmarks):
+        from repro.automata.analysis import bandwidth_under_order, bfs_order
+
+        automaton = benchmarks["Brill"].automaton
+        component = connected_components(automaton)[0]
+        order = bfs_order(automaton, component)
+        assert bandwidth_under_order(automaton, order) <= 43
+
+    def test_big_component_benchmarks(self, benchmarks):
+        # TCP ships one >256-state component (drives global switches)
+        components = connected_components(benchmarks["TCP"].automaton)
+        assert len(components[0]) > 256
+
+    def test_hamming_reports_multiple_distances(self, benchmarks):
+        codes = {
+            s.report_code
+            for s in benchmarks["Hamming"].automaton.reporting_states()
+        }
+        assert {"d0", "d1", "d2", "d3"} <= codes
+
+
+class TestInputs:
+    def test_deterministic(self, benchmarks):
+        automaton = benchmarks["Brill"].automaton
+        assert benchmark_input(automaton, 500, seed=1) == benchmark_input(
+            automaton, 500, seed=1
+        )
+
+    def test_seed_changes_stream(self, benchmarks):
+        automaton = benchmarks["Brill"].automaton
+        assert benchmark_input(automaton, 500, seed=1) != benchmark_input(
+            automaton, 500, seed=2
+        )
+
+    def test_length_exact(self, benchmarks):
+        automaton = benchmarks["TCP"].automaton
+        assert len(benchmark_input(automaton, 1234)) == 1234
+
+    def test_symbols_within_alphabet_mostly(self, benchmarks):
+        automaton = benchmarks["Ranges1"].automaton
+        alphabet = set(automaton.alphabet())
+        stream = benchmark_input(automaton, 2000)
+        inside = sum(1 for b in stream if b in alphabet)
+        assert inside == len(stream)
+
+    def test_injection_produces_reports(self, benchmarks):
+        from repro.sim.engine import Engine
+
+        automaton = benchmarks["Brill"].automaton
+        stream = benchmark_input(automaton, 4000, injection_rate=0.2)
+        result = Engine(automaton).run(stream)
+        assert result.num_reports > 0
+
+    def test_zero_injection_low_activity(self, benchmarks):
+        from repro.sim.engine import Engine
+
+        automaton = benchmarks["Brill"].automaton
+        quiet = benchmark_input(automaton, 3000, injection_rate=0.0)
+        busy = benchmark_input(automaton, 3000, injection_rate=0.3)
+        quiet_active = Engine(automaton).run(quiet).stats.avg_active_states()
+        busy_active = Engine(automaton).run(busy).stats.avg_active_states()
+        assert quiet_active < busy_active
+
+    def test_bad_args_rejected(self, benchmarks):
+        automaton = benchmarks["Brill"].automaton
+        with pytest.raises(ReproError):
+            benchmark_input(automaton, 0)
+        with pytest.raises(ReproError):
+            benchmark_input(automaton, 10, injection_rate=1.5)
