@@ -5,6 +5,8 @@ throughput, compile time, CAM-machine overhead, and the cost of the
 encoding passes, so regressions in the substrate are visible.
 """
 
+import numpy as np
+
 from repro.core.compiler import CamaCompiler, compile_automaton
 from repro.core.encoding.compression import compress_class
 from repro.core.encoding.selection import select_encoding
@@ -27,6 +29,22 @@ def test_engine_with_placement(benchmark, ctx):
     placement = ctx.build(name, "CAMA-E").placement
     result = benchmark(engine.run, data, placement=placement)
     assert result.stats.partition_enabled_cycles is not None
+
+
+def test_enabled_at_gather(benchmark, ctx):
+    """The CSR successor gather on a realistic active-set size."""
+    name = "Snort"
+    engine = ctx.engine(name)
+    n = len(engine.automaton)
+    rng = np.random.default_rng(0)
+    # a few percent active, the regime the paper's benchmarks live in
+    active = np.unique(rng.integers(0, n, size=max(4, n // 32)))
+
+    def step():
+        return engine.enabled_at(active, first_cycle=False)
+
+    enabled = benchmark(step)
+    assert enabled.size >= active.size // 2
 
 
 def test_compile_benchmark(benchmark, ctx):

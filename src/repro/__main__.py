@@ -3,6 +3,8 @@
     python -m repro compile rules.anml            # compile + summary
     python -m repro compile rules.mnrl --optimize
     python -m repro run rules.anml input.bin      # reports to stdout
+    python -m repro scan rules.anml input.bin \
+        --chunk-size 65536 --shards 4 --workers 2 # streaming service scan
     python -m repro evaluate rules.anml input.bin # CAMA vs baselines
     python -m repro experiments --only table4     # paper tables/figures
 
@@ -84,6 +86,31 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scan(args: argparse.Namespace) -> int:
+    from repro.service import MatchingService
+
+    automaton = load_automaton(args.automaton)
+    data = Path(args.input).read_bytes()
+    if args.limit:
+        data = data[: args.limit]
+    service = MatchingService(
+        num_shards=args.shards,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    result = service.scan(automaton, data, max_reports=args.max_reports)
+    for report in result.reports[: args.max_reports]:
+        code = f" code={report.code}" if report.code else ""
+        print(f"cycle={report.cycle} state={report.state_id}{code}")
+    print(
+        f"# {result.num_reports} reports over {len(data)} bytes | "
+        f"{result.num_shards} shard(s), {args.workers} worker(s), "
+        f"chunk {args.chunk_size} B | "
+        f"{result.elapsed_s:.3f} s, {result.throughput_mbps:.2f} MB/s"
+    )
+    return 0
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     automaton = load_automaton(args.automaton)
     data = Path(args.input).read_bytes()
@@ -142,6 +169,18 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--limit", type=int, default=0)
     p_run.add_argument("--max-reports", type=int, default=50)
     p_run.set_defaults(fn=cmd_run)
+
+    p_scan = sub.add_parser(
+        "scan", help="scan an input through the streaming matching service"
+    )
+    p_scan.add_argument("automaton")
+    p_scan.add_argument("input")
+    p_scan.add_argument("--chunk-size", type=int, default=65536)
+    p_scan.add_argument("--shards", type=int, default=1)
+    p_scan.add_argument("--workers", type=int, default=1)
+    p_scan.add_argument("--limit", type=int, default=0)
+    p_scan.add_argument("--max-reports", type=int, default=50)
+    p_scan.set_defaults(fn=cmd_scan)
 
     p_eval = sub.add_parser("evaluate", help="compare designs on a workload")
     p_eval.add_argument("automaton")

@@ -3,6 +3,7 @@
 from repro.automata.analysis import (
     AutomatonStats,
     automaton_stats,
+    balanced_shards,
     bandwidth_under_order,
     bfs_order,
     connected_components,
@@ -39,6 +40,7 @@ __all__ = [
     "StridedAutomaton",
     "SymbolClass",
     "automaton_stats",
+    "balanced_shards",
     "bandwidth_under_order",
     "bfs_order",
     "bitsplit",

@@ -50,6 +50,32 @@ def connected_components(automaton: Automaton) -> list[list[int]]:
     return components
 
 
+def balanced_shards(
+    components: list[list[int]], num_shards: int
+) -> list[list[int]]:
+    """Pack connected components into at most ``num_shards`` groups.
+
+    Transitions never cross components, so each group induces an
+    independent sub-automaton that can be simulated in isolation — the
+    property the sharded dispatcher in :mod:`repro.service` relies on.
+    Greedy longest-processing-time packing: components largest-first,
+    each into the currently lightest group.  Groups are returned with
+    their state ids sorted; empty groups are dropped, so fewer than
+    ``num_shards`` groups come back when there are fewer components.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    groups: list[list[int]] = [[] for _ in range(min(num_shards, len(components)))]
+    if not groups:
+        return []
+    loads = [0] * len(groups)
+    for component in sorted(components, key=len, reverse=True):
+        lightest = loads.index(min(loads))
+        groups[lightest].extend(component)
+        loads[lightest] += len(component)
+    return [sorted(group) for group in groups if group]
+
+
 def bfs_order(automaton: Automaton, component: list[int]) -> list[int]:
     """Breadth-first ordering of one component from its start states.
 

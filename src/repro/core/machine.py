@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.cam import CamArray
 from repro.core.compiler import CamaProgram
 from repro.errors import SimulationError
+from repro.sim.engine import EngineState, gather_successors, successor_csr
 from repro.sim.reports import Report
 
 
@@ -106,10 +107,7 @@ class CamaMachine:
         ]
 
         # Transition structures (the switch network's routing function).
-        self._successors = [
-            np.fromiter(sorted(automaton.successors(s)), dtype=np.int64, count=-1)
-            for s in range(n)
-        ]
+        self._succ_offsets, self._succ_targets = successor_csr(automaton, n)
         from repro.automata.nfa import StartKind
 
         self._start_all = np.fromiter(
@@ -137,13 +135,35 @@ class CamaMachine:
         self._n = n
 
     # -- execution ----------------------------------------------------------
+    def initial_state(self) -> EngineState:
+        """A fresh :class:`EngineState` at stream position 0."""
+        return EngineState()
+
     def run(self, data: bytes, *, max_reports: int = 1_000_000) -> CamaRunResult:
         """Execute the program over ``data``."""
+        return self.run_chunk(data, self.initial_state(), max_reports=max_reports)
+
+    def run_chunk(
+        self,
+        data: bytes,
+        state: EngineState,
+        *,
+        max_reports: int = 1_000_000,
+    ) -> CamaRunResult:
+        """Execute one chunk of a stream, advancing ``state`` in place.
+
+        Mirrors :meth:`repro.sim.engine.Engine.run_chunk`: START_OF_DATA
+        states enable only at stream position 0 and report cycles are
+        absolute stream offsets, so chunked execution stays in lock-step
+        with the reference simulator's.
+        """
         activity = CamaActivity()
         reports: list[Report] = []
-        active = np.empty(0, dtype=np.int64)
+        base = state.position
+        active = state.active
         encoder = self.program.encoder
-        for cycle, symbol in enumerate(data):
+        for offset, symbol in enumerate(data):
+            cycle = base + offset
             code, valid = encoder.encode(symbol)
             enabled = self._enabled_states(active, first_cycle=cycle == 0)
 
@@ -152,8 +172,8 @@ class CamaMachine:
             enable_masks = [
                 np.zeros(unit.array.columns, dtype=bool) for unit in self._units
             ]
-            for state in enabled:
-                for unit_index, column in self._column_of_state[state]:
+            for enabled_state in enabled:
+                for unit_index, column in self._column_of_state[enabled_state]:
                     enable_masks[unit_index][column] = True
             active_list: list[int] = []
             entries_enabled = 0
@@ -194,6 +214,8 @@ class CamaMachine:
             firing = active[self._reporting[active]]
             if firing.size and len(reports) < max_reports:
                 for s in firing:
+                    if len(reports) >= max_reports:
+                        break
                     reports.append(
                         Report(
                             cycle=cycle,
@@ -201,12 +223,12 @@ class CamaMachine:
                             code=self._report_codes[int(s)],
                         )
                     )
+        state.active = active
+        state.position = base + len(data)
         return CamaRunResult(reports=reports, activity=activity)
 
     def _enabled_states(self, active: np.ndarray, first_cycle: bool) -> np.ndarray:
-        parts = [self._start_all]
+        succ = gather_successors(self._succ_offsets, self._succ_targets, active)
         if first_cycle:
-            parts.append(self._start_sod)
-        for s in active:
-            parts.append(self._successors[s])
-        return np.unique(np.concatenate(parts))
+            return np.unique(np.concatenate((self._start_all, self._start_sod, succ)))
+        return np.unique(np.concatenate((self._start_all, succ)))

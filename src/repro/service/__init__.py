@@ -1,0 +1,90 @@
+"""repro.service — streaming, sharded, multi-tenant matching service.
+
+The simulator and CAMA machine under :mod:`repro.sim` / :mod:`repro.core`
+are one-shot: compile an automaton, run one complete byte string, throw
+the compiled object away.  This package turns them into a *service* the
+way hardware automata processors are deployed: compiled rulesets are
+long-lived cached assets, inputs are unbounded resumable streams, and a
+large ruleset is a set of independent shards that scale out.
+
+Architecture (bottom-up)::
+
+    repro.sim.engine.EngineState      resumable snapshot: active states +
+      Engine.run_chunk                stream position; START_OF_DATA means
+      CamaMachine.run_chunk           start of *stream*, never chunk 2+
+
+    ruleset.RulesetManager            fingerprint (language content, not
+                                      names) -> LRU of compiled Engines /
+                                      CamaPrograms / CamaMachines
+
+    sharding.Dispatcher               connected-component shards, balanced
+                                      by state count; serial or
+                                      multiprocessing fan-out per stream
+
+    merge                             sequential (chunk-after-chunk) and
+                                      parallel (shard) result merging,
+                                      remapping shard-local state ids
+
+    session.Session                   one named stream's snapshot; feed()
+                                      chunks as they arrive
+
+    service.MatchingService           the facade: cache + dispatchers +
+                                      sessions + scan / scan_many
+
+Quick use::
+
+    from repro.service import MatchingService
+
+    service = MatchingService(num_shards=4)
+    result = service.scan(automaton, data)          # one-shot, cached
+    session = service.open_session(automaton, "tenant-a")
+    session.feed(chunk1); session.feed(chunk2)      # resumable stream
+    results = service.scan_many(automaton, {"a": data_a, "b": data_b})
+
+Chunked, sharded, and cached execution all reproduce the one-shot
+``Engine.run`` report stream byte-for-byte; the equivalence tests in
+``tests/test_service.py`` assert this across every registry benchmark.
+"""
+
+from repro.service.merge import (
+    accumulate_stats,
+    merge_shard_reports,
+    merge_shard_results,
+    merge_shard_stats,
+)
+from repro.service.ruleset import (
+    DEFAULT_CACHE_CAPACITY,
+    CacheStats,
+    RulesetManager,
+    ruleset_fingerprint,
+)
+from repro.service.service import MatchingService, ServiceResult
+from repro.service.session import Session
+from repro.service.sharding import (
+    DEFAULT_CHUNK_SIZE,
+    Dispatcher,
+    Shard,
+    chunked_scan,
+    iter_chunks,
+    make_shards,
+)
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_CACHE_CAPACITY",
+    "DEFAULT_CHUNK_SIZE",
+    "Dispatcher",
+    "MatchingService",
+    "RulesetManager",
+    "ServiceResult",
+    "Session",
+    "Shard",
+    "accumulate_stats",
+    "chunked_scan",
+    "iter_chunks",
+    "make_shards",
+    "merge_shard_reports",
+    "merge_shard_results",
+    "merge_shard_stats",
+    "ruleset_fingerprint",
+]

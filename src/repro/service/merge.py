@@ -1,0 +1,81 @@
+"""Combining per-chunk and per-shard results into one stream result.
+
+Two orthogonal merge directions exist:
+
+* *sequential* (:func:`accumulate_stats`) — chunk after chunk of the
+  same stream through the same automaton: cycle counts add, per-cycle
+  histories concatenate;
+* *parallel* (:func:`merge_shard_stats`, :func:`merge_shard_reports`) —
+  independent connected-component shards that each saw the *same*
+  cycles: state/activity sums add, the cycle count does not, and shard-
+  local state ids are remapped back to the global automaton's ids.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import SimulationResult
+from repro.sim.reports import Report
+from repro.sim.trace import TraceStats
+
+
+def accumulate_stats(total: TraceStats, chunk: TraceStats) -> TraceStats:
+    """Fold one chunk's statistics into the running stream total.
+
+    Both must describe the same automaton (``num_states``) and carry no
+    partition-resolved fields (the service layer never passes a
+    placement).  Returns ``total`` for chaining.
+    """
+    if total.num_states != chunk.num_states:
+        raise ValueError("cannot accumulate stats across different automata")
+    total.num_cycles += chunk.num_cycles
+    total.num_reports += chunk.num_reports
+    total.enabled_states_sum += chunk.enabled_states_sum
+    total.active_states_sum += chunk.active_states_sum
+    total.enabled_per_cycle.extend(chunk.enabled_per_cycle)
+    total.active_per_cycle.extend(chunk.active_per_cycle)
+    return total
+
+
+def merge_shard_stats(per_shard: list[TraceStats]) -> TraceStats:
+    """Combine statistics of shards that scanned the same stream.
+
+    Shards partition the state space, not the input: every shard ran
+    the same cycles, so ``num_cycles`` is taken from the longest shard
+    while state counts and report totals add across shards.
+    """
+    merged = TraceStats(num_states=sum(s.num_states for s in per_shard))
+    for stats in per_shard:
+        merged.num_cycles = max(merged.num_cycles, stats.num_cycles)
+        merged.num_reports += stats.num_reports
+        merged.enabled_states_sum += stats.enabled_states_sum
+        merged.active_states_sum += stats.active_states_sum
+    return merged
+
+
+def merge_shard_reports(
+    per_shard: list[list[Report]], global_ids: list[list[int]]
+) -> list[Report]:
+    """Remap shard-local reports to global state ids and interleave them.
+
+    ``global_ids[i]`` maps shard ``i``'s dense local ids back to the
+    original automaton's ids.  The result is ordered exactly as a
+    monolithic :meth:`Engine.run` would emit: by cycle, then by global
+    state id within a cycle.
+    """
+    merged = [
+        Report(cycle=r.cycle, state_id=ids[r.state_id], code=r.code)
+        for reports, ids in zip(per_shard, global_ids)
+        for r in reports
+    ]
+    merged.sort(key=lambda r: (r.cycle, r.state_id))
+    return merged
+
+
+def merge_shard_results(
+    per_shard: list[SimulationResult], global_ids: list[list[int]]
+) -> SimulationResult:
+    """Merge full per-shard results into one global-view result."""
+    return SimulationResult(
+        reports=merge_shard_reports([r.reports for r in per_shard], global_ids),
+        stats=merge_shard_stats([r.stats for r in per_shard]),
+    )

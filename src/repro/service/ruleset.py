@@ -1,0 +1,120 @@
+"""Compiled-ruleset cache: fingerprints + an LRU of compiled artifacts.
+
+Hardware automata processors amortize one expensive compile/place/route
+over unbounded input.  The service layer gets the same economics in
+software by fingerprinting an :class:`Automaton`'s *language-relevant*
+content (symbol classes, start kinds, reporting flags and codes, and
+the transition relation — deliberately not its name) and memoizing the
+compiled artifacts behind it: reference :class:`Engine`\\ s, CAMA
+:class:`CamaProgram`\\ s, and :class:`CamaMachine`\\ s.  Two rulesets
+that define the same language share one cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.automata.nfa import Automaton
+from repro.core.compiler import CamaProgram, compile_automaton
+from repro.core.machine import CamaMachine
+from repro.errors import ReproError
+from repro.sim.engine import Engine
+
+DEFAULT_CACHE_CAPACITY = 32
+
+
+def ruleset_fingerprint(automaton: Automaton) -> str:
+    """A stable hex digest of the automaton's language-relevant content.
+
+    Covers every state's symbol-class mask, start kind, reporting flag
+    and report code, plus the full transition relation.  Excludes the
+    automaton's ``name`` and STE display names, so re-loading the same
+    rules under a different label still hits the cache.
+    """
+    h = hashlib.sha256()
+    h.update(len(automaton).to_bytes(8, "little"))
+    for ste in automaton.states:
+        h.update(ste.symbol_class.mask.to_bytes(32, "little"))
+        # variable-length fields are length-prefixed so shifted record
+        # boundaries cannot make different rulesets serialize alike
+        start = ste.start.value.encode()
+        h.update(len(start).to_bytes(1, "little"))
+        h.update(start)
+        h.update(b"\x01" if ste.reporting else b"\x00")
+        code = (ste.report_code or "").encode()
+        h.update(len(code).to_bytes(4, "little"))
+        h.update(code)
+    for u, v in automaton.transitions():
+        h.update(u.to_bytes(8, "little"))
+        h.update(v.to_bytes(8, "little"))
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`RulesetManager`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class RulesetManager:
+    """LRU cache of compiled artifacts, keyed by ruleset fingerprint.
+
+    One manager serves every tenant of a :class:`~repro.service.service.
+    MatchingService`; capacity bounds the resident compiled rulesets
+    (each entry holds a 256 x n match table and, for CAMA programs, the
+    mapped CAM fabric), evicting least-recently-used first.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ReproError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple[str, str], object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def fingerprint(self, automaton: Automaton) -> str:
+        return ruleset_fingerprint(automaton)
+
+    def _get(self, key: tuple[str, str], build):
+        if key in self._entries:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.stats.misses += 1
+        value = build()
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return value
+
+    def engine(self, automaton: Automaton) -> Engine:
+        """The cached reference :class:`Engine` for ``automaton``."""
+        key = ("engine", ruleset_fingerprint(automaton))
+        return self._get(key, lambda: Engine(automaton))
+
+    def program(self, automaton: Automaton) -> CamaProgram:
+        """The cached compiled :class:`CamaProgram` for ``automaton``."""
+        key = ("program", ruleset_fingerprint(automaton))
+        return self._get(key, lambda: compile_automaton(automaton))
+
+    def machine(self, automaton: Automaton, variant: str = "E") -> CamaMachine:
+        """A cached :class:`CamaMachine` (compiling the program if needed)."""
+        key = (f"machine-{variant}", ruleset_fingerprint(automaton))
+        return self._get(key, lambda: CamaMachine(self.program(automaton), variant))
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,194 @@
+"""The matching-service facade: cached rulesets, shards, sessions.
+
+:class:`MatchingService` is the one object a host application holds.
+It owns a :class:`RulesetManager` (compiled-artifact LRU), builds and
+caches one sharded :class:`Dispatcher` per distinct ruleset, and hands
+out :class:`Session`\\ s for streaming tenants.  One-shot work goes
+through :meth:`~MatchingService.scan` / :meth:`~MatchingService.
+scan_many`, which report wall-clock throughput alongside the match
+results.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.automata.nfa import Automaton
+from repro.errors import SimulationError
+from repro.service.ruleset import DEFAULT_CACHE_CAPACITY, CacheStats, RulesetManager
+from repro.service.session import Session
+from repro.service.sharding import DEFAULT_CHUNK_SIZE, Dispatcher
+from repro.sim.engine import _MAX_KEPT_REPORTS
+from repro.sim.reports import Report
+from repro.sim.trace import TraceStats
+
+
+@dataclass
+class ServiceResult:
+    """One scan's outcome plus service-level metadata."""
+
+    reports: list[Report]
+    stats: TraceStats
+    bytes_scanned: int
+    elapsed_s: float
+    num_shards: int
+    #: True when the compiled shard engines were already resident
+    cached: bool
+
+    @property
+    def num_reports(self) -> int:
+        return self.stats.num_reports
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Scan throughput in MB/s (0 when too fast to time)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.bytes_scanned / self.elapsed_s / 1e6
+
+
+class MatchingService:
+    """Streaming, sharded, multi-tenant automata-matching service.
+
+    Args:
+        cache_capacity: max compiled rulesets resident in the LRU.
+        num_shards: shards per ruleset (whole connected components,
+            balanced by state count).
+        workers: processes for one-shot scans; 1 = serial.
+        chunk_size: default streaming granularity in bytes.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        num_shards: int = 1,
+        workers: int = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if chunk_size < 1:
+            raise SimulationError("chunk size must be >= 1")
+        self.manager = RulesetManager(capacity=cache_capacity)
+        self.num_shards = num_shards
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.sessions: dict[str, Session] = {}
+        # LRU-bounded alongside the manager: a Dispatcher pins its shard
+        # engines, so an unbounded dict here would defeat the cache cap.
+        self._dispatchers: OrderedDict[str, Dispatcher] = OrderedDict()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.manager.stats
+
+    def dispatcher(
+        self, automaton: Automaton, *, key: str | None = None
+    ) -> Dispatcher:
+        """The cached sharded dispatcher for ``automaton``.
+
+        ``key`` lets callers that already fingerprinted the ruleset skip
+        re-hashing it (the fingerprint is O(states + transitions)).
+        """
+        if key is None:
+            key = self.manager.fingerprint(automaton)
+        dispatcher = self._dispatchers.get(key)
+        if dispatcher is None:
+            dispatcher = Dispatcher(
+                automaton,
+                num_shards=self.num_shards,
+                workers=self.workers,
+                manager=self.manager,
+            )
+            dispatcher.engines  # compile (and cache) the shard engines now
+            self._dispatchers[key] = dispatcher
+            if len(self._dispatchers) > self.manager.capacity:
+                _, evicted = self._dispatchers.popitem(last=False)
+                evicted.close()
+        else:
+            self._dispatchers.move_to_end(key)
+        return dispatcher
+
+    # -- one-shot scans --------------------------------------------------
+    def scan(
+        self,
+        automaton: Automaton,
+        data: bytes,
+        *,
+        chunk_size: int | None = None,
+        max_reports: int = _MAX_KEPT_REPORTS,
+    ) -> ServiceResult:
+        """Scan one complete stream, reusing cached compiled shards."""
+        key = self.manager.fingerprint(automaton)
+        cached = key in self._dispatchers
+        start = time.perf_counter()
+        dispatcher = self.dispatcher(automaton, key=key)
+        result = dispatcher.scan(
+            data,
+            chunk_size=self.chunk_size if chunk_size is None else chunk_size,
+            max_reports=max_reports,
+        )
+        elapsed = time.perf_counter() - start
+        return ServiceResult(
+            reports=result.reports,
+            stats=result.stats,
+            bytes_scanned=len(data),
+            elapsed_s=elapsed,
+            num_shards=dispatcher.num_shards,
+            cached=cached,
+        )
+
+    def scan_many(
+        self,
+        automaton: Automaton,
+        streams: dict[str, bytes],
+        *,
+        chunk_size: int | None = None,
+        max_reports: int = _MAX_KEPT_REPORTS,
+    ) -> dict[str, ServiceResult]:
+        """Batch entry point: scan every named stream against one ruleset.
+
+        The ruleset compiles (at most) once; each stream gets its own
+        independent START_OF_DATA semantics and report offsets.
+        """
+        self.dispatcher(automaton)  # compile once, before the loop
+        return {
+            name: self.scan(
+                automaton,
+                data,
+                chunk_size=chunk_size,
+                max_reports=max_reports,
+            )
+            for name, data in streams.items()
+        }
+
+    # -- streaming sessions ----------------------------------------------
+    def open_session(
+        self,
+        automaton: Automaton,
+        name: str,
+        *,
+        max_reports: int = _MAX_KEPT_REPORTS,
+    ) -> Session:
+        """Open a named resumable stream against ``automaton``."""
+        if name in self.sessions and not self.sessions[name].closed:
+            raise SimulationError(f"session {name!r} is already open")
+        session = Session(
+            name, self.dispatcher(automaton), max_reports=max_reports
+        )
+        self.sessions[name] = session
+        return session
+
+    def close_session(self, name: str):
+        """Close a session and return its accumulated result."""
+        try:
+            session = self.sessions.pop(name)
+        except KeyError:
+            raise SimulationError(f"no such session: {name!r}") from None
+        return session.close()
+
+    def close(self) -> None:
+        """Release every dispatcher's worker pool (serial ones no-op)."""
+        for dispatcher in self._dispatchers.values():
+            dispatcher.close()

@@ -1,0 +1,89 @@
+"""Resumable named streams: the multi-tenant session API.
+
+A :class:`Session` binds one input stream to one compiled (possibly
+sharded) ruleset and carries the stream's active-state snapshot between
+:meth:`~Session.feed` calls, so many concurrent streams — different
+users, different connections — can interleave arbitrarily against the
+same cached engines without interfering.  START_OF_DATA semantics and
+report cycles are per-*session*: each session starts its own stream at
+position 0 regardless of how its chunks interleave with other
+sessions'.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.service.merge import accumulate_stats
+from repro.service.sharding import Dispatcher, iter_chunks
+from repro.sim.engine import SimulationResult, _MAX_KEPT_REPORTS
+from repro.sim.reports import Report
+from repro.sim.trace import TraceStats
+
+
+class Session:
+    """One resumable stream scanned against one dispatcher's shards.
+
+    Created by :meth:`repro.service.service.MatchingService.open_session`;
+    feed chunks as they arrive and read the accumulated result at any
+    point.  Sessions are cheap: per shard they hold only the active
+    state indices and the stream position.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dispatcher: Dispatcher,
+        *,
+        max_reports: int = _MAX_KEPT_REPORTS,
+    ) -> None:
+        self.name = name
+        self.dispatcher = dispatcher
+        self.max_reports = max_reports
+        self.closed = False
+        self._states = dispatcher.initial_states()
+        self._reports: list[Report] = []
+        self._stats = TraceStats(
+            num_states=sum(len(s.global_ids) for s in dispatcher.shards)
+        )
+
+    @property
+    def position(self) -> int:
+        """Bytes of this stream consumed so far."""
+        return self._states[0].position if self._states else 0
+
+    @property
+    def reports(self) -> list[Report]:
+        """All reports emitted so far (absolute stream offsets)."""
+        return list(self._reports)
+
+    @property
+    def stats(self) -> TraceStats:
+        return self._stats
+
+    def feed(self, chunk: bytes) -> list[Report]:
+        """Consume one chunk; return only the reports it produced."""
+        if self.closed:
+            raise SimulationError(f"session {self.name!r} is closed")
+        budget = max(0, self.max_reports - len(self._reports))
+        result = self.dispatcher.run_chunk(
+            chunk, self._states, max_reports=budget
+        )
+        self._reports.extend(result.reports)
+        accumulate_stats(self._stats, result.stats)
+        return result.reports
+
+    def feed_all(self, data: bytes, chunk_size: int) -> list[Report]:
+        """Feed ``data`` in ``chunk_size`` pieces; return its new reports."""
+        out: list[Report] = []
+        for chunk in iter_chunks(data, chunk_size):
+            out.extend(self.feed(chunk))
+        return out
+
+    def snapshot(self):
+        """Copies of the per-shard engine states (a resumable checkpoint)."""
+        return [state.copy() for state in self._states]
+
+    def close(self) -> SimulationResult:
+        """Finish the stream and return the accumulated result."""
+        self.closed = True
+        return SimulationResult(reports=self._reports, stats=self._stats)

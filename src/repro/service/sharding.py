@@ -1,0 +1,264 @@
+"""Sharded dispatch: split a ruleset, fan a stream across the pieces.
+
+Transitions of a homogeneous NFA never cross weakly-connected
+components (:func:`repro.automata.analysis.connected_components`), so a
+large ruleset splits into independent *shards* — groups of whole
+components balanced by state count — that can scan the same input
+stream in isolation and disagree about nothing.  The
+:class:`Dispatcher` owns that split: it builds one sub-automaton (and
+one :class:`Engine`) per shard, feeds each chunk of the stream to every
+shard serially or across a ``multiprocessing`` pool, and merges the
+per-shard reports and statistics back into the global automaton's view,
+reproducing a monolithic :meth:`Engine.run`'s report stream
+byte-for-byte.
+
+Components with no reporting state can never contribute a report and
+are dropped at shard-construction time; :attr:`Dispatcher.num_dropped_
+states` records how many states that removed.  When such components
+exist, merged *statistics* (``num_states``, enabled/active sums) cover
+only the retained shards and so undercount a monolithic run's —
+reports are unaffected.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.automata.analysis import balanced_shards, connected_components
+from repro.automata.nfa import Automaton
+from repro.errors import SimulationError
+from repro.service.merge import accumulate_stats, merge_shard_results
+from repro.service.ruleset import RulesetManager
+from repro.sim.engine import Engine, EngineState, SimulationResult, _MAX_KEPT_REPORTS
+from repro.sim.trace import TraceStats
+
+#: default streaming granularity (bytes per run_chunk call)
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent slice of a ruleset.
+
+    ``automaton`` is the induced sub-automaton with dense local ids;
+    ``global_ids[local]`` maps back to the parent automaton's state id.
+    """
+
+    index: int
+    automaton: Automaton
+    global_ids: list[int]
+
+
+def iter_chunks(data: bytes, chunk_size: int) -> Iterator[bytes]:
+    """Split ``data`` into consecutive chunks of ``chunk_size`` bytes."""
+    if chunk_size < 1:
+        raise SimulationError("chunk size must be >= 1")
+    for start in range(0, len(data), chunk_size):
+        yield data[start : start + chunk_size]
+
+
+def make_shards(automaton: Automaton, num_shards: int) -> list[Shard]:
+    """Split ``automaton`` into at most ``num_shards`` independent shards.
+
+    Whole connected components are packed largest-first into balanced
+    groups; reporterless components are dropped (they cannot affect the
+    report stream).
+    """
+    automaton.validate()
+    reporting = {s.ste_id for s in automaton.reporting_states()}
+    components = [
+        c for c in connected_components(automaton) if reporting.intersection(c)
+    ]
+    shards = []
+    for index, group in enumerate(balanced_shards(components, num_shards)):
+        sub = automaton.subautomaton(
+            group, name=f"{automaton.name}.shard{index}"
+        )
+        shards.append(Shard(index=index, automaton=sub, global_ids=group))
+    return shards
+
+
+def chunked_scan(
+    engine: Engine,
+    data: bytes,
+    chunk_size: int,
+    max_reports: int = _MAX_KEPT_REPORTS,
+) -> SimulationResult:
+    """Stream ``data`` through ``engine`` chunk by chunk.
+
+    Equivalent to ``engine.run(data)`` (the chunked-equivalence tests
+    assert this exactly), but exercises the resumable path and bounds
+    the per-call working set.
+    """
+    state = engine.initial_state()
+    stats = TraceStats(num_states=len(engine.automaton))
+    reports = []
+    for chunk in iter_chunks(data, chunk_size):
+        budget = max(0, max_reports - len(reports))
+        result = engine.run_chunk(chunk, state, max_reports=budget)
+        reports.extend(result.reports)
+        accumulate_stats(stats, result.stats)
+    return SimulationResult(reports=reports, stats=stats)
+
+
+# -- worker-process plumbing (top-level for picklability) -----------------
+_WORKER_ENGINES: list[Engine] = []
+
+
+def _init_worker(engines: list[Engine]) -> None:
+    # Engines arrive pre-compiled from the parent: shared copy-on-write
+    # pages under fork, pickled once per worker under spawn.
+    global _WORKER_ENGINES
+    _WORKER_ENGINES = engines
+
+
+def _scan_shard(task: tuple[int, bytes, int, int]) -> SimulationResult:
+    index, data, chunk_size, max_reports = task
+    return chunked_scan(_WORKER_ENGINES[index], data, chunk_size, max_reports)
+
+
+class Dispatcher:
+    """Runs one ruleset, split into shards, over input streams.
+
+    Args:
+        automaton: the full ruleset.
+        num_shards: upper bound on independent shards (the component
+            structure may yield fewer).
+        workers: processes for :meth:`scan`; 1 means in-process serial
+            execution.  Parallelism is across *shards*, so workers
+            beyond ``len(shards)`` are never used.  Streaming sessions
+            always run serially — chunk N+1 of a stream cannot start
+            before chunk N finishes.
+        manager: optional shared :class:`RulesetManager`; shard engines
+            are then cached by fingerprint and survive this dispatcher.
+    """
+
+    def __init__(
+        self,
+        automaton: Automaton,
+        *,
+        num_shards: int = 1,
+        workers: int = 1,
+        manager: RulesetManager | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise SimulationError("shard count must be >= 1")
+        if workers < 1:
+            raise SimulationError("workers must be >= 1")
+        self.automaton = automaton
+        self.shards = make_shards(automaton, num_shards)
+        self.workers = min(workers, len(self.shards))
+        self._manager = manager
+        self._engines: list[Engine] | None = None
+        self._pool: multiprocessing.pool.Pool | None = None
+        self.num_dropped_states = len(automaton) - sum(
+            len(s.global_ids) for s in self.shards
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def engines(self) -> list[Engine]:
+        """Per-shard engines, compiled lazily (and cached via the manager)."""
+        if self._engines is None:
+            if self._manager is not None:
+                self._engines = [
+                    self._manager.engine(s.automaton) for s in self.shards
+                ]
+            else:
+                self._engines = [Engine(s.automaton) for s in self.shards]
+        return self._engines
+
+    def global_ids(self) -> list[list[int]]:
+        return [s.global_ids for s in self.shards]
+
+    # -- streaming ------------------------------------------------------
+    def initial_states(self) -> list[EngineState]:
+        """Fresh per-shard stream states (one session's snapshot)."""
+        return [engine.initial_state() for engine in self.engines]
+
+    def run_chunk(
+        self,
+        data: bytes,
+        states: list[EngineState],
+        *,
+        max_reports: int = _MAX_KEPT_REPORTS,
+    ) -> SimulationResult:
+        """Feed one chunk to every shard, advancing ``states`` in place.
+
+        Returns the merged global-view result for this chunk only.
+        """
+        if len(states) != len(self.shards):
+            raise SimulationError(
+                "state snapshot does not match shard count"
+            )
+        per_shard = [
+            engine.run_chunk(data, state, max_reports=max_reports)
+            for engine, state in zip(self.engines, states)
+        ]
+        return self._merge_capped(per_shard, max_reports)
+
+    # -- one-shot scans -------------------------------------------------
+    def scan(
+        self,
+        data: bytes,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_reports: int = _MAX_KEPT_REPORTS,
+    ) -> SimulationResult:
+        """Scan a complete stream across all shards and merge the results."""
+        if self.workers > 1:
+            tasks = [
+                (shard.index, data, chunk_size, max_reports)
+                for shard in self.shards
+            ]
+            per_shard = self._worker_pool().map(_scan_shard, tasks)
+        else:
+            per_shard = [
+                chunked_scan(engine, data, chunk_size, max_reports)
+                for engine in self.engines
+            ]
+        return self._merge_capped(per_shard, max_reports)
+
+    def _worker_pool(self) -> "multiprocessing.pool.Pool":
+        """The persistent worker pool, created on first parallel scan.
+
+        Compiled engines ship to the workers exactly once (copy-on-write
+        pages under fork, pickled once per worker under spawn); repeat
+        scans pay neither pool startup nor recompilation.  Release with
+        :meth:`close`.
+        """
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.engines,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial dispatchers)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _merge_capped(
+        self, per_shard: list[SimulationResult], max_reports: int
+    ) -> SimulationResult:
+        """Merge shard results, re-applying the recording cap globally.
+
+        Each shard records up to ``max_reports`` on its own, so the
+        merged stream could hold ``num_shards x max_reports`` entries;
+        trim to the first ``max_reports`` in emission order (counting
+        via ``stats.num_reports`` is unaffected), matching what a
+        monolithic engine would have recorded.
+        """
+        merged = merge_shard_results(per_shard, self.global_ids())
+        if len(merged.reports) > max_reports:
+            del merged.reports[max_reports:]
+        return merged

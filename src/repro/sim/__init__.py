@@ -8,13 +8,21 @@ from repro.sim.buffers import (
     input_interrupts,
     output_interrupts,
 )
-from repro.sim.engine import Engine, SimulationResult, StridedEngine
+from repro.sim.engine import (
+    Engine,
+    EngineState,
+    SimulationResult,
+    StridedEngine,
+    gather_successors,
+    successor_csr,
+)
 from repro.sim.reports import Report, report_codes_at, report_positions
 from repro.sim.trace import PartitionAssignment, TraceStats
 
 __all__ = [
     "BufferActivity",
     "Engine",
+    "EngineState",
     "INPUT_BUFFER_ENTRIES",
     "OUTPUT_BUFFER_ENTRIES",
     "PartitionAssignment",
@@ -23,8 +31,10 @@ __all__ = [
     "StridedEngine",
     "TraceStats",
     "buffer_activity",
+    "gather_successors",
     "input_interrupts",
     "output_interrupts",
     "report_codes_at",
     "report_positions",
+    "successor_csr",
 ]

@@ -14,11 +14,18 @@ Per-cycle semantics (identical to AP/CA/Impala/eAP/CAMA):
                | successors(active(t-1))
     active(t)  = { s in enabled(t) : input[t] in C(s) }
     reports(t) = active(t) & reporting
+
+Execution is *resumable*: :meth:`Engine.run_chunk` consumes one chunk of
+a stream and advances an :class:`EngineState`, so a long input can be
+fed piecewise (the service layer in :mod:`repro.service` builds on
+this).  ``t == 0`` above means the first symbol of the *stream*, not of
+the chunk — ``START_OF_DATA`` states never re-fire at chunk boundaries,
+and report cycles are absolute stream offsets.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -29,6 +36,73 @@ from repro.sim.reports import Report
 from repro.sim.trace import PartitionAssignment, TraceStats
 
 _MAX_KEPT_REPORTS = 1_000_000
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+def successor_csr(automaton, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-state successor sets into a CSR pair.
+
+    ``automaton`` is anything with a ``successors(state)`` method over
+    dense ids ``0..n-1``.  Returns ``(offsets, targets)`` with
+    ``targets[offsets[s]:offsets[s+1]]`` holding state ``s``'s
+    successors in ascending order.
+    """
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    flat: list[int] = []
+    for s in range(n):
+        succ = sorted(automaton.successors(s))
+        offsets[s + 1] = offsets[s] + len(succ)
+        flat.extend(succ)
+    targets = np.asarray(flat, dtype=np.int64)
+    return offsets, targets
+
+
+def gather_successors(
+    offsets: np.ndarray, targets: np.ndarray, active: np.ndarray
+) -> np.ndarray:
+    """Successors of every state in ``active``, gathered without a
+    per-state Python loop (and without concatenating per-state slices).
+
+    Builds one flat index vector into ``targets`` by expanding each
+    active state's CSR span with ``np.repeat`` arithmetic.
+    """
+    if not active.size:
+        return _EMPTY_IDS
+    starts = offsets[active]
+    counts = offsets[active + 1] - starts
+    total = int(counts.sum())
+    if not total:
+        return _EMPTY_IDS
+    # index = start(s) + (position within s's span), vectorized:
+    # repeat each span's start, subtract the exclusive running total so
+    # np.arange restarts at 0 at every span boundary.
+    cum = np.cumsum(counts)
+    index = np.arange(total, dtype=np.int64) + np.repeat(starts - (cum - counts), counts)
+    return targets[index]
+
+
+@dataclass
+class EngineState:
+    """Resumable execution state of one input stream.
+
+    ``active`` holds the active-state indices after the last consumed
+    symbol; ``position`` is the number of stream symbols consumed so
+    far.  :meth:`Engine.run_chunk` (and ``CamaMachine.run_chunk``)
+    advance a state in place; use :meth:`copy` to snapshot one — e.g. to
+    fork a speculative continuation or checkpoint a session.
+    """
+
+    active: np.ndarray = field(default_factory=lambda: _EMPTY_IDS)
+    position: int = 0
+
+    def copy(self) -> "EngineState":
+        return EngineState(active=self.active.copy(), position=self.position)
+
+    @property
+    def at_start(self) -> bool:
+        """True before any symbol was consumed (START_OF_DATA pending)."""
+        return self.position == 0
 
 
 @dataclass
@@ -58,10 +132,7 @@ class Engine:
             for symbol in ste.symbol_class:
                 table[symbol, ste.ste_id] = True
         self._match_table = table
-        self._successors = [
-            np.fromiter(sorted(automaton.successors(s)), dtype=np.int64, count=-1)
-            for s in range(n)
-        ]
+        self._succ_offsets, self._succ_targets = successor_csr(automaton, n)
         self._start_all = np.fromiter(
             (s.ste_id for s in automaton.states if s.start is StartKind.ALL_INPUT),
             dtype=np.int64,
@@ -83,12 +154,11 @@ class Engine:
     # -- single-step API (used by the CAMA machine for lock-step checks) --
     def enabled_at(self, active: np.ndarray, first_cycle: bool) -> np.ndarray:
         """Indices of states enabled next cycle, given active indices."""
-        parts = [self._start_all]
+        succ = gather_successors(self._succ_offsets, self._succ_targets, active)
         if first_cycle:
-            parts.append(self._start_sod)
-        for s in active:
-            parts.append(self._successors[s])
-        merged = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            merged = np.concatenate((self._start_all, self._start_sod, succ))
+        else:
+            merged = np.concatenate((self._start_all, succ))
         return np.unique(merged)
 
     def match(self, enabled: np.ndarray, symbol: int) -> np.ndarray:
@@ -97,24 +167,28 @@ class Engine:
             raise SimulationError(f"input symbol out of range: {symbol}")
         return enabled[self._match_table[symbol, enabled]]
 
-    # -- full run ---------------------------------------------------------
-    def run(
+    # -- resumable execution ---------------------------------------------
+    def initial_state(self) -> EngineState:
+        """A fresh :class:`EngineState` at stream position 0."""
+        return EngineState()
+
+    def run_chunk(
         self,
         data: bytes,
+        state: EngineState,
         *,
         placement: PartitionAssignment | None = None,
         keep_per_cycle: bool = False,
         max_reports: int = _MAX_KEPT_REPORTS,
     ) -> SimulationResult:
-        """Simulate ``data`` and return reports plus activity statistics.
+        """Consume one chunk of a stream, advancing ``state`` in place.
 
-        Args:
-            data: the input symbol stream.
-            placement: optional state->partition map; when given, the
-                per-partition activity the energy model needs is recorded.
-            keep_per_cycle: retain per-cycle enabled/active counts.
-            max_reports: stop *recording* (not counting) reports beyond
-                this limit, protecting memory on report-heavy runs.
+        Semantics are those of :meth:`run` applied to the whole stream:
+        ``START_OF_DATA`` states are enabled only when ``state`` is at
+        stream position 0, and report cycles are absolute stream
+        offsets (``state.position`` plus the chunk-local index).  The
+        returned statistics cover only this chunk; accumulate across
+        chunks with :func:`repro.service.merge.accumulate_stats`.
         """
         stats = TraceStats(num_states=self._n)
         part = cross_any = weights = None
@@ -145,13 +219,17 @@ class Engine:
             # cross_any[s] is True when s has a successor in another partition
             cross_any = np.zeros(self._n, dtype=bool)
             for s in range(self._n):
-                succ = self._successors[s]
+                succ = self._succ_targets[
+                    self._succ_offsets[s] : self._succ_offsets[s + 1]
+                ]
                 if succ.size and np.any(part[succ] != part[s]):
                     cross_any[s] = True
 
         reports: list[Report] = []
-        active = np.empty(0, dtype=np.int64)
-        for cycle, symbol in enumerate(data):
+        base = state.position
+        active = state.active
+        for offset, symbol in enumerate(data):
+            cycle = base + offset
             enabled = self.enabled_at(active, first_cycle=cycle == 0)
             active = self.match(enabled, symbol)
 
@@ -193,6 +271,8 @@ class Engine:
             stats.num_reports += int(firing.size)
             if firing.size and len(reports) < max_reports:
                 for s in firing:
+                    if len(reports) >= max_reports:
+                        break
                     reports.append(
                         Report(
                             cycle=cycle,
@@ -200,7 +280,36 @@ class Engine:
                             code=self._report_codes[int(s)],
                         )
                     )
+        state.active = active
+        state.position = base + len(data)
         return SimulationResult(reports=reports, stats=stats)
+
+    # -- full run ---------------------------------------------------------
+    def run(
+        self,
+        data: bytes,
+        *,
+        placement: PartitionAssignment | None = None,
+        keep_per_cycle: bool = False,
+        max_reports: int = _MAX_KEPT_REPORTS,
+    ) -> SimulationResult:
+        """Simulate ``data`` and return reports plus activity statistics.
+
+        Args:
+            data: the input symbol stream.
+            placement: optional state->partition map; when given, the
+                per-partition activity the energy model needs is recorded.
+            keep_per_cycle: retain per-cycle enabled/active counts.
+            max_reports: stop *recording* (not counting) reports beyond
+                this limit, protecting memory on report-heavy runs.
+        """
+        return self.run_chunk(
+            data,
+            self.initial_state(),
+            placement=placement,
+            keep_per_cycle=keep_per_cycle,
+            max_reports=max_reports,
+        )
 
 
 class StridedEngine:
@@ -221,10 +330,7 @@ class StridedEngine:
                 lo[symbol, ste.ste_id] = True
         self._hi_table = hi
         self._lo_table = lo
-        self._successors = [
-            np.fromiter(sorted(strided.successors(s)), dtype=np.int64, count=-1)
-            for s in range(n)
-        ]
+        self._succ_offsets, self._succ_targets = successor_csr(strided, n)
         self._start_all = np.fromiter(
             (s.ste_id for s in strided.states if s.start is StartKind.ALL_INPUT),
             dtype=np.int64,
@@ -248,12 +354,14 @@ class StridedEngine:
         *,
         placement: PartitionAssignment | None = None,
         keep_per_cycle: bool = False,
+        max_reports: int = _MAX_KEPT_REPORTS,
     ) -> SimulationResult:
         """Simulate an even-length byte stream, one pair per cycle.
 
         Reports carry the *original* automaton's reporting-state id and
         original symbol position, so results compare directly against
-        the unstrided engine's.
+        the unstrided engine's.  As with :meth:`Engine.run`, reports
+        beyond ``max_reports`` are counted but not recorded.
         """
         pairs = stride_pairs(data)
         stats = TraceStats(num_states=self._n)
@@ -282,16 +390,18 @@ class StridedEngine:
             stats.partition_active_states_sum = np.zeros(
                 placement.num_partitions, dtype=np.int64
             )
-        reports: set[tuple[int, int]] = set()
+        out: list[Report] = []
         active = np.empty(0, dtype=np.int64)
         states = self.automaton.states
         for stride_idx, (first, second) in enumerate(pairs):
-            parts = [self._start_all]
+            succ = gather_successors(
+                self._succ_offsets, self._succ_targets, active
+            )
             if stride_idx == 0:
-                parts.append(self._start_sod)
-            for s in active:
-                parts.append(self._successors[s])
-            enabled = np.unique(np.concatenate(parts))
+                merged = np.concatenate((self._start_all, self._start_sod, succ))
+            else:
+                merged = np.concatenate((self._start_all, succ))
+            enabled = np.unique(merged)
             match = self._hi_table[first, enabled] & self._lo_table[second, enabled]
             active = enabled[match]
 
@@ -323,13 +433,20 @@ class StridedEngine:
                     stats.partition_active_states_sum += acounts
                     stats.partition_active_cycles += acounts > 0
 
-            for s in active[self._reporting[active]]:
-                ste = states[int(s)]
-                offset = 0 if ste.reports_on_first_half else 1
-                reports.add((2 * stride_idx + offset, ste.report_origin))
-        stats.num_reports = len(reports)
-        out = [
-            Report(cycle=cycle, state_id=origin)
-            for cycle, origin in sorted(reports)
-        ]
+            # (cycle, origin) keys of distinct strided reporters can
+            # collide only within one stride cycle (cycle 2k/2k+1 pairs
+            # never recur), so per-cycle dedup is exact and the global
+            # report set never needs to be held in memory.
+            cycle_hits = {
+                (
+                    2 * stride_idx
+                    + (0 if states[int(s)].reports_on_first_half else 1),
+                    states[int(s)].report_origin,
+                )
+                for s in active[self._reporting[active]]
+            }
+            stats.num_reports += len(cycle_hits)
+            for cycle, origin in sorted(cycle_hits):
+                if len(out) < max_reports:
+                    out.append(Report(cycle=cycle, state_id=origin))
         return SimulationResult(reports=out, stats=stats)

@@ -5,6 +5,7 @@ from repro.workloads.inputs import (
     DEFAULT_INJECTION_RATE,
     DEFAULT_STREAM_LENGTH,
     benchmark_input,
+    multi_stream_inputs,
     pattern_walk,
 )
 from repro.workloads.profiles import (
@@ -34,6 +35,7 @@ __all__ = [
     "benchmark_input",
     "generate",
     "get_benchmark",
+    "multi_stream_inputs",
     "pattern_walk",
     "profile_of",
 ]

@@ -64,3 +64,29 @@ def benchmark_input(
         else:
             out.append(rng.choice(alphabet))
     return bytes(out[:length])
+
+
+def multi_stream_inputs(
+    automaton: Automaton,
+    num_streams: int,
+    length: int = DEFAULT_STREAM_LENGTH,
+    seed: int = 0,
+    injection_rate: float = DEFAULT_INJECTION_RATE,
+) -> dict[str, bytes]:
+    """Named per-tenant input streams for the same automaton.
+
+    The multi-tenant service workload: ``num_streams`` independent,
+    deterministically different streams (one per simulated user) that
+    feed ``scan_many`` and the session benchmarks.
+    """
+    if num_streams <= 0:
+        raise ReproError("number of streams must be positive")
+    return {
+        f"stream-{i:03d}": benchmark_input(
+            automaton,
+            length=length,
+            seed=seed + i,
+            injection_rate=injection_rate,
+        )
+        for i in range(num_streams)
+    }

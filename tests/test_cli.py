@@ -72,6 +72,42 @@ class TestCommands:
         assert main(["run", str(anml_file), str(input_file), "--limit", "4"]) == 0
         assert "4 cycles" in capsys.readouterr().out
 
+    def test_scan(self, anml_file, input_file, capsys):
+        assert (
+            main(
+                [
+                    "scan",
+                    str(anml_file),
+                    str(input_file),
+                    "--chunk-size",
+                    "64",
+                    "--shards",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "MB/s" in out
+        assert "code=m" in out
+
+    def test_scan_matches_run_reports(self, anml_file, input_file, capsys):
+        main(["run", str(anml_file), str(input_file), "--max-reports", "10"])
+        run_out = capsys.readouterr().out.splitlines()
+        main(
+            [
+                "scan",
+                str(anml_file),
+                str(input_file),
+                "--chunk-size",
+                "7",
+                "--max-reports",
+                "10",
+            ]
+        )
+        scan_out = capsys.readouterr().out.splitlines()
+        assert run_out[:10] == scan_out[:10]
+
     def test_evaluate(self, anml_file, input_file, capsys):
         assert main(["evaluate", str(anml_file), str(input_file)]) == 0
         out = capsys.readouterr().out

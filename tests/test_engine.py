@@ -51,6 +51,40 @@ class TestBasicRuns:
             Engine(Automaton())
 
 
+class TestRunChunk:
+    def test_resume_matches_one_shot(self):
+        engine = Engine(glushkov_nfa("abc"))
+        one_shot = engine.run(b"zabczabc")
+        state = engine.initial_state()
+        reports = []
+        for chunk in (b"zab", b"cz", b"", b"abc"):
+            reports.extend(engine.run_chunk(chunk, state).reports)
+        assert reports == one_shot.reports
+        assert state.position == 8
+
+    def test_start_of_data_only_at_stream_start(self):
+        engine = Engine(glushkov_nfa("ab", anchored=True))
+        state = engine.initial_state()
+        first = engine.run_chunk(b"ab", state)
+        second = engine.run_chunk(b"ab", state)
+        assert first.num_reports == 1
+        assert second.num_reports == 0
+
+    def test_max_reports_budget_is_per_chunk_call(self):
+        engine = Engine(glushkov_nfa("a"))
+        state = engine.initial_state()
+        result = engine.run_chunk(b"a" * 10, state, max_reports=3)
+        assert len(result.reports) == 3
+        assert result.stats.num_reports == 10
+
+    def test_max_reports_is_exact_with_simultaneous_firings(self):
+        # two states report on the same cycle: the cap must not overshoot
+        engine = Engine(compile_regex_set({"r1": "a", "r2": "a"}))
+        result = engine.run(b"aaa", max_reports=1)
+        assert len(result.reports) == 1
+        assert result.stats.num_reports == 6
+
+
 class TestReports:
     def test_report_codes(self):
         engine = Engine(compile_regex_set({"r1": "ab", "r2": "b"}))

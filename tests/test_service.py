@@ -1,0 +1,353 @@
+"""Tests for the streaming, sharded, multi-tenant service layer."""
+
+import numpy as np
+import pytest
+
+from repro.automata import balanced_shards, glushkov_nfa
+from repro.automata.glushkov import compile_regex_set
+from repro.core.compiler import compile_automaton
+from repro.core.machine import CamaMachine
+from repro.errors import SimulationError
+from repro.service import (
+    Dispatcher,
+    MatchingService,
+    RulesetManager,
+    accumulate_stats,
+    chunked_scan,
+    iter_chunks,
+    make_shards,
+    merge_shard_reports,
+    ruleset_fingerprint,
+)
+from repro.sim.engine import Engine, EngineState
+from repro.sim.reports import Report
+from repro.sim.trace import TraceStats
+from repro.workloads import BENCHMARK_NAMES, get_benchmark, multi_stream_inputs
+
+TEST_SCALE = 1.0 / 64.0
+STREAM_LENGTH = 600
+
+
+def report_keys(reports):
+    return [(r.cycle, r.state_id, r.code) for r in reports]
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    nfa = compile_regex_set(
+        {"r1": "(a|b)e*cd+", "r2": "abc", "r3": "x+y"}, name="svc"
+    )
+    return nfa
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return b"aecdabcxxyaecddabcyx" * 30
+
+
+class TestChunkedEquivalence:
+    """run_chunk over chunks == run over the whole stream, exactly."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64])
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_registry_benchmarks(self, name, chunk_size):
+        bench = get_benchmark(name, scale=TEST_SCALE)
+        data = bench.input_stream(STREAM_LENGTH)
+        engine = Engine(bench.automaton)
+        one_shot = engine.run(data)
+        chunked = chunked_scan(engine, data, chunk_size)
+        assert report_keys(chunked.reports) == report_keys(one_shot.reports)
+        assert chunked.stats.num_cycles == one_shot.stats.num_cycles
+        assert chunked.stats.num_reports == one_shot.stats.num_reports
+        assert chunked.stats.enabled_states_sum == one_shot.stats.enabled_states_sum
+        assert chunked.stats.active_states_sum == one_shot.stats.active_states_sum
+
+    def test_start_of_data_does_not_refire_at_chunk_boundaries(self):
+        engine = Engine(glushkov_nfa("ab", anchored=True))
+        one_shot = engine.run(b"abab")
+        for chunk_size in (1, 2, 3):
+            chunked = chunked_scan(engine, b"abab", chunk_size)
+            assert report_keys(chunked.reports) == report_keys(one_shot.reports)
+            assert chunked.num_reports == 1
+
+    def test_report_cycles_are_stream_offsets(self, ruleset):
+        engine = Engine(ruleset)
+        state = engine.initial_state()
+        engine.run_chunk(b"aecdabcxx", state)
+        late = engine.run_chunk(b"aecd", state)
+        # the 'd' of the second chunk completes r1 at absolute offset 12
+        assert (12, "r1") in {(r.cycle, r.code) for r in late.reports}
+
+    def test_state_advances_in_place(self, ruleset):
+        engine = Engine(ruleset)
+        state = engine.initial_state()
+        engine.run_chunk(b"aec", state)
+        assert state.position == 3
+        assert state.active.size > 0
+
+    def test_snapshot_forks_execution(self, ruleset):
+        engine = Engine(ruleset)
+        state = engine.initial_state()
+        engine.run_chunk(b"aec", state)
+        fork = state.copy()
+        finished = engine.run_chunk(b"d", state)
+        assert finished.num_reports == 1
+        # the fork still sees the same continuation independently
+        assert engine.run_chunk(b"d", fork).num_reports == 1
+
+    def test_empty_chunk_is_a_no_op(self, ruleset):
+        engine = Engine(ruleset)
+        state = engine.initial_state()
+        result = engine.run_chunk(b"", state)
+        assert result.num_reports == 0
+        assert state.position == 0
+        assert state.at_start
+
+    def test_cama_machine_run_chunk_matches_engine(self, ruleset, stream):
+        machine = CamaMachine(compile_automaton(ruleset))
+        reference = Engine(ruleset).run(stream)
+        state = machine.initial_state()
+        reports = []
+        for chunk in iter_chunks(stream, 17):
+            reports.extend(machine.run_chunk(chunk, state).reports)
+        assert report_keys(reports) == report_keys(reference.reports)
+
+
+class TestRulesetManager:
+    def test_fingerprint_ignores_names(self):
+        a = glushkov_nfa("ab*c")
+        b = glushkov_nfa("ab*c")
+        b.name = "renamed"
+        for ste in b.states:
+            ste.name = f"other{ste.ste_id}"
+        assert ruleset_fingerprint(a) == ruleset_fingerprint(b)
+
+    def test_fingerprint_sees_language_changes(self):
+        assert ruleset_fingerprint(glushkov_nfa("ab")) != ruleset_fingerprint(
+            glushkov_nfa("ac")
+        )
+        anchored = glushkov_nfa("ab", anchored=True)
+        assert ruleset_fingerprint(glushkov_nfa("ab")) != ruleset_fingerprint(
+            anchored
+        )
+
+    def test_cache_hits_and_misses(self):
+        manager = RulesetManager(capacity=4)
+        nfa = glushkov_nfa("ab*c")
+        first = manager.engine(nfa)
+        assert manager.engine(nfa) is first
+        assert manager.stats.misses == 1
+        assert manager.stats.hits == 1
+
+    def test_lru_eviction(self):
+        manager = RulesetManager(capacity=2)
+        rules = [glushkov_nfa(p) for p in ("ab", "cd", "ef")]
+        engines = [manager.engine(nfa) for nfa in rules]
+        assert manager.stats.evictions == 1
+        # oldest entry was evicted; re-requesting it recompiles
+        assert manager.engine(rules[0]) is not engines[0]
+        assert manager.engine(rules[2]) is engines[2]
+
+    def test_machine_cache(self):
+        manager = RulesetManager()
+        nfa = glushkov_nfa("ab")
+        machine = manager.machine(nfa)
+        assert manager.machine(nfa) is machine
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(Exception):
+            RulesetManager(capacity=0)
+
+
+class TestSharding:
+    def test_balanced_shards_partition_states(self):
+        components = [[0, 1], [2, 3, 4], [5], [6, 7]]
+        groups = balanced_shards(components, 2)
+        assert sorted(s for g in groups for s in g) == list(range(8))
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [4, 4]
+
+    def test_balanced_shards_fewer_components_than_shards(self):
+        groups = balanced_shards([[0, 1]], 4)
+        assert groups == [[0, 1]]
+
+    def test_balanced_shards_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            balanced_shards([[0]], 0)
+
+    def test_make_shards_cover_reporting_components(self, ruleset):
+        shards = make_shards(ruleset, 3)
+        covered = sorted(s for shard in shards for s in shard.global_ids)
+        assert covered == list(range(len(ruleset)))
+        for shard in shards:
+            shard.automaton.validate()
+
+    def test_sharded_scan_equals_monolithic(self, ruleset, stream):
+        one_shot = Engine(ruleset).run(stream)
+        for num_shards in (1, 2, 3):
+            dispatcher = Dispatcher(ruleset, num_shards=num_shards)
+            result = dispatcher.scan(stream, chunk_size=50)
+            assert report_keys(result.reports) == report_keys(one_shot.reports)
+            assert result.stats.num_reports == one_shot.stats.num_reports
+            assert (
+                result.stats.enabled_states_sum
+                == one_shot.stats.enabled_states_sum
+            )
+
+    def test_sharded_scan_with_workers(self, ruleset, stream):
+        one_shot = Engine(ruleset).run(stream)
+        dispatcher = Dispatcher(ruleset, num_shards=3, workers=2)
+        try:
+            # the pool persists across scans; both must match one-shot
+            for _ in range(2):
+                result = dispatcher.scan(stream, chunk_size=100)
+                assert report_keys(result.reports) == report_keys(
+                    one_shot.reports
+                )
+        finally:
+            dispatcher.close()
+
+    def test_sharded_registry_benchmark(self):
+        bench = get_benchmark("Snort", scale=TEST_SCALE)
+        data = bench.input_stream(STREAM_LENGTH)
+        one_shot = Engine(bench.automaton).run(data)
+        result = Dispatcher(bench.automaton, num_shards=4).scan(
+            data, chunk_size=64
+        )
+        assert report_keys(result.reports) == report_keys(one_shot.reports)
+
+    def test_run_chunk_state_mismatch_rejected(self, ruleset):
+        dispatcher = Dispatcher(ruleset, num_shards=2)
+        with pytest.raises(SimulationError):
+            dispatcher.run_chunk(b"ab", [EngineState()] * 5)
+
+    def test_iter_chunks_rejects_bad_size(self):
+        with pytest.raises(SimulationError):
+            list(iter_chunks(b"abc", 0))
+
+
+class TestMerge:
+    def test_accumulate_requires_same_automaton(self):
+        with pytest.raises(ValueError):
+            accumulate_stats(TraceStats(num_states=2), TraceStats(num_states=3))
+
+    def test_merge_shard_reports_orders_like_monolithic(self):
+        per_shard = [
+            [Report(cycle=1, state_id=0), Report(cycle=3, state_id=1)],
+            [Report(cycle=1, state_id=0)],
+        ]
+        merged = merge_shard_reports(per_shard, [[5, 6], [2]])
+        assert [(r.cycle, r.state_id) for r in merged] == [
+            (1, 2),
+            (1, 5),
+            (3, 6),
+        ]
+
+
+class TestSessions:
+    def test_interleaved_sessions_are_independent(self, ruleset, stream):
+        service = MatchingService(num_shards=2)
+        expected = Engine(ruleset).run(stream)
+        a = service.open_session(ruleset, "a")
+        b = service.open_session(ruleset, "b")
+        # feed the same stream to both, chunks interleaved unevenly
+        for chunk in iter_chunks(stream, 13):
+            a.feed(chunk)
+        b.feed_all(stream, chunk_size=37)
+        for session in (a, b):
+            assert report_keys(session.reports) == report_keys(expected.reports)
+        result = service.close_session("a")
+        assert result.stats.num_cycles == len(stream)
+
+    def test_session_feed_returns_only_new_reports(self, ruleset):
+        service = MatchingService()
+        session = service.open_session(ruleset, "s")
+        assert session.feed(b"aec") == []
+        new = session.feed(b"d")
+        assert [(r.cycle, r.code) for r in new] == [(3, "r1")]
+        assert session.position == 4
+
+    def test_closed_session_rejects_feeds(self, ruleset):
+        service = MatchingService()
+        session = service.open_session(ruleset, "s")
+        result = service.close_session("s")
+        assert result.num_reports == 0
+        assert "s" not in service.sessions
+        with pytest.raises(SimulationError):
+            session.feed(b"a")
+
+    def test_duplicate_session_name_rejected(self, ruleset):
+        service = MatchingService()
+        service.open_session(ruleset, "dup")
+        with pytest.raises(SimulationError):
+            service.open_session(ruleset, "dup")
+
+    def test_unknown_session_close_rejected(self):
+        with pytest.raises(SimulationError):
+            MatchingService().close_session("ghost")
+
+    def test_session_max_reports_caps_recording(self, ruleset):
+        service = MatchingService()
+        session = service.open_session(ruleset, "cap", max_reports=2)
+        session.feed_all(b"aecd" * 10, chunk_size=4)
+        assert len(session.reports) == 2
+        assert session.stats.num_reports == 10
+
+    def test_session_cap_holds_across_shards(self):
+        # both components fire every cycle; the cap must apply to the
+        # merged stream, not per shard
+        nfa = compile_regex_set({"ra": "a", "rb": "b"}, name="two")
+        service = MatchingService(num_shards=2)
+        session = service.open_session(nfa, "cap", max_reports=2)
+        session.feed(b"ababab")
+        assert len(session.reports) == 2
+        assert session.stats.num_reports == 6
+
+
+class TestMatchingService:
+    def test_scan_marks_cache_state(self, ruleset, stream):
+        service = MatchingService(num_shards=2)
+        cold = service.scan(ruleset, stream)
+        warm = service.scan(ruleset, stream)
+        assert not cold.cached
+        assert warm.cached
+        assert report_keys(cold.reports) == report_keys(warm.reports)
+        assert warm.bytes_scanned == len(stream)
+        assert warm.throughput_mbps >= 0.0
+
+    def test_scan_equals_engine_run(self, ruleset, stream):
+        service = MatchingService(num_shards=3, chunk_size=41)
+        expected = Engine(ruleset).run(stream)
+        result = service.scan(ruleset, stream)
+        assert report_keys(result.reports) == report_keys(expected.reports)
+        assert result.stats.num_cycles == expected.stats.num_cycles
+
+    def test_scan_many_isolates_streams(self, ruleset):
+        service = MatchingService()
+        streams = multi_stream_inputs(ruleset, 3, length=200)
+        results = service.scan_many(ruleset, streams)
+        assert set(results) == set(streams)
+        for name, data in streams.items():
+            expected = Engine(ruleset).run(data)
+            assert report_keys(results[name].reports) == report_keys(
+                expected.reports
+            )
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(SimulationError):
+            MatchingService(chunk_size=0)
+
+
+class TestStridedMaxReports:
+    def test_caps_recording_not_counting(self):
+        from repro.automata import pad_input, stride2
+        from repro.sim.engine import StridedEngine
+
+        strided = stride2(glushkov_nfa("ab"))
+        engine = StridedEngine(strided)
+        data = pad_input(b"ab" * 50)
+        full = engine.run(data)
+        capped = engine.run(data, max_reports=5)
+        assert len(capped.reports) == 5
+        assert capped.stats.num_reports == full.stats.num_reports == 50
+        assert capped.reports == full.reports[:5]
