@@ -28,6 +28,7 @@ from repro.automata import (
 from repro.automata.nfa import Automaton
 from repro.core.compiler import compile_automaton
 from repro.errors import ReproError
+from repro.sim.backends import BACKEND_NAMES, DEFAULT_MAX_KEPT_REPORTS
 from repro.sim.engine import Engine
 from repro.utils.tables import format_table
 
@@ -74,14 +75,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     data = Path(args.input).read_bytes()
     if args.limit:
         data = data[: args.limit]
-    result = Engine(automaton).run(data)
+    engine = Engine(
+        automaton,
+        backend=args.backend,
+        max_kept_reports=args.max_kept_reports,
+        on_truncation="error" if args.strict_reports else "warn",
+    )
+    result = engine.run(data)
     for report in result.reports[: args.max_reports]:
         code = f" code={report.code}" if report.code else ""
         print(f"cycle={report.cycle} state={report.state_id}{code}")
     print(
         f"# {result.stats.num_reports} reports over "
         f"{result.stats.num_cycles} cycles "
-        f"(avg active states {result.stats.avg_active_states():.2f})"
+        f"(avg active states {result.stats.avg_active_states():.2f}, "
+        f"backend {engine.backend_name})"
     )
     return 0
 
@@ -97,15 +105,28 @@ def cmd_scan(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        backend=args.backend,
+        default_max_reports=args.max_kept_reports,
     )
-    result = service.scan(automaton, data, max_reports=args.max_reports)
+    # --max-kept-reports caps *recording* (via the service default);
+    # --max-reports only caps what is printed, mirroring `repro run`
+    result = service.scan(automaton, data)
+    if result.truncated:
+        message = (
+            f"scan hit the kept-reports cap ({args.max_kept_reports}); "
+            f"further reports were counted but not recorded"
+        )
+        if args.strict_reports:
+            raise ReproError(message)
+        print(f"warning: {message}", file=sys.stderr)
     for report in result.reports[: args.max_reports]:
         code = f" code={report.code}" if report.code else ""
         print(f"cycle={report.cycle} state={report.state_id}{code}")
+    backends = ",".join(sorted(set(result.backends))) or args.backend
     print(
         f"# {result.num_reports} reports over {len(data)} bytes | "
         f"{result.num_shards} shard(s), {args.workers} worker(s), "
-        f"chunk {args.chunk_size} B | "
+        f"chunk {args.chunk_size} B, backend {backends} | "
         f"{result.elapsed_s:.3f} s, {result.throughput_mbps:.2f} MB/s"
     )
     return 0
@@ -163,11 +184,31 @@ def main(argv: list[str] | None = None) -> int:
     p_compile.add_argument("--optimize", action="store_true")
     p_compile.set_defaults(fn=cmd_compile)
 
+    def add_backend_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=BACKEND_NAMES,
+            default="auto",
+            help="execution backend (auto picks per automaton/shard)",
+        )
+        p.add_argument(
+            "--max-kept-reports",
+            type=int,
+            default=DEFAULT_MAX_KEPT_REPORTS,
+            help="cap on recorded (not counted) reports per run",
+        )
+        p.add_argument(
+            "--strict-reports",
+            action="store_true",
+            help="error (instead of warn) when the kept-reports cap truncates",
+        )
+
     p_run = sub.add_parser("run", help="simulate an automaton on an input file")
     p_run.add_argument("automaton")
     p_run.add_argument("input")
     p_run.add_argument("--limit", type=int, default=0)
     p_run.add_argument("--max-reports", type=int, default=50)
+    add_backend_options(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_scan = sub.add_parser(
@@ -180,6 +221,7 @@ def main(argv: list[str] | None = None) -> int:
     p_scan.add_argument("--workers", type=int, default=1)
     p_scan.add_argument("--limit", type=int, default=0)
     p_scan.add_argument("--max-reports", type=int, default=50)
+    add_backend_options(p_scan)
     p_scan.set_defaults(fn=cmd_scan)
 
     p_eval = sub.add_parser("evaluate", help="compare designs on a workload")

@@ -12,11 +12,32 @@ elements).
 from __future__ import annotations
 
 import enum
+import hashlib
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.automata.symbols import SymbolClass
 from repro.errors import AutomatonError
+
+
+def edges_digest(
+    num_states: int, successors: list[set[int]], salt: bytes = b""
+) -> str:
+    """Hex digest of a dense-id transition structure.
+
+    The one hashing scheme behind every ``structure_fingerprint`` —
+    :class:`Automaton` and :class:`~repro.automata.striding.
+    StridedAutomaton` share it so their cache keyspaces can never
+    drift apart.
+    """
+    h = hashlib.sha256()
+    h.update(salt)
+    h.update(num_states.to_bytes(8, "little"))
+    for u, succ in enumerate(successors):
+        for v in sorted(succ):
+            h.update(u.to_bytes(8, "little"))
+            h.update(v.to_bytes(8, "little"))
+    return h.hexdigest()
 
 
 class StartKind(enum.Enum):
@@ -66,6 +87,11 @@ class Automaton:
     name: str = "automaton"
     states: list[STE] = field(default_factory=list)
     _successors: list[set[int]] = field(default_factory=list)
+    #: bumped on every structural mutation; invalidates cached fingerprints
+    _mutations: int = field(default=0, repr=False, compare=False)
+    _fingerprint: tuple[int, str] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- construction ---------------------------------------------------
     def add_state(
@@ -92,6 +118,7 @@ class Automaton:
         )
         self.states.append(ste)
         self._successors.append(set())
+        self._mutations += 1
         return ste
 
     def add_transition(self, src: int | STE, dst: int | STE) -> None:
@@ -102,10 +129,27 @@ class Automaton:
         if not (0 <= u < n and 0 <= v < n):
             raise AutomatonError(f"transition ({u}, {v}) references unknown state")
         self._successors[u].add(v)
+        self._mutations += 1
 
     # -- accessors ------------------------------------------------------
     def __len__(self) -> int:
         return len(self.states)
+
+    def structure_fingerprint(self) -> str:
+        """Hex digest of the transition *structure* (ids + edges only).
+
+        Keys structure-derived caches — e.g. the successor CSR shared
+        across engine compilations — so it deliberately excludes symbol
+        classes, start kinds and reporting flags; use
+        :func:`repro.service.ruleset.ruleset_fingerprint` to key
+        *language*-derived artifacts.  Cached until the next structural
+        mutation.
+        """
+        if self._fingerprint is not None and self._fingerprint[0] == self._mutations:
+            return self._fingerprint[1]
+        digest = edges_digest(len(self.states), self._successors)
+        self._fingerprint = (self._mutations, digest)
+        return digest
 
     def successors(self, ste_id: int) -> frozenset[int]:
         return frozenset(self._successors[ste_id])

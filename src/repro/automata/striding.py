@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.automata.nfa import Automaton, StartKind, STE
+from repro.automata.nfa import Automaton, StartKind, STE, edges_digest
 from repro.automata.symbols import SymbolClass
 from repro.errors import AutomatonError
 
@@ -69,6 +69,11 @@ class StridedAutomaton:
     name: str
     states: list[StridedSTE] = field(default_factory=list)
     _successors: list[set[int]] = field(default_factory=list)
+    #: bumped on every structural mutation; invalidates cached fingerprints
+    _mutations: int = field(default=0, repr=False, compare=False)
+    _fingerprint: tuple[int, str] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def add_state(
         self,
@@ -89,6 +94,7 @@ class StridedAutomaton:
         )
         self.states.append(ste)
         self._successors.append(set())
+        self._mutations += 1
         return ste
 
     def add_transition(self, src: int, dst: int) -> None:
@@ -96,6 +102,19 @@ class StridedAutomaton:
         if not (0 <= src < n and 0 <= dst < n):
             raise AutomatonError(f"strided transition ({src}, {dst}) out of range")
         self._successors[src].add(dst)
+        self._mutations += 1
+
+    def structure_fingerprint(self) -> str:
+        """Hex digest of the transition structure (see ``Automaton``'s).
+
+        Keys the shared successor-CSR cache; excludes product classes
+        and reporting metadata.  Cached until the next mutation.
+        """
+        if self._fingerprint is not None and self._fingerprint[0] == self._mutations:
+            return self._fingerprint[1]
+        digest = edges_digest(len(self.states), self._successors, salt=b"strided")
+        self._fingerprint = (self._mutations, digest)
+        return digest
 
     def successors(self, ste_id: int) -> frozenset[int]:
         return frozenset(self._successors[ste_id])

@@ -25,7 +25,15 @@ import numpy as np
 from repro.core.cam import CamArray
 from repro.core.compiler import CamaProgram
 from repro.errors import SimulationError
-from repro.sim.engine import EngineState, gather_successors, successor_csr
+from repro.sim.backends.base import (
+    DEFAULT_MAX_KEPT_REPORTS,
+    EngineState,
+    append_reports,
+    cached_successor_csr,
+    gather_successors,
+    reporting_mask,
+    start_ids,
+)
 from repro.sim.reports import Report
 
 
@@ -106,26 +114,13 @@ class CamaMachine:
             unit.array.owners() for unit in self._units
         ]
 
-        # Transition structures (the switch network's routing function).
-        self._succ_offsets, self._succ_targets = successor_csr(automaton, n)
-        from repro.automata.nfa import StartKind
-
-        self._start_all = np.fromiter(
-            (s.ste_id for s in automaton.states if s.start is StartKind.ALL_INPUT),
-            dtype=np.int64,
-        )
-        self._start_sod = np.fromiter(
-            (
-                s.ste_id
-                for s in automaton.states
-                if s.start is StartKind.START_OF_DATA
-            ),
-            dtype=np.int64,
-        )
-        self._reporting = np.zeros(n, dtype=bool)
-        for ste in automaton.states:
-            if ste.reporting:
-                self._reporting[ste.ste_id] = True
+        # Transition structures (the switch network's routing function),
+        # shared with the execution backends via the fingerprint-keyed
+        # CSR cache — a machine compiled after an engine (or vice versa)
+        # reuses the same arrays.
+        self._succ_offsets, self._succ_targets = cached_successor_csr(automaton)
+        self._start_all, self._start_sod = start_ids(automaton)
+        self._reporting = reporting_mask(automaton)
         self._report_codes = [s.report_code for s in automaton.states]
         self._switch_of = program.mapping.state_switch
         self._num_switches = len(program.mapping.switches)
@@ -139,7 +134,9 @@ class CamaMachine:
         """A fresh :class:`EngineState` at stream position 0."""
         return EngineState()
 
-    def run(self, data: bytes, *, max_reports: int = 1_000_000) -> CamaRunResult:
+    def run(
+        self, data: bytes, *, max_reports: int = DEFAULT_MAX_KEPT_REPORTS
+    ) -> CamaRunResult:
         """Execute the program over ``data``."""
         return self.run_chunk(data, self.initial_state(), max_reports=max_reports)
 
@@ -148,7 +145,7 @@ class CamaMachine:
         data: bytes,
         state: EngineState,
         *,
-        max_reports: int = 1_000_000,
+        max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
     ) -> CamaRunResult:
         """Execute one chunk of a stream, advancing ``state`` in place.
 
@@ -212,17 +209,10 @@ class CamaMachine:
                     )
 
             firing = active[self._reporting[active]]
-            if firing.size and len(reports) < max_reports:
-                for s in firing:
-                    if len(reports) >= max_reports:
-                        break
-                    reports.append(
-                        Report(
-                            cycle=cycle,
-                            state_id=int(s),
-                            code=self._report_codes[int(s)],
-                        )
-                    )
+            if firing.size:
+                append_reports(
+                    reports, firing, cycle, self._report_codes, max_reports
+                )
         state.active = active
         state.position = base + len(data)
         return CamaRunResult(reports=reports, activity=activity)

@@ -55,6 +55,9 @@ class ExperimentContext:
     scale: float = DEFAULT_SCALE
     stream_length: int = 10_000
     benchmarks: Sequence[str] = BENCHMARK_NAMES
+    #: execution backend for the simulation engines ("sparse" keeps the
+    #: published-trace baseline; "auto"/"bitparallel" trade it for speed)
+    engine_backend: str = "sparse"
     lib: CircuitLibrary = field(default_factory=CircuitLibrary)
     _programs: dict[str, CamaProgram] = field(default_factory=dict)
     _baselines: dict[str, BaselineMapping] = field(default_factory=dict)
@@ -88,7 +91,9 @@ class ExperimentContext:
 
     def engine(self, name: str) -> Engine:
         if name not in self._engines:
-            self._engines[name] = Engine(self.benchmark(name).automaton)
+            self._engines[name] = Engine(
+                self.benchmark(name).automaton, backend=self.engine_backend
+            )
         return self._engines[name]
 
     # -- design builds --------------------------------------------------------

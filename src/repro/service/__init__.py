@@ -31,6 +31,11 @@ Architecture (bottom-up)::
     service.MatchingService           the facade: cache + dispatchers +
                                       sessions + scan / scan_many
 
+Execution is backend-pluggable (:mod:`repro.sim.backends`): the service
+defaults to the ``auto`` policy, which picks the sparse or bit-parallel
+kernel per shard from size and estimated activity; pass
+``MatchingService(backend="sparse")`` (or ``"bitparallel"``) to pin one.
+
 Quick use::
 
     from repro.service import MatchingService

@@ -78,4 +78,5 @@ def merge_shard_results(
     return SimulationResult(
         reports=merge_shard_reports([r.reports for r in per_shard], global_ids),
         stats=merge_shard_stats([r.stats for r in per_shard]),
+        truncated=any(r.truncated for r in per_shard),
     )

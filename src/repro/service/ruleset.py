@@ -20,6 +20,7 @@ from repro.automata.nfa import Automaton
 from repro.core.compiler import CamaProgram, compile_automaton
 from repro.core.machine import CamaMachine
 from repro.errors import ReproError
+from repro.sim.backends import ExecutionBackend
 from repro.sim.engine import Engine
 
 DEFAULT_CACHE_CAPACITY = 32
@@ -101,10 +102,24 @@ class RulesetManager:
             self.stats.evictions += 1
         return value
 
-    def engine(self, automaton: Automaton) -> Engine:
-        """The cached reference :class:`Engine` for ``automaton``."""
-        key = ("engine", ruleset_fingerprint(automaton))
-        return self._get(key, lambda: Engine(automaton))
+    def engine(
+        self,
+        automaton: Automaton,
+        backend: str | ExecutionBackend = "sparse",
+    ) -> Engine:
+        """The cached :class:`Engine` for ``automaton`` on ``backend``.
+
+        Distinct backends get distinct cache entries (an ``auto`` entry
+        is keyed as ``auto`` even though it resolves to a concrete
+        kernel, so re-requesting it never re-runs the policy).  Backend
+        *instances* are keyed by identity, not by name — two
+        differently parameterized backends that happen to share a name
+        never alias to one compiled engine.
+        """
+        # the instance itself (not id()) keys the tuple: the cache entry
+        # then pins the backend, so the identity can never be recycled
+        key = ("engine", backend, ruleset_fingerprint(automaton))
+        return self._get(key, lambda: Engine(automaton, backend=backend))
 
     def program(self, automaton: Automaton) -> CamaProgram:
         """The cached compiled :class:`CamaProgram` for ``automaton``."""

@@ -13,14 +13,14 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.automata.nfa import Automaton
 from repro.errors import SimulationError
 from repro.service.ruleset import DEFAULT_CACHE_CAPACITY, CacheStats, RulesetManager
 from repro.service.session import Session
 from repro.service.sharding import DEFAULT_CHUNK_SIZE, Dispatcher
-from repro.sim.engine import _MAX_KEPT_REPORTS
+from repro.sim.backends import DEFAULT_MAX_KEPT_REPORTS, ExecutionBackend
 from repro.sim.reports import Report
 from repro.sim.trace import TraceStats
 
@@ -36,6 +36,10 @@ class ServiceResult:
     num_shards: int
     #: True when the compiled shard engines were already resident
     cached: bool
+    #: resolved kernel name per shard ("sparse" / "bitparallel")
+    backends: list[str] = field(default_factory=list)
+    #: True when the kept-reports cap truncated recording
+    truncated: bool = False
 
     @property
     def num_reports(self) -> int:
@@ -58,6 +62,11 @@ class MatchingService:
             balanced by state count).
         workers: processes for one-shot scans; 1 = serial.
         chunk_size: default streaming granularity in bytes.
+        backend: execution backend for every compiled ruleset —
+            ``"sparse"``, ``"bitparallel"``, or ``"auto"`` (default:
+            resolves per shard from size and estimated activity).
+        default_max_reports: kept-reports cap for scans and sessions
+            that do not pass their own ``max_reports``.
     """
 
     def __init__(
@@ -67,13 +76,19 @@ class MatchingService:
         num_shards: int = 1,
         workers: int = 1,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        backend: str | ExecutionBackend = "auto",
+        default_max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
     ) -> None:
         if chunk_size < 1:
             raise SimulationError("chunk size must be >= 1")
+        if default_max_reports < 0:
+            raise SimulationError("default_max_reports must be >= 0")
         self.manager = RulesetManager(capacity=cache_capacity)
         self.num_shards = num_shards
         self.workers = workers
         self.chunk_size = chunk_size
+        self.backend = backend
+        self.default_max_reports = default_max_reports
         self.sessions: dict[str, Session] = {}
         # LRU-bounded alongside the manager: a Dispatcher pins its shard
         # engines, so an unbounded dict here would defeat the cache cap.
@@ -100,6 +115,7 @@ class MatchingService:
                 num_shards=self.num_shards,
                 workers=self.workers,
                 manager=self.manager,
+                backend=self.backend,
             )
             dispatcher.engines  # compile (and cache) the shard engines now
             self._dispatchers[key] = dispatcher
@@ -117,7 +133,7 @@ class MatchingService:
         data: bytes,
         *,
         chunk_size: int | None = None,
-        max_reports: int = _MAX_KEPT_REPORTS,
+        max_reports: int | None = None,
     ) -> ServiceResult:
         """Scan one complete stream, reusing cached compiled shards."""
         key = self.manager.fingerprint(automaton)
@@ -127,7 +143,9 @@ class MatchingService:
         result = dispatcher.scan(
             data,
             chunk_size=self.chunk_size if chunk_size is None else chunk_size,
-            max_reports=max_reports,
+            max_reports=(
+                self.default_max_reports if max_reports is None else max_reports
+            ),
         )
         elapsed = time.perf_counter() - start
         return ServiceResult(
@@ -137,6 +155,8 @@ class MatchingService:
             elapsed_s=elapsed,
             num_shards=dispatcher.num_shards,
             cached=cached,
+            backends=dispatcher.backend_names,
+            truncated=result.truncated,
         )
 
     def scan_many(
@@ -145,7 +165,7 @@ class MatchingService:
         streams: dict[str, bytes],
         *,
         chunk_size: int | None = None,
-        max_reports: int = _MAX_KEPT_REPORTS,
+        max_reports: int | None = None,
     ) -> dict[str, ServiceResult]:
         """Batch entry point: scan every named stream against one ruleset.
 
@@ -169,13 +189,19 @@ class MatchingService:
         automaton: Automaton,
         name: str,
         *,
-        max_reports: int = _MAX_KEPT_REPORTS,
+        max_reports: int | None = None,
+        on_truncation: str = "warn",
     ) -> Session:
         """Open a named resumable stream against ``automaton``."""
         if name in self.sessions and not self.sessions[name].closed:
             raise SimulationError(f"session {name!r} is already open")
         session = Session(
-            name, self.dispatcher(automaton), max_reports=max_reports
+            name,
+            self.dispatcher(automaton),
+            max_reports=(
+                self.default_max_reports if max_reports is None else max_reports
+            ),
+            on_truncation=on_truncation,
         )
         self.sessions[name] = session
         return session

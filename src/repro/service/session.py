@@ -15,7 +15,9 @@ from __future__ import annotations
 from repro.errors import SimulationError
 from repro.service.merge import accumulate_stats
 from repro.service.sharding import Dispatcher, iter_chunks
-from repro.sim.engine import SimulationResult, _MAX_KEPT_REPORTS
+from repro.sim.backends import DEFAULT_MAX_KEPT_REPORTS
+from repro.sim.backends.base import check_truncation_policy, handle_truncation
+from repro.sim.engine import SimulationResult
 from repro.sim.reports import Report
 from repro.sim.trace import TraceStats
 
@@ -27,6 +29,13 @@ class Session:
     feed chunks as they arrive and read the accumulated result at any
     point.  Sessions are cheap: per shard they hold only the active
     state indices and the stream position.
+
+    ``max_reports`` bounds the reports *recorded* over the whole stream
+    (reports keep being counted past it).  The first chunk that loses a
+    report to the cap marks the session ``truncated`` and, per
+    ``on_truncation``, raises a :class:`ReportTruncationWarning`
+    (``"warn"``, the default), a :class:`~repro.errors.SimulationError`
+    (``"error"``), or nothing (``"ignore"``).
     """
 
     def __init__(
@@ -34,11 +43,14 @@ class Session:
         name: str,
         dispatcher: Dispatcher,
         *,
-        max_reports: int = _MAX_KEPT_REPORTS,
+        max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
+        on_truncation: str = "warn",
     ) -> None:
         self.name = name
+        self.on_truncation = check_truncation_policy(on_truncation)
         self.dispatcher = dispatcher
         self.max_reports = max_reports
+        self.truncated = False
         self.closed = False
         self._states = dispatcher.initial_states()
         self._reports: list[Report] = []
@@ -70,6 +82,15 @@ class Session:
         )
         self._reports.extend(result.reports)
         accumulate_stats(self._stats, result.stats)
+        if result.truncated and not self.truncated:
+            self.truncated = True
+            handle_truncation(
+                self.on_truncation,
+                f"session {self.name!r} hit its kept-reports cap "
+                f"({self.max_reports}); further reports are counted "
+                f"but not recorded",
+                stacklevel=2,
+            )
         return result.reports
 
     def feed_all(self, data: bytes, chunk_size: int) -> list[Report]:
@@ -86,4 +107,6 @@ class Session:
     def close(self) -> SimulationResult:
         """Finish the stream and return the accumulated result."""
         self.closed = True
-        return SimulationResult(reports=self._reports, stats=self._stats)
+        return SimulationResult(
+            reports=self._reports, stats=self._stats, truncated=self.truncated
+        )

@@ -31,7 +31,8 @@ from repro.automata.nfa import Automaton
 from repro.errors import SimulationError
 from repro.service.merge import accumulate_stats, merge_shard_results
 from repro.service.ruleset import RulesetManager
-from repro.sim.engine import Engine, EngineState, SimulationResult, _MAX_KEPT_REPORTS
+from repro.sim.backends import DEFAULT_MAX_KEPT_REPORTS, ExecutionBackend
+from repro.sim.engine import Engine, EngineState, SimulationResult
 from repro.sim.trace import TraceStats
 
 #: default streaming granularity (bytes per run_chunk call)
@@ -84,7 +85,7 @@ def chunked_scan(
     engine: Engine,
     data: bytes,
     chunk_size: int,
-    max_reports: int = _MAX_KEPT_REPORTS,
+    max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
 ) -> SimulationResult:
     """Stream ``data`` through ``engine`` chunk by chunk.
 
@@ -95,12 +96,14 @@ def chunked_scan(
     state = engine.initial_state()
     stats = TraceStats(num_states=len(engine.automaton))
     reports = []
+    truncated = False
     for chunk in iter_chunks(data, chunk_size):
         budget = max(0, max_reports - len(reports))
         result = engine.run_chunk(chunk, state, max_reports=budget)
         reports.extend(result.reports)
+        truncated |= result.truncated
         accumulate_stats(stats, result.stats)
-    return SimulationResult(reports=reports, stats=stats)
+    return SimulationResult(reports=reports, stats=stats, truncated=truncated)
 
 
 # -- worker-process plumbing (top-level for picklability) -----------------
@@ -133,6 +136,10 @@ class Dispatcher:
             before chunk N finishes.
         manager: optional shared :class:`RulesetManager`; shard engines
             are then cached by fingerprint and survive this dispatcher.
+        backend: execution backend for the shard engines.  ``"auto"``
+            resolves *per shard*: each shard's sub-automaton is sized
+            and density-estimated independently, so one ruleset can mix
+            sparse and bit-parallel kernels.
     """
 
     def __init__(
@@ -142,12 +149,14 @@ class Dispatcher:
         num_shards: int = 1,
         workers: int = 1,
         manager: RulesetManager | None = None,
+        backend: str | ExecutionBackend = "auto",
     ) -> None:
         if num_shards < 1:
             raise SimulationError("shard count must be >= 1")
         if workers < 1:
             raise SimulationError("workers must be >= 1")
         self.automaton = automaton
+        self.backend = backend
         self.shards = make_shards(automaton, num_shards)
         self.workers = min(workers, len(self.shards))
         self._manager = manager
@@ -167,11 +176,20 @@ class Dispatcher:
         if self._engines is None:
             if self._manager is not None:
                 self._engines = [
-                    self._manager.engine(s.automaton) for s in self.shards
+                    self._manager.engine(s.automaton, self.backend)
+                    for s in self.shards
                 ]
             else:
-                self._engines = [Engine(s.automaton) for s in self.shards]
+                self._engines = [
+                    Engine(s.automaton, backend=self.backend)
+                    for s in self.shards
+                ]
         return self._engines
+
+    @property
+    def backend_names(self) -> list[str]:
+        """Resolved kernel name per shard (``auto`` decides per shard)."""
+        return [engine.backend_name for engine in self.engines]
 
     def global_ids(self) -> list[list[int]]:
         return [s.global_ids for s in self.shards]
@@ -186,7 +204,7 @@ class Dispatcher:
         data: bytes,
         states: list[EngineState],
         *,
-        max_reports: int = _MAX_KEPT_REPORTS,
+        max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
     ) -> SimulationResult:
         """Feed one chunk to every shard, advancing ``states`` in place.
 
@@ -208,7 +226,7 @@ class Dispatcher:
         data: bytes,
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
-        max_reports: int = _MAX_KEPT_REPORTS,
+        max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
     ) -> SimulationResult:
         """Scan a complete stream across all shards and merge the results."""
         if self.workers > 1:
@@ -261,4 +279,5 @@ class Dispatcher:
         merged = merge_shard_results(per_shard, self.global_ids())
         if len(merged.reports) > max_reports:
             del merged.reports[max_reports:]
+            merged.truncated = True
         return merged

@@ -1,5 +1,15 @@
 """Cycle-accurate functional simulation (the VASim role)."""
 
+from repro.sim.backends import (
+    BACKEND_NAMES,
+    BACKENDS,
+    DEFAULT_MAX_KEPT_REPORTS,
+    CompiledKernel,
+    ExecutionBackend,
+    ReportTruncationWarning,
+    choose_backend_name,
+    get_backend,
+)
 from repro.sim.buffers import (
     INPUT_BUFFER_ENTRIES,
     OUTPUT_BUFFER_ENTRIES,
@@ -13,6 +23,7 @@ from repro.sim.engine import (
     EngineState,
     SimulationResult,
     StridedEngine,
+    cached_successor_csr,
     gather_successors,
     successor_csr,
 )
@@ -20,18 +31,27 @@ from repro.sim.reports import Report, report_codes_at, report_positions
 from repro.sim.trace import PartitionAssignment, TraceStats
 
 __all__ = [
+    "BACKENDS",
+    "BACKEND_NAMES",
     "BufferActivity",
+    "CompiledKernel",
+    "DEFAULT_MAX_KEPT_REPORTS",
     "Engine",
     "EngineState",
+    "ExecutionBackend",
     "INPUT_BUFFER_ENTRIES",
     "OUTPUT_BUFFER_ENTRIES",
     "PartitionAssignment",
     "Report",
+    "ReportTruncationWarning",
     "SimulationResult",
     "StridedEngine",
     "TraceStats",
     "buffer_activity",
+    "cached_successor_csr",
+    "choose_backend_name",
     "gather_successors",
+    "get_backend",
     "input_interrupts",
     "output_interrupts",
     "report_codes_at",

@@ -1,0 +1,74 @@
+"""The ``auto`` policy: pick sparse or bit-parallel per automaton.
+
+The sparse kernel wins when few states are active per cycle (its cost
+follows the active set); the bit-parallel kernel wins when many are
+(its cost follows ``n/64`` words, sort-free).  This is the software
+face of the same density trade-off CAMA-E's selective precharge
+exploits in hardware: energy/work should follow *actual* activity, not
+capacity.  The policy decides per *automaton* — which under the sharded
+dispatcher means per shard, so one ruleset can mix backends — using
+
+* the state count (very large automata exceed the packed successor
+  matrix budget: sparse);
+* the expected active fraction from
+  :func:`repro.automata.analysis.estimate_active_fraction` (or a
+  measured fraction when the caller has one from a probe run) — the
+  measured crossover sits around a 2% active fraction (see the
+  ``test_backend_crossover`` micro-benchmark), and the threshold here
+  is deliberately above it, so borderline automata keep the
+  well-understood sparse kernel.
+"""
+
+from __future__ import annotations
+
+from repro.automata.analysis import estimate_active_fraction
+from repro.sim.backends.base import CompiledKernel
+from repro.sim.backends.bitparallel import (
+    MAX_BITPARALLEL_STATES,
+    BitParallelBackend,
+)
+from repro.sim.backends.sparse import SparseBackend
+
+#: expected active fraction above which the packed kernel wins
+DENSE_ACTIVITY_THRESHOLD = 0.05
+
+
+def choose_backend_name(
+    automaton,
+    *,
+    active_fraction: float | None = None,
+) -> str:
+    """Resolve the ``auto`` policy to ``"sparse"`` or ``"bitparallel"``.
+
+    ``active_fraction`` overrides the static estimate with a measured
+    per-cycle active fraction (``TraceStats.avg_active_states() / n``
+    from a probe run) when the caller has one.
+    """
+    if len(automaton) > MAX_BITPARALLEL_STATES:
+        return "sparse"
+    if active_fraction is None:
+        active_fraction = estimate_active_fraction(automaton)
+    if active_fraction >= DENSE_ACTIVITY_THRESHOLD:
+        return "bitparallel"
+    return "sparse"
+
+
+class AutoBackend:
+    """Backend that defers to :func:`choose_backend_name` per automaton.
+
+    The compiled kernel's ``name`` records the resolved choice, so
+    callers (and tests) can observe which kernel an automaton got.
+    """
+
+    name = "auto"
+
+    def __init__(self, *, active_fraction: float | None = None) -> None:
+        self.active_fraction = active_fraction
+
+    def compile(self, automaton) -> CompiledKernel:
+        choice = choose_backend_name(
+            automaton, active_fraction=self.active_fraction
+        )
+        if choice == "bitparallel":
+            return BitParallelBackend().compile(automaton)
+        return SparseBackend().compile(automaton)

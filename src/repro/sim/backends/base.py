@@ -1,0 +1,427 @@
+"""Shared contracts and plumbing of the execution backends.
+
+An :class:`ExecutionBackend` turns an automaton into a
+:class:`CompiledKernel`; a kernel consumes chunks of an input stream,
+advancing an :class:`EngineState` and producing :class:`StepResult`\\ s
+(reports + activity statistics).  Everything every kernel agrees on
+lives here:
+
+* the resumable :class:`EngineState` (active-state *indices* + stream
+  position — the interchange format, so a session snapshot taken under
+  one backend resumes under another);
+* the :class:`StepResult` / :class:`SimulationResult` contract,
+  including the exact ``max_reports`` recording-cap semantics and the
+  ``truncated`` flag;
+* the successor CSR builders and the fingerprint-keyed CSR cache that
+  lets repeated compilations of an identical ruleset skip the O(states
+  + transitions) rebuild;
+* the placement-resolved activity tracking the energy models consume.
+
+:mod:`repro.sim.engine` re-exports the public names for backwards
+compatibility; new code should import from :mod:`repro.sim.backends`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.automata.nfa import StartKind
+from repro.errors import SimulationError
+from repro.sim.reports import Report
+from repro.sim.trace import PartitionAssignment, TraceStats
+
+#: default cap on *recorded* (not counted) reports per run/chunk call
+DEFAULT_MAX_KEPT_REPORTS = 1_000_000
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+class ReportTruncationWarning(UserWarning):
+    """A run hit its kept-reports cap and silently stopped recording."""
+
+
+TRUNCATION_POLICIES = ("warn", "error", "ignore")
+
+
+def check_truncation_policy(on_truncation: str) -> str:
+    """Validate an ``on_truncation`` argument, returning it unchanged."""
+    if on_truncation not in TRUNCATION_POLICIES:
+        raise SimulationError(
+            f"unknown truncation policy {on_truncation!r}; "
+            f"expected one of {', '.join(TRUNCATION_POLICIES)}"
+        )
+    return on_truncation
+
+
+def handle_truncation(
+    on_truncation: str, message: str, *, stacklevel: int = 3
+) -> None:
+    """React to a hit kept-reports cap per the configured policy."""
+    if on_truncation == "error":
+        raise SimulationError(message)
+    if on_truncation == "warn":
+        warnings.warn(message, ReportTruncationWarning, stacklevel=stacklevel)
+
+
+# -- resumable state and results ------------------------------------------
+
+
+@dataclass
+class EngineState:
+    """Resumable execution state of one input stream.
+
+    ``active`` holds the active-state indices after the last consumed
+    symbol; ``position`` is the number of stream symbols consumed so
+    far.  ``Engine.run_chunk`` (and ``CamaMachine.run_chunk``) advance a
+    state in place; use :meth:`copy` to snapshot one — e.g. to fork a
+    speculative continuation or checkpoint a session.  Indices (not
+    packed bitmaps) are the interchange format: every backend accepts
+    and produces them, so states migrate freely between backends.
+    """
+
+    active: np.ndarray = field(default_factory=lambda: _EMPTY_IDS)
+    position: int = 0
+
+    def copy(self) -> "EngineState":
+        return EngineState(active=self.active.copy(), position=self.position)
+
+    @property
+    def at_start(self) -> bool:
+        """True before any symbol was consumed (START_OF_DATA pending)."""
+        return self.position == 0
+
+
+@dataclass
+class SimulationResult:
+    """Reports plus activity statistics of one run (or one chunk).
+
+    ``truncated`` is True when at least one report was *counted* but not
+    *recorded* because the ``max_reports`` cap was reached; the engine
+    facade turns that into a :class:`ReportTruncationWarning` or
+    :class:`~repro.errors.SimulationError` when the cap was implicit.
+    """
+
+    reports: list[Report]
+    stats: TraceStats
+    truncated: bool = False
+
+    @property
+    def num_reports(self) -> int:
+        return self.stats.num_reports
+
+
+#: what a kernel's ``run_chunk`` returns — one chunk's worth of results
+StepResult = SimulationResult
+
+
+# -- successor CSR (+ fingerprint-keyed cache) ----------------------------
+
+
+def successor_csr(automaton, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-state successor sets into a CSR pair.
+
+    ``automaton`` is anything with a ``successors(state)`` method over
+    dense ids ``0..n-1``.  Returns ``(offsets, targets)`` with
+    ``targets[offsets[s]:offsets[s+1]]`` holding state ``s``'s
+    successors in ascending order.
+    """
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    flat: list[int] = []
+    for s in range(n):
+        succ = sorted(automaton.successors(s))
+        offsets[s + 1] = offsets[s] + len(succ)
+        flat.extend(succ)
+    targets = np.asarray(flat, dtype=np.int64)
+    return offsets, targets
+
+
+_CSR_CACHE_CAPACITY = 128
+_CSR_CACHE: OrderedDict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = (
+    OrderedDict()
+)
+
+
+def cached_successor_csr(automaton) -> tuple[np.ndarray, np.ndarray]:
+    """The successor CSR of ``automaton``, shared across compilations.
+
+    Keyed by the automaton's structural fingerprint (transitions only),
+    so distinct-but-identical rulesets — e.g. the same rules re-loaded
+    for a second scan — share one CSR instead of rebuilding it in every
+    engine constructor.  The returned arrays are shared and must be
+    treated as read-only.  Falls back to a direct build for automata
+    without a ``structure_fingerprint`` method.
+    """
+    fingerprint = getattr(automaton, "structure_fingerprint", None)
+    n = len(automaton)
+    if fingerprint is None:
+        return successor_csr(automaton, n)
+    key = (type(automaton).__qualname__, fingerprint())
+    cached = _CSR_CACHE.get(key)
+    if cached is not None:
+        _CSR_CACHE.move_to_end(key)
+        return cached
+    built = successor_csr(automaton, n)
+    _CSR_CACHE[key] = built
+    if len(_CSR_CACHE) > _CSR_CACHE_CAPACITY:
+        _CSR_CACHE.popitem(last=False)
+    return built
+
+
+def clear_csr_cache() -> None:
+    """Drop every cached CSR (test isolation hook)."""
+    _CSR_CACHE.clear()
+
+
+def gather_successors(
+    offsets: np.ndarray, targets: np.ndarray, active: np.ndarray
+) -> np.ndarray:
+    """Successors of every state in ``active``, gathered without a
+    per-state Python loop (and without concatenating per-state slices).
+
+    Builds one flat index vector into ``targets`` by expanding each
+    active state's CSR span with ``np.repeat`` arithmetic.
+    """
+    if not active.size:
+        return _EMPTY_IDS
+    starts = offsets[active]
+    counts = offsets[active + 1] - starts
+    total = int(counts.sum())
+    if not total:
+        return _EMPTY_IDS
+    # index = start(s) + (position within s's span), vectorized:
+    # repeat each span's start, subtract the exclusive running total so
+    # np.arange restarts at 0 at every span boundary.
+    cum = np.cumsum(counts)
+    index = np.arange(total, dtype=np.int64) + np.repeat(starts - (cum - counts), counts)
+    return targets[index]
+
+
+# -- per-automaton structure shared by every kernel -----------------------
+
+
+def start_ids(automaton) -> tuple[np.ndarray, np.ndarray]:
+    """(all-input ids, start-of-data ids) of any homogeneous automaton."""
+    start_all = np.fromiter(
+        (s.ste_id for s in automaton.states if s.start is StartKind.ALL_INPUT),
+        dtype=np.int64,
+    )
+    start_sod = np.fromiter(
+        (s.ste_id for s in automaton.states if s.start is StartKind.START_OF_DATA),
+        dtype=np.int64,
+    )
+    return start_all, start_sod
+
+
+def reporting_mask(automaton) -> np.ndarray:
+    """Boolean vector marking the reporting states."""
+    mask = np.zeros(len(automaton), dtype=bool)
+    for ste in automaton.states:
+        if ste.reporting:
+            mask[ste.ste_id] = True
+    return mask
+
+
+def match_table(automaton) -> np.ndarray:
+    """``table[symbol]`` is the boolean vector of states accepting it.
+
+    This is exactly the bit-vector representation of CA/Impala; the
+    sparse kernel indexes it directly and the bit-parallel kernel packs
+    its rows into uint64 words.
+    """
+    table = np.zeros((256, len(automaton)), dtype=bool)
+    for ste in automaton.states:
+        for symbol in ste.symbol_class:
+            table[symbol, ste.ste_id] = True
+    return table
+
+
+def append_reports(
+    reports: list[Report],
+    firing: np.ndarray,
+    cycle: int,
+    report_codes: list[str | None],
+    max_reports: int,
+) -> bool:
+    """Record ``firing`` states' reports up to ``max_reports`` total.
+
+    Returns True when at least one report was dropped — the cap is
+    exact even under simultaneous firings (never overshoots by the
+    cycle's remainder).
+    """
+    truncated = False
+    for s in firing:
+        if len(reports) >= max_reports:
+            truncated = True
+            break
+        reports.append(
+            Report(cycle=cycle, state_id=int(s), code=report_codes[int(s)])
+        )
+    return truncated
+
+
+class PlacementTracker:
+    """Accumulates partition-resolved activity into a :class:`TraceStats`.
+
+    One tracker serves both the sparse and bit-parallel kernels (they
+    hand it enabled/active *index* arrays each cycle) so the energy
+    models see identical statistics regardless of backend.  Pass the
+    successor CSR to also track cross-partition (global-switch)
+    traffic; the strided engine omits it.
+    """
+
+    def __init__(
+        self,
+        placement: PartitionAssignment,
+        stats: TraceStats,
+        n: int,
+        succ: tuple[np.ndarray, np.ndarray] | None = None,
+        what: str = "automaton",
+    ) -> None:
+        if len(placement.partition_of) != n:
+            raise SimulationError(f"placement size does not match {what} size")
+        self.part = np.asarray(placement.partition_of, dtype=np.int64)
+        self.weights = (
+            np.asarray(placement.weights, dtype=np.float64)
+            if placement.weights is not None
+            else None
+        )
+        self.stats = stats
+        stats.num_partitions = placement.num_partitions
+        stats.partition_enabled_cycles = np.zeros(
+            placement.num_partitions, dtype=np.int64
+        )
+        stats.partition_active_cycles = np.zeros(
+            placement.num_partitions, dtype=np.int64
+        )
+        stats.partition_enabled_states_sum = np.zeros(
+            placement.num_partitions, dtype=np.int64
+        )
+        stats.partition_enabled_weight_sum = np.zeros(
+            placement.num_partitions, dtype=np.float64
+        )
+        stats.partition_active_states_sum = np.zeros(
+            placement.num_partitions, dtype=np.int64
+        )
+        self.cross_any: np.ndarray | None = None
+        if succ is not None:
+            # cross_any[s] is True when s has a successor in another partition
+            offsets, targets = succ
+            cross_any = np.zeros(n, dtype=bool)
+            for s in range(n):
+                out = targets[offsets[s] : offsets[s + 1]]
+                if out.size and np.any(self.part[out] != self.part[s]):
+                    cross_any[s] = True
+            self.cross_any = cross_any
+
+    def update(self, enabled: np.ndarray, active: np.ndarray) -> None:
+        """Fold one cycle's enabled/active index sets into the stats."""
+        stats = self.stats
+        if enabled.size:
+            counts = np.bincount(
+                self.part[enabled], minlength=stats.num_partitions
+            )
+            stats.partition_enabled_cycles += counts > 0
+            stats.partition_enabled_states_sum += counts
+            if self.weights is None:
+                stats.partition_enabled_weight_sum += counts
+            else:
+                stats.partition_enabled_weight_sum += np.bincount(
+                    self.part[enabled],
+                    weights=self.weights[enabled],
+                    minlength=stats.num_partitions,
+                )
+        if active.size:
+            acounts = np.bincount(
+                self.part[active], minlength=stats.num_partitions
+            )
+            stats.partition_active_states_sum += acounts
+            stats.partition_active_cycles += acounts > 0
+            if self.cross_any is not None:
+                crossing = active[self.cross_any[active]]
+                stats.global_crossing_states_sum += int(crossing.size)
+                if crossing.size:
+                    stats.global_source_partitions_sum += int(
+                        np.unique(self.part[crossing]).size
+                    )
+
+
+# -- the backend contract -------------------------------------------------
+
+
+class CompiledKernel(ABC):
+    """One automaton compiled for execution by a specific backend.
+
+    Kernels are stateless with respect to streams: all stream state
+    lives in the :class:`EngineState` the caller threads through
+    :meth:`run_chunk`, so one kernel serves any number of concurrent
+    sessions.
+    """
+
+    #: resolved backend name ("sparse" / "bitparallel"), set per kernel
+    name: str
+
+    def __init__(self, automaton) -> None:
+        self.automaton = automaton
+
+    def initial_state(self) -> EngineState:
+        """A fresh :class:`EngineState` at stream position 0."""
+        return EngineState()
+
+    @abstractmethod
+    def run_chunk(
+        self,
+        data: bytes,
+        state: EngineState,
+        *,
+        placement: PartitionAssignment | None = None,
+        keep_per_cycle: bool = False,
+        max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
+    ) -> StepResult:
+        """Consume one chunk of a stream, advancing ``state`` in place.
+
+        ``START_OF_DATA`` states are enabled only when ``state`` is at
+        stream position 0 and report cycles are absolute stream offsets
+        — chunked execution is exactly equivalent to one-shot execution
+        for every backend (the cross-backend property tests assert
+        this).
+        """
+
+    def run(
+        self,
+        data: bytes,
+        *,
+        placement: PartitionAssignment | None = None,
+        keep_per_cycle: bool = False,
+        max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
+    ) -> StepResult:
+        """One-shot execution: :meth:`run_chunk` from a fresh state."""
+        return self.run_chunk(
+            data,
+            self.initial_state(),
+            placement=placement,
+            keep_per_cycle=keep_per_cycle,
+            max_reports=max_reports,
+        )
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Compiles automata into kernels; the unit of execution pluggability.
+
+    Implementations are stateless and cheap to construct; the expensive
+    artifact is the :class:`CompiledKernel`, which the service layer
+    caches by ruleset fingerprint.
+    """
+
+    #: registry name ("sparse", "bitparallel", "auto", ...)
+    name: str
+
+    def compile(self, automaton) -> CompiledKernel:
+        """Compile ``automaton`` into an executable kernel."""
+        ...

@@ -1,0 +1,91 @@
+"""Packed uint64 bitmap helpers for the bit-parallel kernels.
+
+A state set over ``n`` dense ids is represented as ``ceil(n / 64)``
+little-endian uint64 words: bit ``s % 64`` of word ``s // 64`` is state
+``s``.  Everything here is a thin, allocation-conscious wrapper around
+numpy's byte-level primitives (``unpackbits`` / fancy indexing) so the
+kernels never drop into per-state Python loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 64
+
+#: per-byte popcount lookup (uint64 words are viewed as 8 uint8 lanes)
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
+
+
+def num_words(n: int) -> int:
+    """Words needed for ``n`` bits (at least 1, so masks always exist)."""
+    return max(1, (n + WORD_BITS - 1) // WORD_BITS)
+
+
+def zero_words(n: int) -> np.ndarray:
+    """An all-zero packed vector sized for ``n`` states."""
+    return np.zeros(num_words(n), dtype=np.uint64)
+
+
+def pack_indices(ids: np.ndarray, n: int) -> np.ndarray:
+    """Packed vector with exactly the bits in ``ids`` set."""
+    words = np.zeros(num_words(n) * 8, dtype=np.uint8)
+    if len(ids):
+        ids = np.asarray(ids, dtype=np.int64)
+        np.bitwise_or.at(
+            words, ids >> 3, np.left_shift(1, ids & 7).astype(np.uint8)
+        )
+    return words.view(np.uint64)
+
+
+def pack_bool(mask: np.ndarray) -> np.ndarray:
+    """Packed vector of a boolean state vector (index ``s`` = bit ``s``)."""
+    n = len(mask)
+    padded = np.zeros(num_words(n) * WORD_BITS, dtype=np.uint8)
+    padded[:n] = mask
+    return np.packbits(padded, bitorder="little").view(np.uint64)
+
+
+def unpack_indices(words: np.ndarray) -> np.ndarray:
+    """Ascending indices of the set bits of a packed vector."""
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return np.nonzero(bits)[0].astype(np.int64)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Number of set bits across a packed vector."""
+    return int(_POPCOUNT8[words.view(np.uint8)].sum())
+
+
+def any_bits(words: np.ndarray) -> bool:
+    """True when at least one bit is set."""
+    return bool(words.any())
+
+
+def successor_rows(offsets: np.ndarray, targets: np.ndarray, n: int) -> np.ndarray:
+    """Per-state packed successor bitmaps, shape ``(n, num_words(n))``.
+
+    Row ``s`` has bit ``t`` set iff ``s -> t`` is a transition; the
+    enable step of the bit-parallel kernel ORs the rows of the active
+    states, replacing the CSR gather + sort of the sparse kernel.
+    """
+    w = num_words(n)
+    rows = np.zeros((n, w * 8), dtype=np.uint8)
+    for s in range(n):
+        succ = targets[offsets[s] : offsets[s + 1]]
+        if succ.size:
+            np.bitwise_or.at(
+                rows[s],
+                succ >> 3,
+                np.left_shift(1, succ & 7).astype(np.uint8),
+            )
+    return rows.view(np.uint64)
+
+
+def or_reduce_rows(rows: np.ndarray, ids: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """OR the packed rows selected by ``ids`` into ``out`` (in place)."""
+    if len(ids):
+        np.bitwise_or.reduce(rows[ids], axis=0, out=out)
+    else:
+        out[:] = 0
+    return out

@@ -2,12 +2,15 @@
 
 This plays the role VASim plays for the paper: it executes an automaton
 one input symbol per cycle and records reports plus the activity
-statistics the energy models need.  The implementation propagates
-*active-state index sets* through precomputed successor arrays, which is
-the right trade-off for automata whose per-cycle active fraction is a
-few percent (the regime the paper's benchmarks live in).
+statistics the energy models need.  Execution itself is delegated to a
+pluggable backend (:mod:`repro.sim.backends`): the ``sparse`` kernel
+propagates active-state index sets (right for few-percent active
+fractions, the paper's benchmark regime), the ``bitparallel`` kernel
+steps packed uint64 state bitmaps (right for dense activity), and
+``auto`` picks per automaton.
 
-Per-cycle semantics (identical to AP/CA/Impala/eAP/CAMA):
+Per-cycle semantics (identical to AP/CA/Impala/eAP/CAMA, and identical
+across backends — enforced by the cross-backend property tests):
 
     enabled(t) = all-input starts
                | start-of-data starts (t == 0 only)
@@ -21,156 +24,111 @@ fed piecewise (the service layer in :mod:`repro.service` builds on
 this).  ``t == 0`` above means the first symbol of the *stream*, not of
 the chunk — ``START_OF_DATA`` states never re-fire at chunk boundaries,
 and report cycles are absolute stream offsets.
+
+Reports beyond the kept-reports cap are *counted but not recorded*.
+The cap defaults to :data:`DEFAULT_MAX_KEPT_REPORTS` and is
+configurable per engine (``max_kept_reports=``); hitting the implicit
+cap raises a :class:`ReportTruncationWarning` (or a
+:class:`~repro.errors.SimulationError` with ``on_truncation="error"``),
+while an explicit per-call ``max_reports`` is taken as intentional.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.automata.nfa import Automaton, StartKind
+from repro.automata.nfa import Automaton
 from repro.automata.striding import StridedAutomaton, stride_pairs
 from repro.errors import SimulationError
+from repro.sim.backends import (
+    DEFAULT_MAX_KEPT_REPORTS,
+    BACKEND_NAMES,
+    CompiledKernel,
+    EngineState,
+    ExecutionBackend,
+    PlacementTracker,
+    ReportTruncationWarning,
+    SimulationResult,
+    cached_successor_csr,
+    choose_backend_name,
+    gather_successors,
+    get_backend,
+    successor_csr,
+)
+from repro.sim.backends import bitwords
+from repro.sim.backends.base import (
+    check_truncation_policy,
+    handle_truncation,
+    reporting_mask,
+    start_ids,
+)
 from repro.sim.reports import Report
 from repro.sim.trace import PartitionAssignment, TraceStats
 
-_MAX_KEPT_REPORTS = 1_000_000
-
-_EMPTY_IDS = np.empty(0, dtype=np.int64)
-
-
-def successor_csr(automaton, n: int) -> tuple[np.ndarray, np.ndarray]:
-    """Flatten per-state successor sets into a CSR pair.
-
-    ``automaton`` is anything with a ``successors(state)`` method over
-    dense ids ``0..n-1``.  Returns ``(offsets, targets)`` with
-    ``targets[offsets[s]:offsets[s+1]]`` holding state ``s``'s
-    successors in ascending order.
-    """
-    offsets = np.zeros(n + 1, dtype=np.int64)
-    flat: list[int] = []
-    for s in range(n):
-        succ = sorted(automaton.successors(s))
-        offsets[s + 1] = offsets[s] + len(succ)
-        flat.extend(succ)
-    targets = np.asarray(flat, dtype=np.int64)
-    return offsets, targets
+#: backwards-compatible alias of :data:`DEFAULT_MAX_KEPT_REPORTS`
+_MAX_KEPT_REPORTS = DEFAULT_MAX_KEPT_REPORTS
 
 
-def gather_successors(
-    offsets: np.ndarray, targets: np.ndarray, active: np.ndarray
-) -> np.ndarray:
-    """Successors of every state in ``active``, gathered without a
-    per-state Python loop (and without concatenating per-state slices).
-
-    Builds one flat index vector into ``targets`` by expanding each
-    active state's CSR span with ``np.repeat`` arithmetic.
-    """
-    if not active.size:
-        return _EMPTY_IDS
-    starts = offsets[active]
-    counts = offsets[active + 1] - starts
-    total = int(counts.sum())
-    if not total:
-        return _EMPTY_IDS
-    # index = start(s) + (position within s's span), vectorized:
-    # repeat each span's start, subtract the exclusive running total so
-    # np.arange restarts at 0 at every span boundary.
-    cum = np.cumsum(counts)
-    index = np.arange(total, dtype=np.int64) + np.repeat(starts - (cum - counts), counts)
-    return targets[index]
-
-
-@dataclass
-class EngineState:
-    """Resumable execution state of one input stream.
-
-    ``active`` holds the active-state indices after the last consumed
-    symbol; ``position`` is the number of stream symbols consumed so
-    far.  :meth:`Engine.run_chunk` (and ``CamaMachine.run_chunk``)
-    advance a state in place; use :meth:`copy` to snapshot one — e.g. to
-    fork a speculative continuation or checkpoint a session.
-    """
-
-    active: np.ndarray = field(default_factory=lambda: _EMPTY_IDS)
-    position: int = 0
-
-    def copy(self) -> "EngineState":
-        return EngineState(active=self.active.copy(), position=self.position)
-
-    @property
-    def at_start(self) -> bool:
-        """True before any symbol was consumed (START_OF_DATA pending)."""
-        return self.position == 0
-
-
-@dataclass
-class SimulationResult:
-    """Reports plus activity statistics of one run."""
-
-    reports: list[Report]
-    stats: TraceStats
-
-    @property
-    def num_reports(self) -> int:
-        return self.stats.num_reports
+def _cap_message(kept: int, cap: int, what: str) -> str:
+    return (
+        f"{what} hit the kept-reports cap: recorded {kept} of a stream "
+        f"that kept reporting past {cap}; raise max_kept_reports (or pass "
+        f"an explicit max_reports) to silence"
+    )
 
 
 class Engine:
-    """Compiled simulator for one :class:`Automaton`."""
+    """Compiled simulator for one :class:`Automaton`.
 
-    def __init__(self, automaton: Automaton) -> None:
-        automaton.validate()
+    Args:
+        automaton: the automaton to compile.
+        backend: execution backend — ``"sparse"`` (default, the
+            reference kernel), ``"bitparallel"``, ``"auto"``, or an
+            :class:`ExecutionBackend` instance.
+        max_kept_reports: recording cap applied when a call does not
+            pass its own ``max_reports``.
+        on_truncation: what to do when the *implicit* cap truncates
+            recording: ``"warn"`` (default), ``"error"`` or ``"ignore"``.
+    """
+
+    def __init__(
+        self,
+        automaton: Automaton,
+        *,
+        backend: str | ExecutionBackend = "sparse",
+        max_kept_reports: int = DEFAULT_MAX_KEPT_REPORTS,
+        on_truncation: str = "warn",
+    ) -> None:
+        if max_kept_reports < 0:
+            raise SimulationError("max_kept_reports must be >= 0")
+        self._kernel = get_backend(backend).compile(automaton)
         self.automaton = automaton
-        n = len(automaton)
-        self._n = n
-        # match_table[symbol] is the boolean vector of states accepting it
-        # (this is exactly the bit-vector representation of CA/Impala).
-        table = np.zeros((256, n), dtype=bool)
-        for ste in automaton.states:
-            for symbol in ste.symbol_class:
-                table[symbol, ste.ste_id] = True
-        self._match_table = table
-        self._succ_offsets, self._succ_targets = successor_csr(automaton, n)
-        self._start_all = np.fromiter(
-            (s.ste_id for s in automaton.states if s.start is StartKind.ALL_INPUT),
-            dtype=np.int64,
-        )
-        self._start_sod = np.fromiter(
-            (
-                s.ste_id
-                for s in automaton.states
-                if s.start is StartKind.START_OF_DATA
-            ),
-            dtype=np.int64,
-        )
-        self._reporting = np.zeros(n, dtype=bool)
-        for ste in automaton.states:
-            if ste.reporting:
-                self._reporting[ste.ste_id] = True
-        self._report_codes = [s.report_code for s in automaton.states]
+        self.max_kept_reports = max_kept_reports
+        self.on_truncation = check_truncation_policy(on_truncation)
+
+    @property
+    def kernel(self) -> CompiledKernel:
+        """The compiled kernel executing this engine's automaton."""
+        return self._kernel
+
+    @property
+    def backend_name(self) -> str:
+        """Resolved kernel name ("sparse" or "bitparallel")."""
+        return self._kernel.name
 
     # -- single-step API (used by the CAMA machine for lock-step checks) --
     def enabled_at(self, active: np.ndarray, first_cycle: bool) -> np.ndarray:
         """Indices of states enabled next cycle, given active indices."""
-        succ = gather_successors(self._succ_offsets, self._succ_targets, active)
-        if first_cycle:
-            merged = np.concatenate((self._start_all, self._start_sod, succ))
-        else:
-            merged = np.concatenate((self._start_all, succ))
-        return np.unique(merged)
+        return self._kernel.enabled_at(active, first_cycle)
 
     def match(self, enabled: np.ndarray, symbol: int) -> np.ndarray:
         """Subset of ``enabled`` whose class contains ``symbol``."""
-        if not 0 <= symbol < 256:
-            raise SimulationError(f"input symbol out of range: {symbol}")
-        return enabled[self._match_table[symbol, enabled]]
+        return self._kernel.match(enabled, symbol)
 
     # -- resumable execution ---------------------------------------------
     def initial_state(self) -> EngineState:
         """A fresh :class:`EngineState` at stream position 0."""
-        return EngineState()
+        return self._kernel.initial_state()
 
     def run_chunk(
         self,
@@ -179,7 +137,7 @@ class Engine:
         *,
         placement: PartitionAssignment | None = None,
         keep_per_cycle: bool = False,
-        max_reports: int = _MAX_KEPT_REPORTS,
+        max_reports: int | None = None,
     ) -> SimulationResult:
         """Consume one chunk of a stream, advancing ``state`` in place.
 
@@ -190,99 +148,23 @@ class Engine:
         returned statistics cover only this chunk; accumulate across
         chunks with :func:`repro.service.merge.accumulate_stats`.
         """
-        stats = TraceStats(num_states=self._n)
-        part = cross_any = weights = None
-        if placement is not None:
-            if len(placement.partition_of) != self._n:
-                raise SimulationError(
-                    "placement size does not match automaton size"
-                )
-            part = np.asarray(placement.partition_of, dtype=np.int64)
-            if placement.weights is not None:
-                weights = np.asarray(placement.weights, dtype=np.float64)
-            stats.num_partitions = placement.num_partitions
-            stats.partition_enabled_cycles = np.zeros(
-                placement.num_partitions, dtype=np.int64
+        explicit = max_reports is not None
+        cap = max_reports if explicit else self.max_kept_reports
+        result = self._kernel.run_chunk(
+            data,
+            state,
+            placement=placement,
+            keep_per_cycle=keep_per_cycle,
+            max_reports=cap,
+        )
+        if result.truncated and not explicit:
+            handle_truncation(
+                self.on_truncation,
+                _cap_message(
+                    len(result.reports), cap, f"Engine({self.automaton.name!r})"
+                ),
             )
-            stats.partition_active_cycles = np.zeros(
-                placement.num_partitions, dtype=np.int64
-            )
-            stats.partition_enabled_states_sum = np.zeros(
-                placement.num_partitions, dtype=np.int64
-            )
-            stats.partition_enabled_weight_sum = np.zeros(
-                placement.num_partitions, dtype=np.float64
-            )
-            stats.partition_active_states_sum = np.zeros(
-                placement.num_partitions, dtype=np.int64
-            )
-            # cross_any[s] is True when s has a successor in another partition
-            cross_any = np.zeros(self._n, dtype=bool)
-            for s in range(self._n):
-                succ = self._succ_targets[
-                    self._succ_offsets[s] : self._succ_offsets[s + 1]
-                ]
-                if succ.size and np.any(part[succ] != part[s]):
-                    cross_any[s] = True
-
-        reports: list[Report] = []
-        base = state.position
-        active = state.active
-        for offset, symbol in enumerate(data):
-            cycle = base + offset
-            enabled = self.enabled_at(active, first_cycle=cycle == 0)
-            active = self.match(enabled, symbol)
-
-            stats.num_cycles += 1
-            stats.enabled_states_sum += int(enabled.size)
-            stats.active_states_sum += int(active.size)
-            if keep_per_cycle:
-                stats.enabled_per_cycle.append(int(enabled.size))
-                stats.active_per_cycle.append(int(active.size))
-            if part is not None:
-                if enabled.size:
-                    counts = np.bincount(
-                        part[enabled], minlength=stats.num_partitions
-                    )
-                    stats.partition_enabled_cycles += counts > 0
-                    stats.partition_enabled_states_sum += counts
-                    if weights is None:
-                        stats.partition_enabled_weight_sum += counts
-                    else:
-                        stats.partition_enabled_weight_sum += np.bincount(
-                            part[enabled],
-                            weights=weights[enabled],
-                            minlength=stats.num_partitions,
-                        )
-                if active.size:
-                    acounts = np.bincount(
-                        part[active], minlength=stats.num_partitions
-                    )
-                    stats.partition_active_states_sum += acounts
-                    stats.partition_active_cycles += acounts > 0
-                    crossing = active[cross_any[active]]
-                    stats.global_crossing_states_sum += int(crossing.size)
-                    if crossing.size:
-                        stats.global_source_partitions_sum += int(
-                            np.unique(part[crossing]).size
-                        )
-
-            firing = active[self._reporting[active]]
-            stats.num_reports += int(firing.size)
-            if firing.size and len(reports) < max_reports:
-                for s in firing:
-                    if len(reports) >= max_reports:
-                        break
-                    reports.append(
-                        Report(
-                            cycle=cycle,
-                            state_id=int(s),
-                            code=self._report_codes[int(s)],
-                        )
-                    )
-        state.active = active
-        state.position = base + len(data)
-        return SimulationResult(reports=reports, stats=stats)
+        return result
 
     # -- full run ---------------------------------------------------------
     def run(
@@ -291,7 +173,7 @@ class Engine:
         *,
         placement: PartitionAssignment | None = None,
         keep_per_cycle: bool = False,
-        max_reports: int = _MAX_KEPT_REPORTS,
+        max_reports: int | None = None,
     ) -> SimulationResult:
         """Simulate ``data`` and return reports plus activity statistics.
 
@@ -301,7 +183,8 @@ class Engine:
                 per-partition activity the energy model needs is recorded.
             keep_per_cycle: retain per-cycle enabled/active counts.
             max_reports: stop *recording* (not counting) reports beyond
-                this limit, protecting memory on report-heavy runs.
+                this limit, protecting memory on report-heavy runs;
+                defaults to the engine's ``max_kept_reports``.
         """
         return self.run_chunk(
             data,
@@ -313,12 +196,47 @@ class Engine:
 
 
 class StridedEngine:
-    """Simulator for 2-strided automata (16-bit symbol pairs per cycle)."""
+    """Simulator for 2-strided automata (16-bit symbol pairs per cycle).
 
-    def __init__(self, strided: StridedAutomaton) -> None:
+    Selects between the built-in execution *strategies* by name:
+    ``sparse`` walks active index sets, ``bitparallel`` steps packed
+    bitmaps with the stride's match mask formed as ``hi[first] &
+    lo[second]``, and ``auto`` picks from the strided automaton's
+    estimated activity.  Unlike :class:`Engine`, custom
+    :class:`ExecutionBackend` instances are not supported here — the
+    product-class match step is strided-specific, so both strategies
+    are implemented in this class.
+    """
+
+    def __init__(
+        self,
+        strided: StridedAutomaton,
+        *,
+        backend: str | ExecutionBackend = "sparse",
+        max_kept_reports: int = DEFAULT_MAX_KEPT_REPORTS,
+        on_truncation: str = "warn",
+    ) -> None:
         if not len(strided):
             raise SimulationError("strided automaton has no states")
         self.automaton = strided
+        self.max_kept_reports = max_kept_reports
+        self.on_truncation = check_truncation_policy(on_truncation)
+        if not isinstance(backend, str):
+            raise SimulationError(
+                "StridedEngine supports only the built-in execution "
+                f"strategies {', '.join(BACKEND_NAMES)}, not custom "
+                "backend instances (the product-class match step is "
+                "strided-specific)"
+            )
+        name = backend
+        if name == "auto":
+            name = choose_backend_name(strided)
+        if name not in ("sparse", "bitparallel"):
+            raise SimulationError(
+                f"unknown execution backend {name!r}; "
+                f"known: {', '.join(BACKEND_NAMES)}"
+            )
+        self.backend_name = name
         n = len(strided)
         self._n = n
         hi = np.zeros((256, n), dtype=bool)
@@ -328,25 +246,25 @@ class StridedEngine:
                 hi[symbol, ste.ste_id] = True
             for symbol in ste.product.second:
                 lo[symbol, ste.ste_id] = True
-        self._hi_table = hi
-        self._lo_table = lo
-        self._succ_offsets, self._succ_targets = successor_csr(strided, n)
-        self._start_all = np.fromiter(
-            (s.ste_id for s in strided.states if s.start is StartKind.ALL_INPUT),
-            dtype=np.int64,
-        )
-        self._start_sod = np.fromiter(
-            (
-                s.ste_id
-                for s in strided.states
-                if s.start is StartKind.START_OF_DATA
-            ),
-            dtype=np.int64,
-        )
-        self._reporting = np.zeros(n, dtype=bool)
-        for ste in strided.states:
-            if ste.reporting:
-                self._reporting[ste.ste_id] = True
+        self._succ_offsets, self._succ_targets = cached_successor_csr(strided)
+        self._start_all, self._start_sod = start_ids(strided)
+        self._reporting = reporting_mask(strided)
+        if name == "bitparallel":
+            # only the packed form is kept; the dense bool tables are
+            # construction scaffolding here (2 x 256 x n bytes saved)
+            self._hi_table = self._lo_table = None
+            self._hi_words = np.stack([bitwords.pack_bool(row) for row in hi])
+            self._lo_words = np.stack([bitwords.pack_bool(row) for row in lo])
+            self._succ_rows = bitwords.successor_rows(
+                self._succ_offsets, self._succ_targets, n
+            )
+            self._start_all_words = bitwords.pack_indices(self._start_all, n)
+            self._start_first_words = (
+                self._start_all_words | bitwords.pack_indices(self._start_sod, n)
+            )
+        else:
+            self._hi_table = hi
+            self._lo_table = lo
 
     def run(
         self,
@@ -354,7 +272,7 @@ class StridedEngine:
         *,
         placement: PartitionAssignment | None = None,
         keep_per_cycle: bool = False,
-        max_reports: int = _MAX_KEPT_REPORTS,
+        max_reports: int | None = None,
     ) -> SimulationResult:
         """Simulate an even-length byte stream, one pair per cycle.
 
@@ -363,75 +281,31 @@ class StridedEngine:
         the unstrided engine's.  As with :meth:`Engine.run`, reports
         beyond ``max_reports`` are counted but not recorded.
         """
+        explicit = max_reports is not None
+        cap = max_reports if explicit else self.max_kept_reports
         pairs = stride_pairs(data)
         stats = TraceStats(num_states=self._n)
-        part = weights = None
+        tracker = None
         if placement is not None:
-            if len(placement.partition_of) != self._n:
-                raise SimulationError(
-                    "placement size does not match strided automaton size"
-                )
-            part = np.asarray(placement.partition_of, dtype=np.int64)
-            if placement.weights is not None:
-                weights = np.asarray(placement.weights, dtype=np.float64)
-            stats.num_partitions = placement.num_partitions
-            stats.partition_enabled_cycles = np.zeros(
-                placement.num_partitions, dtype=np.int64
-            )
-            stats.partition_active_cycles = np.zeros(
-                placement.num_partitions, dtype=np.int64
-            )
-            stats.partition_enabled_states_sum = np.zeros(
-                placement.num_partitions, dtype=np.int64
-            )
-            stats.partition_enabled_weight_sum = np.zeros(
-                placement.num_partitions, dtype=np.float64
-            )
-            stats.partition_active_states_sum = np.zeros(
-                placement.num_partitions, dtype=np.int64
+            tracker = PlacementTracker(
+                placement, stats, self._n, what="strided automaton"
             )
         out: list[Report] = []
-        active = np.empty(0, dtype=np.int64)
+        truncated = False
         states = self.automaton.states
-        for stride_idx, (first, second) in enumerate(pairs):
-            succ = gather_successors(
-                self._succ_offsets, self._succ_targets, active
-            )
-            if stride_idx == 0:
-                merged = np.concatenate((self._start_all, self._start_sod, succ))
-            else:
-                merged = np.concatenate((self._start_all, succ))
-            enabled = np.unique(merged)
-            match = self._hi_table[first, enabled] & self._lo_table[second, enabled]
-            active = enabled[match]
-
+        if self.backend_name == "bitparallel":
+            stepper = self._packed_cycles(pairs)
+        else:
+            stepper = self._sparse_cycles(pairs)
+        for stride_idx, enabled_count, enabled_ids, active in stepper:
             stats.num_cycles += 1
-            stats.enabled_states_sum += int(enabled.size)
+            stats.enabled_states_sum += enabled_count
             stats.active_states_sum += int(active.size)
             if keep_per_cycle:
-                stats.enabled_per_cycle.append(int(enabled.size))
+                stats.enabled_per_cycle.append(enabled_count)
                 stats.active_per_cycle.append(int(active.size))
-            if part is not None:
-                if enabled.size:
-                    counts = np.bincount(
-                        part[enabled], minlength=stats.num_partitions
-                    )
-                    stats.partition_enabled_cycles += counts > 0
-                    stats.partition_enabled_states_sum += counts
-                    if weights is None:
-                        stats.partition_enabled_weight_sum += counts
-                    else:
-                        stats.partition_enabled_weight_sum += np.bincount(
-                            part[enabled],
-                            weights=weights[enabled],
-                            minlength=stats.num_partitions,
-                        )
-                if active.size:
-                    acounts = np.bincount(
-                        part[active], minlength=stats.num_partitions
-                    )
-                    stats.partition_active_states_sum += acounts
-                    stats.partition_active_cycles += acounts > 0
+            if tracker is not None:
+                tracker.update(enabled_ids(), active)
 
             # (cycle, origin) keys of distinct strided reporters can
             # collide only within one stride cycle (cycle 2k/2k+1 pairs
@@ -447,6 +321,64 @@ class StridedEngine:
             }
             stats.num_reports += len(cycle_hits)
             for cycle, origin in sorted(cycle_hits):
-                if len(out) < max_reports:
+                if len(out) < cap:
                     out.append(Report(cycle=cycle, state_id=origin))
-        return SimulationResult(reports=out, stats=stats)
+                else:
+                    truncated = True
+        if truncated and not explicit:
+            handle_truncation(
+                self.on_truncation,
+                _cap_message(
+                    len(out), cap, f"StridedEngine({self.automaton.name!r})"
+                ),
+            )
+        return SimulationResult(reports=out, stats=stats, truncated=truncated)
+
+    def _sparse_cycles(self, pairs):
+        """Yield (stride_idx, enabled_count, enabled_ids, active) sparsely."""
+        active = np.empty(0, dtype=np.int64)
+        for stride_idx, (first, second) in enumerate(pairs):
+            succ = gather_successors(
+                self._succ_offsets, self._succ_targets, active
+            )
+            if stride_idx == 0:
+                merged = np.concatenate((self._start_all, self._start_sod, succ))
+            else:
+                merged = np.concatenate((self._start_all, succ))
+            enabled = np.unique(merged)
+            match = self._hi_table[first, enabled] & self._lo_table[second, enabled]
+            active = enabled[match]
+            yield stride_idx, int(enabled.size), (lambda e=enabled: e), active
+
+    def _packed_cycles(self, pairs):
+        """Yield the same cycle tuples via packed uint64 words."""
+        active_ids = np.empty(0, dtype=np.int64)
+        enabled_words = np.empty(bitwords.num_words(self._n), dtype=np.uint64)
+        for stride_idx, (first, second) in enumerate(pairs):
+            bitwords.or_reduce_rows(self._succ_rows, active_ids, enabled_words)
+            enabled_words |= (
+                self._start_first_words if stride_idx == 0 else self._start_all_words
+            )
+            active_words = (
+                enabled_words & self._hi_words[first] & self._lo_words[second]
+            )
+            active_ids = bitwords.unpack_indices(active_words)
+            yield (
+                stride_idx,
+                bitwords.popcount(enabled_words),
+                (lambda w=enabled_words: bitwords.unpack_indices(w)),
+                active_ids,
+            )
+
+
+__all__ = [
+    "DEFAULT_MAX_KEPT_REPORTS",
+    "Engine",
+    "EngineState",
+    "ReportTruncationWarning",
+    "SimulationResult",
+    "StridedEngine",
+    "cached_successor_csr",
+    "gather_successors",
+    "successor_csr",
+]

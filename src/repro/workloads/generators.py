@@ -380,3 +380,60 @@ def generate(
     automaton = _FAMILIES[profile.family](profile, scale, seed)
     automaton.validate()
     return automaton
+
+
+def dense_activity_automaton(
+    num_states: int = 512,
+    *,
+    chain_length: int = 16,
+    match_width: int = 200,
+    seed: int = 0,
+    name: str = "dense-activity",
+) -> Automaton:
+    """A workload whose per-cycle active fraction is high by construction.
+
+    Chains of wide-class (``match_width`` symbols out of 256) states
+    whose heads are all all-input starts: under uniform random input a
+    large fraction of states is active every cycle — the opposite of
+    the paper's few-percent regime, and the regime where the
+    bit-parallel backend overtakes the sparse one (used by the backend
+    crossover benchmark and the ``auto``-policy tests).  Reports stay
+    rare: each chain's reporter requires one extra symbol outside the
+    wide class, so throughput measures matching, not report recording.
+    """
+    rng = random.Random(seed)
+    nfa = Automaton(name=name)
+    wide_lo, wide_hi = 0, match_width - 1
+    report_symbol = min(255, match_width)  # just outside the wide class
+    while len(nfa) < num_states:
+        length = min(chain_length, num_states - len(nfa))
+        prev = None
+        for i in range(length):
+            start = rng.randrange(wide_lo, max(1, wide_hi - 40))
+            width = rng.randint(max(1, match_width - 60), match_width)
+            if i == length - 1:
+                # always narrow, even for a length-1 trailing chain —
+                # a wide all-input reporter would flood the report
+                # stream and break the "reports stay rare" guarantee
+                cls = SymbolClass.from_symbols([report_symbol])
+            else:
+                cls = SymbolClass.from_ranges(
+                    (start, min(255, start + width - 1))
+                )
+            ste = nfa.add_state(
+                cls,
+                start=StartKind.ALL_INPUT if i == 0 else StartKind.NONE,
+                reporting=i == length - 1,
+                report_code=f"d{len(nfa)}" if i == length - 1 else None,
+            )
+            if not ste.reporting:
+                # dot-star-like self-loop: once entered, a wide state
+                # stays active while its (wide) class keeps matching —
+                # the mechanism that drives activity toward the match
+                # probability instead of decaying down the chain
+                nfa.add_transition(ste, ste)
+            if prev is not None:
+                nfa.add_transition(prev, ste)
+            prev = ste
+    nfa.validate()
+    return nfa

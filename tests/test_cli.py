@@ -108,6 +108,89 @@ class TestCommands:
         scan_out = capsys.readouterr().out.splitlines()
         assert run_out[:10] == scan_out[:10]
 
+    @pytest.mark.parametrize("backend", ["sparse", "bitparallel", "auto"])
+    def test_run_backend_flag(self, anml_file, input_file, capsys, backend):
+        assert (
+            main(
+                ["run", str(anml_file), str(input_file), "--backend", backend]
+            )
+            == 0
+        )
+        assert "backend " in capsys.readouterr().out
+
+    def test_backend_choice_identical_reports(self, anml_file, input_file, capsys):
+        outputs = []
+        for backend in ("sparse", "bitparallel"):
+            main(
+                [
+                    "scan",
+                    str(anml_file),
+                    str(input_file),
+                    "--backend",
+                    backend,
+                    "--max-reports",
+                    "15",
+                ]
+            )
+            lines = capsys.readouterr().out.splitlines()
+            outputs.append([l for l in lines if not l.startswith("#")])
+            assert f"backend {backend}" in lines[-1]
+        assert outputs[0] == outputs[1]
+
+    def test_scan_max_kept_reports_controls_recording(
+        self, anml_file, input_file, capsys
+    ):
+        # recording cap comes from --max-kept-reports, not --max-reports
+        assert (
+            main(
+                [
+                    "scan",
+                    str(anml_file),
+                    str(input_file),
+                    "--max-kept-reports",
+                    "5",
+                    "--max-reports",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert len([l for l in captured.out.splitlines() if l.startswith("cycle=")]) == 3
+        assert "kept-reports cap (5)" in captured.err
+
+    def test_scan_strict_reports_errors_on_truncation(
+        self, anml_file, input_file, capsys
+    ):
+        code = main(
+            [
+                "scan",
+                str(anml_file),
+                str(input_file),
+                "--max-kept-reports",
+                "2",
+                "--strict-reports",
+            ]
+        )
+        assert code == 1
+        assert "kept-reports cap" in capsys.readouterr().err
+
+    def test_run_strict_reports_errors_on_truncation(
+        self, anml_file, input_file, capsys
+    ):
+        code = main(
+            [
+                "run",
+                str(anml_file),
+                str(input_file),
+                "--max-kept-reports",
+                "1",
+                "--strict-reports",
+            ]
+        )
+        assert code == 1
+        assert "kept-reports cap" in capsys.readouterr().err
+
     def test_evaluate(self, anml_file, input_file, capsys):
         assert main(["evaluate", str(anml_file), str(input_file)]) == 0
         out = capsys.readouterr().out
