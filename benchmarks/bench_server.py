@@ -1,0 +1,214 @@
+"""Bench: the network matching server under concurrent client load.
+
+A load generator for :class:`repro.service.server.MatchingServer`: N
+concurrent clients x M streams each, every stream fed over TCP in
+chunks through its own session, with per-request latency percentiles
+and aggregate throughput — and every stream's reports asserted
+byte-identical to an offline ``MatchingService.scan`` of the same
+ruleset and input.  Run under pytest (as CI does) or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_server.py -q -s
+    PYTHONPATH=src python benchmarks/bench_server.py --clients 16
+"""
+
+import argparse
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.automata import compile_regex_set
+from repro.service import BackgroundServer, MatchingClient, MatchingService
+from repro.workloads import multi_stream_inputs
+
+RULES = {
+    "shell": r"/bin/(sh|bash)",
+    "hex-blob": r"0x[0-9a-f]{4}",
+    "beacon": r"PING[0-9]+PONG",
+    "paper": "(a|b)e*cd+",
+}
+
+NUM_CLIENTS = 8
+STREAMS_PER_CLIENT = 2
+STREAM_BYTES = 4096
+CHUNK_BYTES = 512
+
+
+def full_keys(reports):
+    return [(r.cycle, r.state_id, r.code) for r in reports]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The q-quantile (0..1) of ``samples`` by nearest-rank."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured (and verified)."""
+
+    num_streams: int
+    total_bytes: int
+    elapsed_s: float
+    feed_latencies_s: list[float] = field(default_factory=list)
+    errors: list = field(default_factory=list)
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.total_bytes / self.elapsed_s / 1e6
+
+    def summary(self) -> str:
+        lat = self.feed_latencies_s
+        return (
+            f"{self.num_streams} concurrent streams, "
+            f"{self.total_bytes / 1e6:.2f} MB in {self.elapsed_s:.3f} s "
+            f"({self.throughput_mbps:.2f} MB/s aggregate) | "
+            f"feed latency p50 {percentile(lat, 0.50) * 1e3:.2f} ms, "
+            f"p95 {percentile(lat, 0.95) * 1e3:.2f} ms, "
+            f"p99 {percentile(lat, 0.99) * 1e3:.2f} ms "
+            f"({len(lat)} requests)"
+        )
+
+
+def make_streams(nfa, num_clients: int, per_client: int) -> dict[str, bytes]:
+    """Named input streams with real matches, one set per client."""
+    return multi_stream_inputs(
+        nfa, num_clients * per_client, length=STREAM_BYTES
+    )
+
+
+def run_load(
+    port: int,
+    streams: dict[str, bytes],
+    expected: dict[str, list],
+    *,
+    num_clients: int,
+    chunk_bytes: int = CHUNK_BYTES,
+) -> LoadReport:
+    """Drive ``streams`` through ``num_clients`` concurrent TCP clients.
+
+    Each client registers the ruleset (a cache hit after the first),
+    opens one session per assigned stream, feeds it in ``chunk_bytes``
+    pieces, and checks the collected reports against ``expected``.
+    """
+    names = sorted(streams)
+    assignments = [names[i::num_clients] for i in range(num_clients)]
+    report = LoadReport(
+        num_streams=len(names),
+        total_bytes=sum(len(streams[name]) for name in names),
+        elapsed_s=0.0,
+    )
+    lock = threading.Lock()
+    barrier = threading.Barrier(num_clients)
+
+    def client_worker(assigned: list[str]) -> None:
+        latencies: list[float] = []
+        try:
+            with MatchingClient(port=port) as client:
+                handle = client.register(RULES)
+                barrier.wait(timeout=30)  # all clients hit at once
+                for name in assigned:
+                    data = streams[name]
+                    session = client.open_session(handle, name)
+                    reports = []
+                    for start in range(0, len(data), chunk_bytes):
+                        begin = time.perf_counter()
+                        reports.extend(
+                            session.feed(data[start : start + chunk_bytes])
+                        )
+                        latencies.append(time.perf_counter() - begin)
+                    session.close()
+                    if full_keys(reports) != expected[name]:
+                        raise AssertionError(
+                            f"stream {name!r}: server reports diverge from "
+                            f"offline scan"
+                        )
+        except Exception as exc:  # noqa: BLE001 — re-raised by the caller
+            with lock:
+                report.errors.append(exc)
+        finally:
+            with lock:
+                report.feed_latencies_s.extend(latencies)
+
+    threads = [
+        threading.Thread(target=client_worker, args=(assigned,))
+        for assigned in assignments
+    ]
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+    report.elapsed_s = time.perf_counter() - begin
+    return report
+
+
+def test_concurrent_streams_byte_identical_to_offline():
+    """The acceptance run: >= 8 concurrent client streams, all correct."""
+    nfa = compile_regex_set(RULES, name="bench-server")
+    streams = make_streams(nfa, NUM_CLIENTS, STREAMS_PER_CLIENT)
+    with MatchingService(num_shards=2) as offline:
+        expected = {
+            name: full_keys(offline.scan(nfa, data).reports)
+            for name, data in streams.items()
+        }
+    with BackgroundServer(num_shards=2, executor_workers=8) as bg:
+        report = run_load(
+            bg.port, streams, expected, num_clients=NUM_CLIENTS
+        )
+    assert not report.errors, report.errors
+    assert report.num_streams >= 8
+    assert report.feed_latencies_s, "no requests measured"
+    print(f"\nbench_server: {report.summary()}")
+
+
+def test_one_shot_scan_throughput(benchmark):
+    """Warm single-client scan RPC, for the latency trend line."""
+    nfa = compile_regex_set(RULES, name="bench-server")
+    data = next(iter(make_streams(nfa, 1, 1).values()))
+    with BackgroundServer(num_shards=2) as bg:
+        with MatchingClient(port=bg.port) as client:
+            handle = client.register(RULES)
+            client.scan(handle, data)  # warm
+            result = benchmark(client.scan, handle, data)
+            assert result.bytes_scanned == len(data)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=NUM_CLIENTS)
+    parser.add_argument("--streams", type=int, default=STREAMS_PER_CLIENT)
+    parser.add_argument("--chunk", type=int, default=CHUNK_BYTES)
+    parser.add_argument("--shards", type=int, default=2)
+    args = parser.parse_args()
+
+    nfa = compile_regex_set(RULES, name="bench-server")
+    streams = make_streams(nfa, args.clients, args.streams)
+    with MatchingService(num_shards=args.shards) as offline:
+        expected = {
+            name: full_keys(offline.scan(nfa, data).reports)
+            for name, data in streams.items()
+        }
+    with BackgroundServer(
+        num_shards=args.shards, executor_workers=max(4, args.clients)
+    ) as bg:
+        report = run_load(
+            bg.port,
+            streams,
+            expected,
+            num_clients=args.clients,
+            chunk_bytes=args.chunk,
+        )
+    for error in report.errors:
+        print(f"error: {error}")
+    print(report.summary())
+    return 1 if report.errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

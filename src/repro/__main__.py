@@ -5,6 +5,7 @@
     python -m repro run rules.anml input.bin      # reports to stdout
     python -m repro scan rules.anml input.bin \
         --chunk-size 65536 --shards 4 --workers 2 # streaming service scan
+    python -m repro serve --port 8765 --shards 4  # network matching server
     python -m repro evaluate rules.anml input.bin # CAMA vs baselines
     python -m repro experiments --only table4     # paper tables/figures
 
@@ -109,8 +110,9 @@ def cmd_scan(args: argparse.Namespace) -> int:
         default_max_reports=args.max_kept_reports,
     )
     # --max-kept-reports caps *recording* (via the service default);
-    # --max-reports only caps what is printed, mirroring `repro run`
-    result = service.scan(automaton, data)
+    # --max-reports only caps what is printed, mirroring `repro run`.
+    # Truncation messaging is handled below, not by the service policy.
+    result = service.scan(automaton, data, on_truncation="ignore")
     if result.truncated:
         message = (
             f"scan hit the kept-reports cap ({args.max_kept_reports}); "
@@ -129,6 +131,30 @@ def cmd_scan(args: argparse.Namespace) -> int:
         f"chunk {args.chunk_size} B, backend {backends} | "
         f"{result.elapsed_s:.3f} s, {result.throughput_mbps:.2f} MB/s"
     )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import MatchingServer, MatchingService, run_server
+
+    service = MatchingService(
+        num_shards=args.shards,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        backend=args.backend,
+        default_max_reports=args.max_kept_reports,
+        on_truncation="error" if args.strict_reports else "warn",
+    )
+    server = MatchingServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_frame_bytes=args.max_frame_bytes,
+        max_inflight=args.max_inflight,
+        executor_workers=args.executor_workers,
+        allow_shutdown=not args.no_remote_shutdown,
+    )
+    run_server(server)
     return 0
 
 
@@ -223,6 +249,44 @@ def main(argv: list[str] | None = None) -> int:
     p_scan.add_argument("--max-reports", type=int, default=50)
     add_backend_options(p_scan)
     p_scan.set_defaults(fn=cmd_scan)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the network matching server (NDJSON over TCP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8765, help="0 picks a free port"
+    )
+    p_serve.add_argument("--chunk-size", type=int, default=65536)
+    p_serve.add_argument("--shards", type=int, default=1)
+    p_serve.add_argument(
+        "--workers", type=int, default=1, help="shard-scan processes per scan"
+    )
+    p_serve.add_argument(
+        "--executor-workers",
+        type=int,
+        default=4,
+        help="threads bridging the event loop to the matching engines",
+    )
+    p_serve.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        help="reject request/response frames larger than this",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="per-connection bound on queued frames (backpressure)",
+    )
+    p_serve.add_argument(
+        "--no-remote-shutdown",
+        action="store_true",
+        help="ignore client 'shutdown' frames",
+    )
+    add_backend_options(p_serve)
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_eval = sub.add_parser("evaluate", help="compare designs on a workload")
     p_eval.add_argument("automaton")

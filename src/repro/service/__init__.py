@@ -31,6 +31,12 @@ Architecture (bottom-up)::
     service.MatchingService           the facade: cache + dispatchers +
                                       sessions + scan / scan_many
 
+    protocol / server / client        the network face: newline-delimited
+                                      JSON frames over TCP; an asyncio
+                                      MatchingServer with per-connection
+                                      backpressure and graceful drain,
+                                      plus sync + asyncio clients
+
 Execution is backend-pluggable (:mod:`repro.sim.backends`): the service
 defaults to the ``auto`` policy, which picks the sparse or bit-parallel
 kernel per shard from size and estimated activity; pass
@@ -51,11 +57,23 @@ Chunked, sharded, and cached execution all reproduce the one-shot
 ``tests/test_service.py`` assert this across every registry benchmark.
 """
 
+from repro.service.client import (
+    AsyncMatchingClient,
+    MatchingClient,
+    RemoteError,
+    RemoteScanResult,
+)
 from repro.service.merge import (
     accumulate_stats,
     merge_shard_reports,
     merge_shard_results,
     merge_shard_stats,
+)
+from repro.service.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    DEFAULT_MAX_INFLIGHT,
+    PROTOCOL_VERSION,
+    ProtocolError,
 )
 from repro.service.ruleset import (
     DEFAULT_CACHE_CAPACITY,
@@ -63,6 +81,7 @@ from repro.service.ruleset import (
     RulesetManager,
     ruleset_fingerprint,
 )
+from repro.service.server import BackgroundServer, MatchingServer, run_server
 from repro.service.service import MatchingService, ServiceResult
 from repro.service.session import Session
 from repro.service.sharding import (
@@ -75,11 +94,21 @@ from repro.service.sharding import (
 )
 
 __all__ = [
+    "AsyncMatchingClient",
+    "BackgroundServer",
     "CacheStats",
     "DEFAULT_CACHE_CAPACITY",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DEFAULT_MAX_INFLIGHT",
     "Dispatcher",
+    "MatchingClient",
+    "MatchingServer",
     "MatchingService",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteError",
+    "RemoteScanResult",
     "RulesetManager",
     "ServiceResult",
     "Session",
@@ -92,4 +121,5 @@ __all__ = [
     "merge_shard_results",
     "merge_shard_stats",
     "ruleset_fingerprint",
+    "run_server",
 ]

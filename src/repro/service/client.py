@@ -1,0 +1,517 @@
+"""Clients for the network matching service (sync and asyncio).
+
+:class:`MatchingClient` is a plain blocking-socket client — the right
+tool for scripts, tests and thread-per-connection load generators.
+:class:`AsyncMatchingClient` speaks the same protocol over asyncio
+streams for callers that already live on an event loop.  Both expose
+the service surface one-to-one: ``register`` a ruleset (regex rules, an
+MNRL document, or an :class:`~repro.automata.nfa.Automaton`, shipped as
+MNRL), one-shot ``scan`` / ``scan_many``, named resumable sessions, and
+``stats``.
+
+Engine-level report-cap semantics carry across the wire: a response
+whose ``warnings`` list is non-empty re-raises each entry as a
+:class:`~repro.sim.engine.ReportTruncationWarning`, and an error frame
+with code ``truncated`` (the strict policy) raises
+:class:`~repro.errors.SimulationError` — exactly what the in-process
+engine would have done.  Other error frames raise :class:`RemoteError`
+carrying the server's error code.
+
+Quick use::
+
+    from repro.service.client import MatchingClient
+
+    with MatchingClient(port=port) as client:
+        handle = client.register({"r1": "(a|b)e*cd+"})
+        result = client.scan(handle, payload)
+        session = client.open_session(handle, "tenant-a")
+        session.feed(chunk1); session.feed(chunk2)
+        session.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import warnings
+from dataclasses import dataclass, field
+
+from repro.automata.mnrl import dumps_mnrl
+from repro.automata.nfa import Automaton
+from repro.errors import ReproError, SimulationError
+from repro.service.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    decode_reports,
+    encode_data,
+    encode_frame,
+)
+from repro.sim.backends import ReportTruncationWarning
+from repro.sim.reports import Report
+
+
+class RemoteError(ReproError):
+    """The server answered a request with an error frame."""
+
+    def __init__(self, message: str, code: str = "internal") -> None:
+        self.code = code
+        super().__init__(message)
+
+
+@dataclass
+class RemoteScanResult:
+    """One remote scan's outcome (the wire view of ``ServiceResult``)."""
+
+    reports: list[Report]
+    num_reports: int
+    truncated: bool
+    bytes_scanned: int
+    elapsed_s: float
+    backends: list[str]
+    cached: bool
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.bytes_scanned / self.elapsed_s / 1e6
+
+
+# -- frame builders / response handling shared by both clients ------------
+
+
+def _register_frame(ruleset, kind: str | None, name: str | None) -> dict:
+    if isinstance(ruleset, Automaton):
+        return {
+            "op": "register",
+            "kind": "mnrl",
+            "text": dumps_mnrl(ruleset),
+            "name": name or ruleset.name,
+        }
+    if kind == "mnrl" or (kind is None and isinstance(ruleset, str)):
+        return {
+            "op": "register",
+            "kind": "mnrl",
+            "text": ruleset,
+            "name": name or "remote",
+        }
+    if kind in (None, "regex"):
+        return {
+            "op": "register",
+            "kind": "regex",
+            "rules": ruleset,
+            "name": name or "remote",
+        }
+    raise ProtocolError(f"unknown ruleset kind {kind!r}", code="bad-request")
+
+
+def _scan_frame(op: str, handle: str, **options) -> dict:
+    frame = {"op": op, "handle": handle}
+    for key, value in options.items():
+        if value is not None:
+            frame[key] = value
+    return frame
+
+
+def _checked(response: dict, request_id) -> dict:
+    """Validate one response frame; surface warnings and errors."""
+    if not response.get("ok", False):
+        # connection-level rejections (e.g. an oversized request line)
+        # carry id null; surface the server's error either way
+        message = response.get("error", "unknown server error")
+        code = response.get("code", "internal")
+        if code == "truncated":
+            # the strict report-cap policy: match the engine's exception
+            raise SimulationError(message)
+        raise RemoteError(message, code)
+    if response.get("id") != request_id:
+        raise ProtocolError(
+            f"out-of-order response: expected id {request_id!r}, "
+            f"got {response.get('id')!r}"
+        )
+    for message in response.get("warnings", ()):
+        warnings.warn(message, ReportTruncationWarning, stacklevel=3)
+    return response
+
+
+def _scan_result(payload: dict) -> RemoteScanResult:
+    return RemoteScanResult(
+        reports=decode_reports(payload["reports"]),
+        num_reports=payload["num_reports"],
+        truncated=payload["truncated"],
+        bytes_scanned=payload["bytes"],
+        elapsed_s=payload["elapsed_s"],
+        backends=payload["backends"],
+        cached=payload["cached"],
+        warnings=list(payload.get("warnings", ())),
+    )
+
+
+def _session_warnings(payload: dict) -> None:
+    for message in payload.get("warnings", ()):
+        warnings.warn(message, ReportTruncationWarning, stacklevel=3)
+
+
+class _SessionBase:
+    """Shared bookkeeping of the sync and async session handles."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.position = 0
+        self.truncated = False
+        self.closed = False
+
+    def _absorb(self, payload: dict) -> list[Report]:
+        self.position = payload["position"]
+        self.truncated = payload["truncated"]
+        return decode_reports(payload["reports"])
+
+
+class RemoteSession(_SessionBase):
+    """A named resumable stream on a sync client connection."""
+
+    def __init__(self, client: "MatchingClient", name: str) -> None:
+        super().__init__(name)
+        self._client = client
+
+    def feed(self, chunk: bytes) -> list[Report]:
+        """Send one chunk; return only the reports it produced."""
+        payload = self._client._request(
+            {"op": "feed", "session": self.name, "data": encode_data(chunk)}
+        )
+        return self._absorb(payload)
+
+    def close(self) -> dict:
+        """Finish the stream; returns the accumulated summary."""
+        payload = self._client._request({"op": "close", "session": self.name})
+        self.closed = True
+        return payload
+
+
+class MatchingClient:
+    """Blocking-socket client for :class:`~repro.service.server.MatchingServer`.
+
+    One client holds one connection; requests on it execute in order
+    (which is what gives sessions their chunk ordering).  Use one client
+    per thread for concurrent load.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float | None = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._ids = itertools.count(1)
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # -- connection management -------------------------------------------
+    def connect(self) -> "MatchingClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            # frames are small request/response pairs; without NODELAY,
+            # Nagle + delayed ACK adds ~40 ms to every round trip
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._file.close()
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._file = None
+
+    def __enter__(self) -> "MatchingClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- request plumbing -------------------------------------------------
+    def _request(self, frame: dict) -> dict:
+        self.connect()
+        request_id = next(self._ids)
+        frame = {"id": request_id, **frame}
+        self._sock.sendall(encode_frame(frame))
+        line = self._file.readline(self.max_frame_bytes + 1)
+        if not line:
+            raise RemoteError("connection closed by server", code="closed")
+        if len(line) > self.max_frame_bytes:
+            # a partial line was consumed; the stream can no longer be
+            # framed, so drop the connection rather than desync it
+            self.close()
+            raise ProtocolError(
+                f"response exceeds max_frame_bytes ({self.max_frame_bytes})",
+                code="frame-too-large",
+            )
+        return _checked(decode_frame(line), request_id)
+
+    # -- the service surface ----------------------------------------------
+    def ping(self) -> dict:
+        return self._request({"op": "ping"})
+
+    def register(
+        self, ruleset, *, kind: str | None = None, name: str | None = None
+    ) -> str:
+        """Register a ruleset; returns its handle (the fingerprint)."""
+        return self._request(_register_frame(ruleset, kind, name))["handle"]
+
+    def scan(
+        self,
+        handle: str,
+        data: bytes,
+        *,
+        chunk_size: int | None = None,
+        max_reports: int | None = None,
+        on_truncation: str | None = None,
+    ) -> RemoteScanResult:
+        payload = self._request(
+            _scan_frame(
+                "scan",
+                handle,
+                data=encode_data(data),
+                chunk_size=chunk_size,
+                max_reports=max_reports,
+                on_truncation=on_truncation,
+            )
+        )
+        return _scan_result(payload)
+
+    def scan_many(
+        self,
+        handle: str,
+        streams: dict[str, bytes],
+        *,
+        chunk_size: int | None = None,
+        max_reports: int | None = None,
+        on_truncation: str | None = None,
+    ) -> dict[str, RemoteScanResult]:
+        payload = self._request(
+            _scan_frame(
+                "scan_many",
+                handle,
+                streams={
+                    name: encode_data(data) for name, data in streams.items()
+                },
+                chunk_size=chunk_size,
+                max_reports=max_reports,
+                on_truncation=on_truncation,
+            )
+        )
+        results = {}
+        for name, result in payload["results"].items():
+            _session_warnings(result)  # per-stream truncation warnings
+            results[name] = _scan_result(result)
+        return results
+
+    def open_session(
+        self,
+        handle: str,
+        name: str,
+        *,
+        max_reports: int | None = None,
+        on_truncation: str | None = None,
+    ) -> RemoteSession:
+        self._request(
+            _scan_frame(
+                "open",
+                handle,
+                session=name,
+                max_reports=max_reports,
+                on_truncation=on_truncation,
+            )
+        )
+        return RemoteSession(self, name)
+
+    def stats(self) -> dict:
+        return self._request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop (when it allows it)."""
+        return self._request({"op": "shutdown"})
+
+
+class AsyncRemoteSession(_SessionBase):
+    """A named resumable stream on an async client connection."""
+
+    def __init__(self, client: "AsyncMatchingClient", name: str) -> None:
+        super().__init__(name)
+        self._client = client
+
+    async def feed(self, chunk: bytes) -> list[Report]:
+        payload = await self._client._request(
+            {"op": "feed", "session": self.name, "data": encode_data(chunk)}
+        )
+        return self._absorb(payload)
+
+    async def close(self) -> dict:
+        payload = await self._client._request(
+            {"op": "close", "session": self.name}
+        )
+        self.closed = True
+        return payload
+
+
+class AsyncMatchingClient:
+    """Asyncio client: the same surface, awaitable.
+
+    Requests on one client are serialized by an internal lock — the
+    server answers a connection's frames in order, so interleaving
+    writers would misattribute responses.  Open several clients for
+    true concurrency.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self._ids = itertools.count(1)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "AsyncMatchingClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=self.max_frame_bytes
+            )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            writer, self._reader, self._writer = self._writer, None, None
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self) -> "AsyncMatchingClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def _request(self, frame: dict) -> dict:
+        await self.connect()
+        async with self._lock:
+            request_id = next(self._ids)
+            frame = {"id": request_id, **frame}
+            self._writer.write(encode_frame(frame))
+            await self._writer.drain()
+            try:
+                line = await self._reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                # over-long response: the buffer is mid-frame, unframeable
+                await self.close()
+                raise ProtocolError(
+                    f"response exceeds max_frame_bytes "
+                    f"({self.max_frame_bytes})",
+                    code="frame-too-large",
+                ) from None
+        if not line:
+            raise RemoteError("connection closed by server", code="closed")
+        return _checked(decode_frame(line), request_id)
+
+    async def ping(self) -> dict:
+        return await self._request({"op": "ping"})
+
+    async def register(
+        self, ruleset, *, kind: str | None = None, name: str | None = None
+    ) -> str:
+        payload = await self._request(_register_frame(ruleset, kind, name))
+        return payload["handle"]
+
+    async def scan(
+        self,
+        handle: str,
+        data: bytes,
+        *,
+        chunk_size: int | None = None,
+        max_reports: int | None = None,
+        on_truncation: str | None = None,
+    ) -> RemoteScanResult:
+        payload = await self._request(
+            _scan_frame(
+                "scan",
+                handle,
+                data=encode_data(data),
+                chunk_size=chunk_size,
+                max_reports=max_reports,
+                on_truncation=on_truncation,
+            )
+        )
+        return _scan_result(payload)
+
+    async def scan_many(
+        self,
+        handle: str,
+        streams: dict[str, bytes],
+        *,
+        chunk_size: int | None = None,
+        max_reports: int | None = None,
+        on_truncation: str | None = None,
+    ) -> dict[str, RemoteScanResult]:
+        payload = await self._request(
+            _scan_frame(
+                "scan_many",
+                handle,
+                streams={
+                    name: encode_data(data) for name, data in streams.items()
+                },
+                chunk_size=chunk_size,
+                max_reports=max_reports,
+                on_truncation=on_truncation,
+            )
+        )
+        results = {}
+        for name, result in payload["results"].items():
+            _session_warnings(result)  # per-stream truncation warnings
+            results[name] = _scan_result(result)
+        return results
+
+    async def open_session(
+        self,
+        handle: str,
+        name: str,
+        *,
+        max_reports: int | None = None,
+        on_truncation: str | None = None,
+    ) -> AsyncRemoteSession:
+        await self._request(
+            _scan_frame(
+                "open",
+                handle,
+                session=name,
+                max_reports=max_reports,
+                on_truncation=on_truncation,
+            )
+        )
+        return AsyncRemoteSession(self, name)
+
+    async def stats(self) -> dict:
+        return await self._request({"op": "stats"})
+
+    async def shutdown(self) -> dict:
+        return await self._request({"op": "shutdown"})

@@ -1,0 +1,131 @@
+"""Wire protocol of the network matching service.
+
+The server and both clients speak *newline-delimited JSON frames*: one
+UTF-8 JSON object per line, terminated by ``\\n``.  Requests carry an
+``id`` (echoed verbatim in the response so a pipelining client can
+match them up) and an ``op``; responses carry ``ok`` plus either the
+op's payload or ``error``/``code``.  Binary stream data travels as
+base64 (JSON has no bytes type), reports as compact ``[cycle,
+state_id, code]`` triples.
+
+Frame reference (also in the README):
+
+========== ============================================= ==============
+op         request fields                                response fields
+========== ============================================= ==============
+ping       --                                            ``pong``, ``version``
+register   ``kind`` ("regex"|"mnrl"), ``rules``|``text`` ``handle``, ``states``, ``cached``
+scan       ``handle``, ``data`` (b64), ``chunk_size?``,  ``reports``, ``num_reports``,
+           ``max_reports?``, ``on_truncation?``          ``truncated``, ``bytes``,
+                                                         ``elapsed_s``, ``backends``,
+                                                         ``cached``, ``warnings``
+scan_many  ``handle``, ``streams`` ({name: b64}), ...    ``results`` ({name: scan payload})
+open       ``handle``, ``session``, ``max_reports?``,    ``session``
+           ``on_truncation?``
+feed       ``session``, ``data`` (b64)                   ``reports``, ``position``,
+                                                         ``truncated``, ``warnings``
+close      ``session``                                   ``num_reports``, ``cycles``,
+                                                         ``truncated``
+stats      --                                            ``cache``, ``active_sessions``,
+                                                         ``connections``, ``frames``,
+                                                         ``backends``
+shutdown   --                                            ``draining``
+========== ============================================= ==============
+
+Error codes: ``bad-frame`` (not JSON / not an object), ``bad-request``
+(missing or invalid fields), ``unknown-op``, ``unknown-handle``,
+``unknown-session``, ``frame-too-large`` (connection closes),
+``truncated`` (strict report-cap policy), ``internal``.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+from repro.errors import ReproError
+from repro.sim.reports import Report
+
+#: protocol version advertised by ``ping``
+PROTOCOL_VERSION = 1
+
+#: default cap on one frame's encoded size (request and response)
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: default bound on queued-but-unprocessed frames per connection; the
+#: server stops reading the socket past it (TCP backpressure)
+DEFAULT_MAX_INFLIGHT = 8
+
+
+class ProtocolError(ReproError):
+    """A frame violated the wire protocol."""
+
+    def __init__(self, message: str, code: str = "bad-frame") -> None:
+        self.code = code
+        super().__init__(message)
+
+
+def encode_frame(frame: dict) -> bytes:
+    """Serialize one frame to its newline-terminated wire form."""
+    return json.dumps(frame, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one wire line into a frame dict.
+
+    Raises :class:`ProtocolError` (code ``bad-frame``) for anything that
+    is not a JSON object — the caller decides whether the connection
+    survives.
+    """
+    try:
+        frame = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def encode_data(data: bytes) -> str:
+    """Binary stream data -> base64 text for a JSON frame."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_data(text: str) -> bytes:
+    """Base64 text from a frame -> binary stream data."""
+    if not isinstance(text, str):
+        raise ProtocolError(
+            f"data must be a base64 string, got {type(text).__name__}",
+            code="bad-request",
+        )
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ProtocolError(
+            f"data is not valid base64: {exc}", code="bad-request"
+        ) from exc
+
+
+def encode_reports(reports: list[Report]) -> list[list]:
+    """Reports -> compact ``[cycle, state_id, code]`` wire triples."""
+    return [[r.cycle, r.state_id, r.code] for r in reports]
+
+
+def decode_reports(triples: list[list]) -> list[Report]:
+    """Wire triples -> :class:`Report` records."""
+    return [
+        Report(cycle=int(c), state_id=int(s), code=code)
+        for c, s, code in triples
+    ]
+
+
+def error_frame(request_id, message: str, code: str) -> dict:
+    """Build the error response for one failed request."""
+    return {"id": request_id, "ok": False, "error": message, "code": code}
+
+
+def ok_frame(request_id, **payload) -> dict:
+    """Build the success response for one request."""
+    return {"id": request_id, "ok": True, **payload}

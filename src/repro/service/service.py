@@ -11,6 +11,7 @@ results.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -21,6 +22,7 @@ from repro.service.ruleset import DEFAULT_CACHE_CAPACITY, CacheStats, RulesetMan
 from repro.service.session import Session
 from repro.service.sharding import DEFAULT_CHUNK_SIZE, Dispatcher
 from repro.sim.backends import DEFAULT_MAX_KEPT_REPORTS, ExecutionBackend
+from repro.sim.backends.base import check_truncation_policy, handle_truncation
 from repro.sim.reports import Report
 from repro.sim.trace import TraceStats
 
@@ -67,6 +69,15 @@ class MatchingService:
             resolves per shard from size and estimated activity).
         default_max_reports: kept-reports cap for scans and sessions
             that do not pass their own ``max_reports``.
+        on_truncation: what :meth:`scan` / :meth:`scan_many` do when the
+            *default* cap truncates recording (an explicit per-call
+            ``max_reports`` is intentional and stays silent, matching
+            :class:`~repro.sim.engine.Engine`): ``"warn"`` (default),
+            ``"error"``, or ``"ignore"``.
+
+    The service is safe to share across threads: compiled-artifact
+    acquisition and the session table are lock-protected, while scans
+    themselves run concurrently (the compiled kernels are read-only).
     """
 
     def __init__(
@@ -78,6 +89,7 @@ class MatchingService:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         backend: str | ExecutionBackend = "auto",
         default_max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
+        on_truncation: str = "warn",
     ) -> None:
         if chunk_size < 1:
             raise SimulationError("chunk size must be >= 1")
@@ -89,10 +101,23 @@ class MatchingService:
         self.chunk_size = chunk_size
         self.backend = backend
         self.default_max_reports = default_max_reports
+        self.on_truncation = check_truncation_policy(on_truncation)
         self.sessions: dict[str, Session] = {}
         # LRU-bounded alongside the manager: a Dispatcher pins its shard
         # engines, so an unbounded dict here would defeat the cache cap.
         self._dispatchers: OrderedDict[str, Dispatcher] = OrderedDict()
+        # guards the dispatcher LRU and the session table; held only for
+        # dict operations, never while compiling or matching
+        self._lock = threading.RLock()
+        # serializes ruleset compilation so concurrent threads neither
+        # double-compile one ruleset nor race the manager's LRU — without
+        # stalling cache-hit lookups (which only take ``_lock``)
+        self._compile_lock = threading.Lock()
+        # dispatchers evicted while their worker pool exists retire here
+        # (terminating a pool mid-scan would kill another thread's work);
+        # they are closed with the service
+        self._retired: list[Dispatcher] = []
+        self.closed = False
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -108,8 +133,14 @@ class MatchingService:
         """
         if key is None:
             key = self.manager.fingerprint(automaton)
-        dispatcher = self._dispatchers.get(key)
-        if dispatcher is None:
+        cached = self._cached_dispatcher(key)
+        if cached is not None:
+            return cached
+        with self._compile_lock:
+            # re-check: another thread may have compiled it while we waited
+            cached = self._cached_dispatcher(key)
+            if cached is not None:
+                return cached
             dispatcher = Dispatcher(
                 automaton,
                 num_shards=self.num_shards,
@@ -118,13 +149,30 @@ class MatchingService:
                 backend=self.backend,
             )
             dispatcher.engines  # compile (and cache) the shard engines now
-            self._dispatchers[key] = dispatcher
-            if len(self._dispatchers) > self.manager.capacity:
-                _, evicted = self._dispatchers.popitem(last=False)
+            with self._lock:
+                if self.closed:
+                    raise SimulationError("the matching service is closed")
+                self._dispatchers[key] = dispatcher
+                evicted = None
+                if len(self._dispatchers) > self.manager.capacity:
+                    _, evicted = self._dispatchers.popitem(last=False)
+                    if evicted._pool is not None:
+                        # another thread may be mid-scan on this pool;
+                        # retire it and close with the service instead
+                        self._retired.append(evicted)
+                        evicted = None
+            if evicted is not None:
                 evicted.close()
-        else:
-            self._dispatchers.move_to_end(key)
-        return dispatcher
+            return dispatcher
+
+    def _cached_dispatcher(self, key: str) -> Dispatcher | None:
+        with self._lock:
+            if self.closed:
+                raise SimulationError("the matching service is closed")
+            dispatcher = self._dispatchers.get(key)
+            if dispatcher is not None:
+                self._dispatchers.move_to_end(key)
+            return dispatcher
 
     # -- one-shot scans --------------------------------------------------
     def scan(
@@ -134,20 +182,38 @@ class MatchingService:
         *,
         chunk_size: int | None = None,
         max_reports: int | None = None,
+        on_truncation: str | None = None,
     ) -> ServiceResult:
-        """Scan one complete stream, reusing cached compiled shards."""
+        """Scan one complete stream, reusing cached compiled shards.
+
+        When the *default* kept-reports cap truncates recording, the
+        service's (or the call's) ``on_truncation`` policy applies —
+        warn, error, or stay silent; an explicit ``max_reports`` is
+        taken as intentional, mirroring :meth:`Engine.run`.
+        """
+        policy = (
+            self.on_truncation
+            if on_truncation is None
+            else check_truncation_policy(on_truncation)
+        )
         key = self.manager.fingerprint(automaton)
         cached = key in self._dispatchers
         start = time.perf_counter()
         dispatcher = self.dispatcher(automaton, key=key)
+        explicit = max_reports is not None
+        cap = max_reports if explicit else self.default_max_reports
         result = dispatcher.scan(
             data,
             chunk_size=self.chunk_size if chunk_size is None else chunk_size,
-            max_reports=(
-                self.default_max_reports if max_reports is None else max_reports
-            ),
+            max_reports=cap,
         )
         elapsed = time.perf_counter() - start
+        if result.truncated and not explicit:
+            handle_truncation(
+                policy,
+                f"scan of {automaton.name!r} hit the kept-reports cap "
+                f"({cap}); further reports were counted but not recorded",
+            )
         return ServiceResult(
             reports=result.reports,
             stats=result.stats,
@@ -166,11 +232,14 @@ class MatchingService:
         *,
         chunk_size: int | None = None,
         max_reports: int | None = None,
+        on_truncation: str | None = None,
     ) -> dict[str, ServiceResult]:
         """Batch entry point: scan every named stream against one ruleset.
 
         The ruleset compiles (at most) once; each stream gets its own
-        independent START_OF_DATA semantics and report offsets.
+        independent START_OF_DATA semantics, report offsets, and
+        truncation handling (a truncating stream warns or errors per
+        ``on_truncation`` without affecting its siblings).
         """
         self.dispatcher(automaton)  # compile once, before the loop
         return {
@@ -179,6 +248,7 @@ class MatchingService:
                 data,
                 chunk_size=chunk_size,
                 max_reports=max_reports,
+                on_truncation=on_truncation,
             )
             for name, data in streams.items()
         }
@@ -193,28 +263,58 @@ class MatchingService:
         on_truncation: str = "warn",
     ) -> Session:
         """Open a named resumable stream against ``automaton``."""
-        if name in self.sessions and not self.sessions[name].closed:
-            raise SimulationError(f"session {name!r} is already open")
-        session = Session(
-            name,
-            self.dispatcher(automaton),
-            max_reports=(
-                self.default_max_reports if max_reports is None else max_reports
-            ),
-            on_truncation=on_truncation,
-        )
-        self.sessions[name] = session
-        return session
+        dispatcher = self.dispatcher(automaton)
+        with self._lock:
+            if name in self.sessions and not self.sessions[name].closed:
+                raise SimulationError(f"session {name!r} is already open")
+            session = Session(
+                name,
+                dispatcher,
+                max_reports=(
+                    self.default_max_reports
+                    if max_reports is None
+                    else max_reports
+                ),
+                on_truncation=on_truncation,
+            )
+            self.sessions[name] = session
+            return session
 
     def close_session(self, name: str):
         """Close a session and return its accumulated result."""
-        try:
-            session = self.sessions.pop(name)
-        except KeyError:
-            raise SimulationError(f"no such session: {name!r}") from None
+        with self._lock:
+            try:
+                session = self.sessions.pop(name)
+            except KeyError:
+                raise SimulationError(f"no such session: {name!r}") from None
         return session.close()
 
     def close(self) -> None:
-        """Release every dispatcher's worker pool (serial ones no-op)."""
-        for dispatcher in self._dispatchers.values():
+        """Tear the service down: sessions, dispatchers, worker pools.
+
+        Idempotent and safe after a scan or feed raised mid-stream:
+        every open session is closed (its accumulated result is
+        discarded), every dispatcher — including any the LRU already
+        evicted — releases its worker pool, and later use of the
+        service raises instead of silently recompiling.
+        """
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            sessions = list(self.sessions.values())
+            self.sessions.clear()
+            dispatchers = list(self._dispatchers.values()) + self._retired
+            self._dispatchers.clear()
+            self._retired = []
+        for session in sessions:
+            if not session.closed:
+                session.close()
+        for dispatcher in dispatchers:
             dispatcher.close()
+
+    def __enter__(self) -> "MatchingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -23,6 +23,7 @@ reports are unaffected.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from collections.abc import Iterator
 from dataclasses import dataclass
 
@@ -162,6 +163,11 @@ class Dispatcher:
         self._manager = manager
         self._engines: list[Engine] | None = None
         self._pool: multiprocessing.pool.Pool | None = None
+        # engine compilation and pool creation are check-then-create;
+        # concurrent scans (e.g. server executor threads) must not race
+        # them or a duplicate pool's processes would leak unterminated.
+        # Reentrant: pool creation reads .engines under the same lock.
+        self._compile_lock = threading.RLock()
         self.num_dropped_states = len(automaton) - sum(
             len(s.global_ids) for s in self.shards
         )
@@ -174,16 +180,18 @@ class Dispatcher:
     def engines(self) -> list[Engine]:
         """Per-shard engines, compiled lazily (and cached via the manager)."""
         if self._engines is None:
-            if self._manager is not None:
-                self._engines = [
-                    self._manager.engine(s.automaton, self.backend)
-                    for s in self.shards
-                ]
-            else:
-                self._engines = [
-                    Engine(s.automaton, backend=self.backend)
-                    for s in self.shards
-                ]
+            with self._compile_lock:
+                if self._engines is None:
+                    if self._manager is not None:
+                        self._engines = [
+                            self._manager.engine(s.automaton, self.backend)
+                            for s in self.shards
+                        ]
+                    else:
+                        self._engines = [
+                            Engine(s.automaton, backend=self.backend)
+                            for s in self.shards
+                        ]
         return self._engines
 
     @property
@@ -250,20 +258,34 @@ class Dispatcher:
         scans pay neither pool startup nor recompilation.  Release with
         :meth:`close`.
         """
-        if self._pool is None:
-            self._pool = multiprocessing.Pool(
-                processes=self.workers,
-                initializer=_init_worker,
-                initargs=(self.engines,),
-            )
-        return self._pool
+        with self._compile_lock:
+            if self._pool is None:
+                self._pool = multiprocessing.Pool(
+                    processes=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self.engines,),
+                )
+            return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op for serial dispatchers)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Shut down the worker pool (no-op for serial dispatchers).
+
+        Idempotent, and safe to call after a scan raised mid-stream:
+        ``terminate`` stops the workers even with tasks still queued,
+        and ``join`` reaps the processes so no pool (or
+        ``ResourceWarning``) outlives the dispatcher.
+        """
+        with self._compile_lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+
+    def __enter__(self) -> "Dispatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _merge_capped(
         self, per_shard: list[SimulationResult], max_reports: int

@@ -1,0 +1,103 @@
+"""A deliberately naive NFA oracle — the differential-testing anchor.
+
+Every production kernel in this repo is optimized somehow: CSR
+successor gathers, packed uint64 bitmaps, 2-stride product classes,
+connected-component sharding, resumable chunking.  This oracle has
+*none* of that on purpose: plain Python sets of state ids, one symbol
+at a time, straight off the execution semantics in the docstring of
+:mod:`repro.sim.engine`::
+
+    enabled(t) = all-input starts
+               | start-of-data starts (t == 0 only)
+               | successors(active(t-1))
+    active(t)  = { s in enabled(t) : input[t] in C(s) }
+    reports(t) = active(t) & reporting
+
+If an optimized engine and this oracle ever disagree, the optimized
+engine is wrong.  The property tests in ``test_oracle.py`` drive
+randomized automata and inputs through both and assert
+report-for-report equality; any future kernel (GPU, SIMD, JIT...) gets
+correctness for free by joining that suite.
+
+Deliberate non-goals: speed (this is O(states) per cycle in
+interpreted Python), statistics beyond the enabled/active sums, and
+any form of resumability beyond being a plain loop you can slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.nfa import Automaton, StartKind
+from repro.sim.reports import Report
+
+
+@dataclass
+class OracleResult:
+    """What the oracle saw: reports plus the two activity sums."""
+
+    reports: list[Report] = field(default_factory=list)
+    num_cycles: int = 0
+    num_reports: int = 0
+    enabled_states_sum: int = 0
+    active_states_sum: int = 0
+
+
+class NfaOracle:
+    """Set-of-states reference simulator for one :class:`Automaton`."""
+
+    def __init__(self, automaton: Automaton) -> None:
+        automaton.validate()
+        self.automaton = automaton
+        self.start_all = {
+            s.ste_id
+            for s in automaton.states
+            if s.start is StartKind.ALL_INPUT
+        }
+        self.start_sod = {
+            s.ste_id
+            for s in automaton.states
+            if s.start is StartKind.START_OF_DATA
+        }
+        self.successors = {
+            s.ste_id: set(automaton.successors(s.ste_id))
+            for s in automaton.states
+        }
+        self.reporting = {
+            s.ste_id for s in automaton.states if s.reporting
+        }
+        self.codes = {s.ste_id: s.report_code for s in automaton.states}
+
+    def run(self, data: bytes) -> OracleResult:
+        """Simulate ``data`` from the start of a stream."""
+        result = OracleResult()
+        active: set[int] = set()
+        for position, symbol in enumerate(data):
+            enabled = set(self.start_all)
+            if position == 0:
+                enabled |= self.start_sod
+            for state in active:
+                enabled |= self.successors[state]
+            active = {
+                s
+                for s in enabled
+                if symbol in self.automaton.states[s].symbol_class
+            }
+            result.num_cycles += 1
+            result.enabled_states_sum += len(enabled)
+            result.active_states_sum += len(active)
+            for state in sorted(active & self.reporting):
+                result.num_reports += 1
+                result.reports.append(
+                    Report(
+                        cycle=position,
+                        state_id=state,
+                        code=self.codes[state],
+                    )
+                )
+        return result
+
+
+def oracle_run(automaton: Automaton, data: bytes) -> OracleResult:
+    """One-shot convenience: build the oracle and run ``data``."""
+    return NfaOracle(automaton).run(data)

@@ -1,5 +1,8 @@
 """Tests for the streaming, sharded, multi-tenant service layer."""
 
+import gc
+import warnings
+
 import numpy as np
 import pytest
 
@@ -336,6 +339,86 @@ class TestMatchingService:
     def test_bad_chunk_size_rejected(self):
         with pytest.raises(SimulationError):
             MatchingService(chunk_size=0)
+
+
+class TestTeardown:
+    """close() must be clean on error paths: no leaked pools, no
+    ResourceWarnings, no half-open sessions."""
+
+    def test_close_after_failing_chunk_releases_everything(self, ruleset):
+        """A chunk that raises mid-stream must not leak the worker pool."""
+        service = MatchingService(num_shards=3, workers=2)
+        stream = b"aecdabcxxy" * 20
+        service.scan(ruleset, stream)  # builds the multiprocessing pool
+        dispatcher = service.dispatcher(ruleset)
+        assert dispatcher._pool is not None
+        session = service.open_session(
+            ruleset, "failing", max_reports=1, on_truncation="error"
+        )
+        with pytest.raises(SimulationError, match="kept-reports cap"):
+            session.feed(stream)  # the failing chunk
+        # teardown after the error: pool gone, session closed, quietly
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            service.close()
+            gc.collect()
+        assert dispatcher._pool is None
+        assert session.closed
+        assert service.sessions == {}
+
+    def test_close_is_idempotent(self, ruleset):
+        service = MatchingService(num_shards=2, workers=2)
+        service.scan(ruleset, b"aecd" * 50)
+        service.close()
+        service.close()
+
+    def test_use_after_close_raises_instead_of_recompiling(self, ruleset):
+        service = MatchingService()
+        service.scan(ruleset, b"aecd")
+        service.close()
+        with pytest.raises(SimulationError, match="closed"):
+            service.scan(ruleset, b"aecd")
+        with pytest.raises(SimulationError, match="closed"):
+            service.open_session(ruleset, "late")
+
+    def test_service_context_manager(self, ruleset):
+        with MatchingService(num_shards=2) as service:
+            result = service.scan(ruleset, b"aecdabc")
+            assert result.num_reports > 0
+        assert service.closed
+
+    def test_dispatcher_context_manager_closes_pool(self, ruleset):
+        with Dispatcher(ruleset, num_shards=3, workers=2) as dispatcher:
+            dispatcher.scan(b"aecdabcxxy" * 10, chunk_size=16)
+            assert dispatcher._pool is not None
+        assert dispatcher._pool is None
+        dispatcher.close()  # idempotent
+
+    def test_evicted_dispatcher_with_pool_retires_until_service_close(self):
+        # terminating an evicted dispatcher's pool immediately could kill
+        # another thread's in-flight scan; it must retire instead and be
+        # released by service.close()
+        rules_a = compile_regex_set({"a1": "ab", "a2": "cd"}, name="a")
+        rules_b = compile_regex_set({"b1": "ef", "b2": "gh"}, name="b")
+        service = MatchingService(cache_capacity=1, num_shards=2, workers=2)
+        service.scan(rules_a, b"abcd" * 30)
+        first = service.dispatcher(rules_a)
+        assert first._pool is not None
+        service.scan(rules_b, b"efgh" * 30)  # evicts rules_a's dispatcher
+        assert first in service._retired
+        assert first._pool is not None  # still usable by in-flight scans
+        service.close()
+        assert first._pool is None
+        assert service._retired == []
+
+    def test_evicted_dispatcher_without_pool_closes_immediately(self):
+        rules_a = compile_regex_set({"a1": "ab"}, name="a")
+        rules_b = compile_regex_set({"b1": "ef"}, name="b")
+        service = MatchingService(cache_capacity=1)
+        service.scan(rules_a, b"abab")
+        service.scan(rules_b, b"efef")  # evicts the (serial) dispatcher
+        assert service._retired == []
+        service.close()
 
 
 class TestStridedMaxReports:
