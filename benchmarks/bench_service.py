@@ -47,17 +47,17 @@ def test_warm_scan(benchmark, ctx):
     benchmark(_warm_batch, service, automaton, streams)
 
 
-def test_warm_beats_cold_2x(ctx):
+def test_warm_beats_cold_2x(ctx, bench_json):
     """The acceptance ratio: cached scans >= 2x faster than cold scans.
 
     Medians over 5 interleaved rounds absorb scheduler noise; one retry
     keeps a single unlucky burst on a shared CI runner from failing an
-    unrelated change.
+    unrelated change.  Always writes BENCH_service.json, win or lose.
     """
     automaton, streams = _request_streams(ctx)
     warm_service = MatchingService()
     warm_service.scan(automaton, next(iter(streams.values())))
-    best = 0.0
+    best = (0.0, 0.0, 0.0)  # (speedup, cold median, warm median)
     for _ in range(2):
         cold_times, warm_times = [], []
         for _ in range(5):
@@ -69,10 +69,26 @@ def test_warm_beats_cold_2x(ctx):
             warm_times.append(time.perf_counter() - start)
         cold = sorted(cold_times)[len(cold_times) // 2]
         warm = sorted(warm_times)[len(warm_times) // 2]
-        best = max(best, cold / warm)
-        if best >= 2.0:
+        best = max(best, (cold / warm, cold, warm))
+        if best[0] >= 2.0:
             break
-    assert best >= 2.0, f"warm speedup only {best:.2f}x"
+    speedup, cold, warm = best
+    bench_json(
+        "service",
+        {
+            "workload": {
+                "benchmark": "Snort",
+                "requests": NUM_REQUESTS,
+                "request_bytes": REQUEST_BYTES,
+            },
+            # the medians behind the recorded speedup (same attempt)
+            "cold_median_s": round(cold, 6),
+            "warm_median_s": round(warm, 6),
+            "speedup": round(speedup, 2),
+            "target": 2.0,
+        },
+    )
+    assert speedup >= 2.0, f"warm speedup only {speedup:.2f}x"
 
 
 def test_monolithic_scan(benchmark, ctx):

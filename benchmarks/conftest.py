@@ -7,9 +7,47 @@ the minutes range.  Use ``repro.experiments.run_all`` directly for the
 full-scale numbers.
 """
 
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.common import ExperimentContext
+
+#: where machine-readable BENCH_*.json results land (the bench
+#: trajectory the CI artifact job collects); default: the invocation cwd
+BENCH_RESULTS_DIR = os.environ.get("BENCH_RESULTS_DIR", ".")
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one bench's machine-readable result as ``BENCH_<name>.json``.
+
+    The envelope records when and on what the numbers were taken;
+    ``payload`` is the bench-specific body.  Benches call this from
+    their acceptance-ratio tests so every run — local or CI — leaves a
+    comparable artifact behind.
+    """
+    out_dir = Path(BENCH_RESULTS_DIR)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "created_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """The :func:`write_bench_json` writer, as a fixture."""
+    return write_bench_json
 
 BENCH_SCALE = 1.0 / 64.0
 BENCH_STREAM = 2000

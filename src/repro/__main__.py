@@ -1,16 +1,22 @@
 """Command-line interface: compile, run and evaluate automata on CAMA.
 
     python -m repro compile rules.anml            # compile + summary
-    python -m repro compile rules.mnrl --optimize
+    python -m repro compile rules.mnrl --optimize --timings
+    python -m repro compile rules.regex --out rules.npz  # save artifact
+    python -m repro inspect rules.npz             # artifact manifest
     python -m repro run rules.anml input.bin      # reports to stdout
     python -m repro scan rules.anml input.bin \
         --chunk-size 65536 --shards 4 --workers 2 # streaming service scan
+    python -m repro scan rules.anml input.bin \
+        --artifact-cache ~/.cache/repro           # persistent compile cache
     python -m repro serve --port 8765 --shards 4  # network matching server
     python -m repro evaluate rules.anml input.bin # CAMA vs baselines
     python -m repro experiments --only table4     # paper tables/figures
 
 Accepts ANML (.anml/.xml), MNRL (.mnrl/.json), or a newline-separated
-regex list (.regex/.txt).
+regex list (.regex/.txt).  ``compile --out`` writes a serializable
+compiled-ruleset artifact (:mod:`repro.compile.artifact`) that any
+other process can load — or upload to a server — without recompiling.
 """
 
 from __future__ import annotations
@@ -20,14 +26,7 @@ import sys
 from pathlib import Path
 
 from repro.arch.designs import ALL_DESIGNS, build_design
-from repro.automata import (
-    compile_regex_set,
-    load_anml,
-    load_mnrl,
-    optimize as optimize_pass,
-)
 from repro.automata.nfa import Automaton
-from repro.core.compiler import compile_automaton
 from repro.errors import ReproError
 from repro.sim.backends import BACKEND_NAMES, DEFAULT_MAX_KEPT_REPORTS
 from repro.sim.engine import Engine
@@ -36,38 +35,74 @@ from repro.utils.tables import format_table
 
 def load_automaton(path: str) -> Automaton:
     """Load an automaton from ANML, MNRL or a regex-list file."""
-    file = Path(path)
-    if not file.exists():
-        raise ReproError(f"no such file: {path}")
-    suffix = file.suffix.lower()
-    if suffix in (".anml", ".xml"):
-        return load_anml(file)
-    if suffix in (".mnrl", ".json"):
-        return load_mnrl(file)
-    if suffix in (".regex", ".txt"):
-        patterns = [
-            line.strip()
-            for line in file.read_text().splitlines()
-            if line.strip() and not line.startswith("#")
-        ]
-        return compile_regex_set(patterns, name=file.stem)
-    raise ReproError(
-        f"unrecognized automaton format {suffix!r} "
-        f"(expected .anml/.xml, .mnrl/.json, or .regex/.txt)"
-    )
+    from repro.compile import load_source
+
+    return load_source(path)
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    automaton = load_automaton(args.automaton)
-    if args.optimize:
-        automaton, report = optimize_pass(automaton)
+    from repro.compile import CompiledArtifact, PipelineOptions, compile_ruleset
+
+    options = PipelineOptions(
+        optimize=args.optimize,
+        stride=args.stride,
+        backend=args.backend,
+    )
+    compiled = compile_ruleset(args.automaton, options)
+    if compiled.optimization is not None:
+        report = compiled.optimization
         print(
             f"optimized: {report.states_before} -> {report.states_after} "
             f"states ({report.reduction:.0%} reduction)"
         )
-    program = compile_automaton(automaton)
-    rows = [[key, value] for key, value in program.summary().items()]
+    if compiled.program is not None:
+        rows = [[key, value] for key, value in compiled.program.summary().items()]
+        print(format_table(["property", "value"], rows))
+    elif compiled.strided is not None:
+        print(
+            f"2-strided {compiled.automaton.name}: "
+            f"{len(compiled.automaton)} -> {len(compiled.strided)} states, "
+            f"kernel backend {compiled.kernel.backend_name}"
+        )
+    if args.timings:
+        print(
+            format_table(
+                ["pass", "ms", "notes"],
+                compiled.timing_rows(),
+                title="pipeline pass timings",
+            )
+        )
+    if args.out:
+        artifact = CompiledArtifact.from_compiled(compiled)
+        path = artifact.save(args.out)
+        print(
+            f"artifact: {path} ({path.stat().st_size} bytes, "
+            f"key {artifact.key[:16]}...)"
+        )
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.compile import CompiledArtifact
+
+    artifact = CompiledArtifact.load(args.artifact)
+    if args.verify:
+        artifact.verify()
+    rows = [[key, value] for key, value in artifact.summary().items()]
     print(format_table(["property", "value"], rows))
+    timings = artifact.manifest.get("timings") or []
+    if timings:
+        from repro.compile.ir import render_timing_rows
+
+        print(
+            format_table(
+                ["pass", "ms", "notes"],
+                render_timing_rows(timings),
+                title="compiled with",
+            )
+        )
+    if args.verify:
+        print("content verified: fingerprint matches")
     return 0
 
 
@@ -107,6 +142,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         backend=args.backend,
+        artifact_store=args.artifact_cache,
         default_max_reports=args.max_kept_reports,
     )
     # --max-kept-reports caps *recording* (via the service default);
@@ -142,6 +178,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         backend=args.backend,
+        artifact_store=args.artifact_cache,
         default_max_reports=args.max_kept_reports,
         on_truncation="error" if args.strict_reports else "warn",
     )
@@ -208,7 +245,42 @@ def main(argv: list[str] | None = None) -> int:
     p_compile = sub.add_parser("compile", help="compile an automaton to CAMA")
     p_compile.add_argument("automaton")
     p_compile.add_argument("--optimize", action="store_true")
+    p_compile.add_argument(
+        "--stride",
+        type=int,
+        choices=(1, 2),
+        default=1,
+        help="temporal stride (2 = one step per symbol pair)",
+    )
+    p_compile.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="auto",
+        help="execution backend for the kernel-prebuild pass",
+    )
+    p_compile.add_argument(
+        "--out",
+        default=None,
+        metavar="ARTIFACT.npz",
+        help="save a serializable compiled-ruleset artifact",
+    )
+    p_compile.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-pass pipeline timings",
+    )
     p_compile.set_defaults(fn=cmd_compile)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="print a compiled artifact's manifest"
+    )
+    p_inspect.add_argument("artifact")
+    p_inspect.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute the content fingerprint and check it",
+    )
+    p_inspect.set_defaults(fn=cmd_inspect)
 
     def add_backend_options(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -227,6 +299,15 @@ def main(argv: list[str] | None = None) -> int:
             "--strict-reports",
             action="store_true",
             help="error (instead of warn) when the kept-reports cap truncates",
+        )
+
+    def add_artifact_cache_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--artifact-cache",
+            default=None,
+            metavar="DIR",
+            help="persistent compiled-artifact cache directory (warm "
+            "restarts skip compilation; spawn workers load artifacts)",
         )
 
     p_run = sub.add_parser("run", help="simulate an automaton on an input file")
@@ -248,6 +329,7 @@ def main(argv: list[str] | None = None) -> int:
     p_scan.add_argument("--limit", type=int, default=0)
     p_scan.add_argument("--max-reports", type=int, default=50)
     add_backend_options(p_scan)
+    add_artifact_cache_option(p_scan)
     p_scan.set_defaults(fn=cmd_scan)
 
     p_serve = sub.add_parser(
@@ -286,6 +368,7 @@ def main(argv: list[str] | None = None) -> int:
         help="ignore client 'shutdown' frames",
     )
     add_backend_options(p_serve)
+    add_artifact_cache_option(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 
     p_eval = sub.add_parser("evaluate", help="compare designs on a workload")

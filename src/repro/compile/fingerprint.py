@@ -1,0 +1,58 @@
+"""Ruleset fingerprints: the cache keys of compiled artifacts.
+
+A *ruleset fingerprint* digests an automaton's language-relevant
+content — every state's symbol-class mask, start kind, reporting flag
+and report code, plus the full transition relation — and deliberately
+excludes its name and STE display names, so re-loading the same rules
+under a different label still hits every cache.
+
+Compiled *artifacts* additionally depend on how they were compiled:
+stride, backend hint, optimization and encoding knobs all change the
+output, so :func:`ruleset_fingerprint` mixes the
+:class:`~repro.compile.ir.PipelineOptions` digest into the key when
+options are given.  Fingerprints with different options can therefore
+never alias one artifact (the ``test_fingerprint_covers_options``
+regression locks this in).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.automata.nfa import Automaton
+from repro.compile.ir import PipelineOptions
+
+
+def ruleset_fingerprint(
+    automaton: Automaton, options: PipelineOptions | None = None
+) -> str:
+    """A stable hex digest of the automaton's language-relevant content.
+
+    With ``options``, the digest also covers the pipeline-relevant
+    compile options (stride, backend hint, optimization and encoding
+    flags) — use this form to key compiled *artifacts*; the bare form
+    keys the ruleset's *language* (e.g. the in-memory engine LRU, where
+    the backend is already part of the cache key tuple).
+    """
+    h = hashlib.sha256()
+    h.update(len(automaton).to_bytes(8, "little"))
+    for ste in automaton.states:
+        h.update(ste.symbol_class.mask.to_bytes(32, "little"))
+        # variable-length fields are length-prefixed so shifted record
+        # boundaries cannot make different rulesets serialize alike
+        start = ste.start.value.encode()
+        h.update(len(start).to_bytes(1, "little"))
+        h.update(start)
+        h.update(b"\x01" if ste.reporting else b"\x00")
+        code = (ste.report_code or "").encode()
+        h.update(len(code).to_bytes(4, "little"))
+        h.update(code)
+    for u, v in automaton.transitions():
+        h.update(u.to_bytes(8, "little"))
+        h.update(v.to_bytes(8, "little"))
+    if options is not None:
+        digest = options.digest().encode()
+        h.update(b"\x00options")
+        h.update(len(digest).to_bytes(2, "little"))
+        h.update(digest)
+    return h.hexdigest()

@@ -1,0 +1,160 @@
+"""On-disk artifact store: a content-addressed cache with a byte budget.
+
+One :class:`ArtifactStore` manages a directory of ``<key>.npz``
+artifacts (``key`` = ``ruleset_fingerprint(automaton, options)``).  It
+is the *second-level* cache behind the in-memory LRUs of
+:class:`~repro.service.ruleset.RulesetManager`: process restarts and
+spawn workers hit the disk instead of recompiling, and several
+processes can share one store directory (writes are atomic
+tmp-file-plus-rename, reads treat any unreadable file as a miss).
+
+Eviction is LRU by *bytes*, not entries: when the directory exceeds
+``max_bytes`` the least-recently-used artifacts (by file mtime, which
+:meth:`get` refreshes on every hit) are deleted until the budget holds
+again.  Corrupt or version-mismatched files are deleted on sight and
+counted in :attr:`StoreStats.invalid`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.compile.artifact import CompiledArtifact
+from repro.errors import ArtifactError, ReproError
+
+#: default disk budget: plenty for a service's working set of rulesets
+DEFAULT_STORE_BYTES = 512 * 1024 * 1024
+
+_SUFFIX = ".npz"
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/eviction counters of one :class:`ArtifactStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: corrupt / version-mismatched files discarded
+    invalid: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ArtifactStore:
+    """A directory of compiled artifacts with an LRU byte budget."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_bytes: int = DEFAULT_STORE_BYTES,
+    ) -> None:
+        if max_bytes < 1:
+            raise ReproError("artifact store byte budget must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+
+    # -- paths ------------------------------------------------------------
+    def path(self, key: str) -> Path:
+        """Where ``key``'s artifact lives (whether or not it exists)."""
+        if not key or any(c in key for c in "/\\."):
+            raise ReproError(f"bad artifact key: {key!r}")
+        return self.root / f"{key}{_SUFFIX}"
+
+    def contains(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def keys(self) -> list[str]:
+        return sorted(p.stem for p in self.root.glob(f"*{_SUFFIX}"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def total_bytes(self) -> int:
+        return sum(
+            p.stat().st_size
+            for p in self.root.glob(f"*{_SUFFIX}")
+            if p.is_file()
+        )
+
+    # -- cache surface ----------------------------------------------------
+    def get(self, key: str) -> CompiledArtifact | None:
+        """Load ``key``'s artifact, or None (missing *or* unreadable).
+
+        A hit refreshes the file's mtime — that is the LRU clock.  An
+        unreadable or incompatible file is deleted so it cannot shadow
+        a future :meth:`put` forever.
+        """
+        path = self.path(key)
+        with self._lock:
+            if not path.exists():
+                self.stats.misses += 1
+                return None
+            try:
+                artifact = CompiledArtifact.load(path)
+            except ArtifactError:
+                self.stats.invalid += 1
+                self.stats.misses += 1
+                path.unlink(missing_ok=True)
+                return None
+            self.stats.hits += 1
+            try:
+                os.utime(path, (time.time(), time.time()))
+            except OSError:
+                # a sharing process evicted the file after we read it;
+                # the loaded artifact is still a perfectly good hit
+                pass
+            return artifact
+
+    def put(self, artifact: CompiledArtifact) -> Path:
+        """Write an artifact under its own content-addressed key."""
+        with self._lock:
+            path = artifact.save(self.path(artifact.key))
+            self._evict_over_budget(keep=path)
+            return path
+
+    def clear(self) -> None:
+        with self._lock:
+            for path in self.root.glob(f"*{_SUFFIX}"):
+                path.unlink(missing_ok=True)
+
+    def _evict_over_budget(self, keep: Path) -> None:
+        """Delete least-recently-used artifacts past the byte budget.
+
+        The just-written artifact is never evicted, even when it alone
+        exceeds the budget — the caller is about to use it.
+        """
+        entries = []
+        total = 0
+        for path in self.root.glob(f"*{_SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:  # concurrently removed
+                continue
+            total += stat.st_size
+            if path != keep:
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            self.stats.evictions += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactStore({str(self.root)!r}, entries={len(self)}, "
+            f"max_bytes={self.max_bytes})"
+        )

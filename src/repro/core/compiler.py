@@ -13,13 +13,13 @@ from dataclasses import dataclass
 
 from repro.automata.nfa import Automaton
 from repro.core.encoding.encoder import InputEncoder
-from repro.core.encoding.negation import StateEncoding, encode_state_class
+from repro.core.encoding.negation import StateEncoding
 from repro.core.encoding.selection import (
     EncodingChoice,
     fixed_one_zero_prefix_encoding,
     select_encoding,
 )
-from repro.core.mapping import CamaMapping, map_automaton
+from repro.core.mapping import CamaMapping
 from repro.sim.trace import PartitionAssignment
 
 
@@ -73,6 +73,13 @@ class CamaProgram:
 class CamaCompiler:
     """Compiles homogeneous NFAs to CAMA programs.
 
+    Since the staged-pipeline refactor this class is a thin,
+    backwards-compatible driver over :func:`repro.compile.pipeline.
+    compile_ruleset` (parse → optimize → stride → encode → map →
+    kernel): it configures the encode/map passes and returns the
+    assembled :class:`CamaProgram`.  Use the pipeline directly for pass
+    timings, kernel prebuilds, or serializable artifacts.
+
     Args:
         allow_negation: apply negation optimization (NO) per state.
         clustered: apply frequency-first symbol clustering.
@@ -98,31 +105,24 @@ class CamaCompiler:
             )
         return select_encoding(automaton, clustered=self.clustered)
 
-    def compile(self, automaton: Automaton) -> CamaProgram:
-        automaton.validate()
-        choice = self.select(automaton)
-        # Benchmarks reuse symbol classes heavily; memoize per class mask.
-        cache: dict[int, object] = {}
+    def options(self) -> "object":
+        """This compiler's settings as program-only pipeline options."""
+        # imported lazily: repro.compile assembles CamaProgram from here
+        from repro.compile.ir import PipelineOptions
 
-        def encode(symbol_class):
-            key = symbol_class.mask
-            if key not in cache:
-                cache[key] = encode_state_class(
-                    choice.encoding,
-                    symbol_class,
-                    allow_negation=self.allow_negation,
-                )
-            return cache[key]
-
-        state_encodings = [encode(ste.symbol_class) for ste in automaton.states]
-        mapping = map_automaton(automaton, choice.encoding, state_encodings)
-        return CamaProgram(
-            automaton=automaton,
-            choice=choice,
-            state_encodings=state_encodings,
-            mapping=mapping,
-            encoder=InputEncoder(choice.encoding),
+        return PipelineOptions(
+            optimize=False,
+            stride=1,
+            backend=None,  # program-only: no kernel prebuild
+            allow_negation=self.allow_negation,
+            clustered=self.clustered,
+            fixed_32bit=self.fixed_32bit,
         )
+
+    def compile(self, automaton: Automaton) -> CamaProgram:
+        from repro.compile.pipeline import compile_ruleset
+
+        return compile_ruleset(automaton, self.options()).program
 
 
 def compile_automaton(automaton: Automaton, **kwargs) -> CamaProgram:

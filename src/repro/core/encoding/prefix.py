@@ -109,6 +109,12 @@ class PrefixEncoding(Encoding):
     def cluster_of(self, symbol: int) -> int:
         return self._assignment[symbol][0]
 
+    @property
+    def assignment(self) -> dict[int, tuple[int, int]]:
+        """Symbol -> (cluster, slot) map (a copy; the constructor's
+        input form, which is also the serialized-artifact form)."""
+        return dict(self._assignment)
+
     def symbol_code(self, symbol: int) -> int:
         try:
             return self._codes[symbol]

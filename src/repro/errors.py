@@ -41,5 +41,12 @@ class SimulationError(ReproError):
     """The cycle simulator was driven with invalid inputs."""
 
 
+class ArtifactError(ReproError):
+    """A compiled-ruleset artifact is unreadable, corrupt, or carries an
+    incompatible format version.  Callers that hold the source ruleset
+    (e.g. the :class:`~repro.service.ruleset.RulesetManager` disk cache)
+    treat this as a cache miss and recompile."""
+
+
 class ModelError(ReproError):
     """An architecture model was queried outside its calibrated domain."""

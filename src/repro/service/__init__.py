@@ -15,7 +15,11 @@ Architecture (bottom-up)::
 
     ruleset.RulesetManager            fingerprint (language content, not
                                       names) -> LRU of compiled Engines /
-                                      CamaPrograms / CamaMachines
+                                      CamaPrograms / CamaMachines, with an
+                                      optional persistent second level of
+                                      serialized artifacts (repro.compile:
+                                      warm restarts and spawn workers load
+                                      instead of recompiling)
 
     sharding.Dispatcher               connected-component shards, balanced
                                       by state count; serial or
@@ -34,8 +38,10 @@ Architecture (bottom-up)::
     protocol / server / client        the network face: newline-delimited
                                       JSON frames over TCP; an asyncio
                                       MatchingServer with per-connection
-                                      backpressure and graceful drain,
-                                      plus sync + asyncio clients
+                                      backpressure, graceful drain, and
+                                      precompiled-artifact upload
+                                      (register_artifact), plus sync +
+                                      asyncio clients
 
 Execution is backend-pluggable (:mod:`repro.sim.backends`): the service
 defaults to the ``auto`` policy, which picks the sparse or bit-parallel

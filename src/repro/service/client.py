@@ -108,6 +108,30 @@ def _register_frame(ruleset, kind: str | None, name: str | None) -> dict:
     raise ProtocolError(f"unknown ruleset kind {kind!r}", code="bad-request")
 
 
+def _artifact_frame(artifact) -> dict:
+    """Build the upload frame for a precompiled ruleset artifact.
+
+    Accepts a :class:`~repro.compile.artifact.CompiledArtifact`, its
+    raw ``.npz`` bytes, or a filesystem path to one.
+    """
+    from pathlib import Path
+
+    from repro.compile.artifact import CompiledArtifact
+
+    if isinstance(artifact, CompiledArtifact):
+        data = artifact.to_bytes()
+    elif isinstance(artifact, (bytes, bytearray)):
+        data = bytes(artifact)
+    elif isinstance(artifact, (str, Path)):
+        data = Path(artifact).read_bytes()
+    else:
+        raise ProtocolError(
+            f"cannot upload a {type(artifact).__name__} as an artifact",
+            code="bad-request",
+        )
+    return {"op": "register_artifact", "data": encode_data(data)}
+
+
 def _scan_frame(op: str, handle: str, **options) -> dict:
     frame = {"op": op, "handle": handle}
     for key, value in options.items():
@@ -270,6 +294,16 @@ class MatchingClient:
     ) -> str:
         """Register a ruleset; returns its handle (the fingerprint)."""
         return self._request(_register_frame(ruleset, kind, name))["handle"]
+
+    def register_artifact(self, artifact) -> str:
+        """Upload a precompiled artifact; returns its handle.
+
+        The server adopts the artifact's prebuilt engine instead of
+        compiling, so registering a large ruleset costs an upload, not
+        a compile.  ``artifact`` may be a ``CompiledArtifact``, raw
+        ``.npz`` bytes, or a path.
+        """
+        return self._request(_artifact_frame(artifact))["handle"]
 
     def scan(
         self,
@@ -441,6 +475,12 @@ class AsyncMatchingClient:
         self, ruleset, *, kind: str | None = None, name: str | None = None
     ) -> str:
         payload = await self._request(_register_frame(ruleset, kind, name))
+        return payload["handle"]
+
+    async def register_artifact(self, artifact) -> str:
+        """Upload a precompiled artifact; returns its handle (see
+        :meth:`MatchingClient.register_artifact`)."""
+        payload = await self._request(_artifact_frame(artifact))
         return payload["handle"]
 
     async def scan(

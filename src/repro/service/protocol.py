@@ -15,6 +15,8 @@ op         request fields                                response fields
 ========== ============================================= ==============
 ping       --                                            ``pong``, ``version``
 register   ``kind`` ("regex"|"mnrl"), ``rules``|``text`` ``handle``, ``states``, ``cached``
+register-  ``data`` (b64 ``.npz`` compiled artifact —    ``handle``, ``states``, ``cached``,
+artifact   see :mod:`repro.compile.artifact`)            ``backend``
 scan       ``handle``, ``data`` (b64), ``chunk_size?``,  ``reports``, ``num_reports``,
            ``max_reports?``, ``on_truncation?``          ``truncated``, ``bytes``,
                                                          ``elapsed_s``, ``backends``,
@@ -33,9 +35,15 @@ shutdown   --                                            ``draining``
 ========== ============================================= ==============
 
 Error codes: ``bad-frame`` (not JSON / not an object), ``bad-request``
-(missing or invalid fields), ``unknown-op``, ``unknown-handle``,
-``unknown-session``, ``frame-too-large`` (connection closes),
-``truncated`` (strict report-cap policy), ``internal``.
+(missing or invalid fields), ``bad-artifact`` (corrupt, truncated or
+version-incompatible compiled artifact), ``unknown-op``,
+``unknown-handle``, ``unknown-session``, ``frame-too-large``
+(connection closes), ``truncated`` (strict report-cap policy),
+``internal``.
+
+The ``register_artifact`` op (wire name; the table row is wrapped) was
+added in protocol version 2; version-1 servers answer it with
+``unknown-op``, which clients can treat as "upload source instead".
 """
 
 from __future__ import annotations
@@ -46,8 +54,8 @@ import json
 from repro.errors import ReproError
 from repro.sim.reports import Report
 
-#: protocol version advertised by ``ping``
-PROTOCOL_VERSION = 1
+#: protocol version advertised by ``ping`` (2: ``register_artifact``)
+PROTOCOL_VERSION = 2
 
 #: default cap on one frame's encoded size (request and response)
 DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024

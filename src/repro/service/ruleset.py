@@ -1,22 +1,37 @@
-"""Compiled-ruleset cache: fingerprints + an LRU of compiled artifacts.
+"""Compiled-ruleset cache: fingerprints + two cache levels.
 
 Hardware automata processors amortize one expensive compile/place/route
 over unbounded input.  The service layer gets the same economics in
 software by fingerprinting an :class:`Automaton`'s *language-relevant*
-content (symbol classes, start kinds, reporting flags and codes, and
-the transition relation — deliberately not its name) and memoizing the
-compiled artifacts behind it: reference :class:`Engine`\\ s, CAMA
-:class:`CamaProgram`\\ s, and :class:`CamaMachine`\\ s.  Two rulesets
-that define the same language share one cache entry.
+content (see :func:`repro.compile.fingerprint.ruleset_fingerprint`,
+canonically defined there and re-exported here) and memoizing the
+compiled artifacts behind it, at two levels:
+
+1. an in-process LRU of live Python objects — reference
+   :class:`Engine`\\ s, CAMA :class:`CamaProgram`\\ s and
+   :class:`CamaMachine`\\ s — bounded by entry count;
+2. optionally, a persistent on-disk :class:`~repro.compile.store.
+   ArtifactStore` of serialized :class:`~repro.compile.artifact.
+   CompiledArtifact`\\ s, bounded by bytes and keyed by fingerprint
+   *plus compile options*, so a warm restart (or a spawn worker, or a
+   remote client upload) skips compilation entirely.
+
+Two rulesets that define the same language share one cache entry; the
+same ruleset compiled under different pipeline options never does.
 """
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.automata.nfa import Automaton
+from repro.compile.artifact import CompiledArtifact
+from repro.compile.fingerprint import ruleset_fingerprint
+from repro.compile.ir import CompiledRuleset, PipelineOptions
+from repro.compile.pipeline import compile_ruleset
+from repro.compile.store import ArtifactStore
 from repro.core.compiler import CamaProgram, compile_automaton
 from repro.core.machine import CamaMachine
 from repro.errors import ReproError
@@ -26,40 +41,21 @@ from repro.sim.engine import Engine
 DEFAULT_CACHE_CAPACITY = 32
 
 
-def ruleset_fingerprint(automaton: Automaton) -> str:
-    """A stable hex digest of the automaton's language-relevant content.
-
-    Covers every state's symbol-class mask, start kind, reporting flag
-    and report code, plus the full transition relation.  Excludes the
-    automaton's ``name`` and STE display names, so re-loading the same
-    rules under a different label still hits the cache.
-    """
-    h = hashlib.sha256()
-    h.update(len(automaton).to_bytes(8, "little"))
-    for ste in automaton.states:
-        h.update(ste.symbol_class.mask.to_bytes(32, "little"))
-        # variable-length fields are length-prefixed so shifted record
-        # boundaries cannot make different rulesets serialize alike
-        start = ste.start.value.encode()
-        h.update(len(start).to_bytes(1, "little"))
-        h.update(start)
-        h.update(b"\x01" if ste.reporting else b"\x00")
-        code = (ste.report_code or "").encode()
-        h.update(len(code).to_bytes(4, "little"))
-        h.update(code)
-    for u, v in automaton.transitions():
-        h.update(u.to_bytes(8, "little"))
-        h.update(v.to_bytes(8, "little"))
-    return h.hexdigest()
-
-
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one :class:`RulesetManager`."""
+    """Hit/miss/eviction counters of one :class:`RulesetManager`.
+
+    ``hits``/``misses`` count the in-memory level; ``disk_hits``/
+    ``disk_misses`` break down how the misses resolved when a disk
+    store is attached (a disk hit is a memory miss served by loading
+    an artifact instead of compiling).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -68,20 +64,44 @@ class CacheStats:
 
 
 class RulesetManager:
-    """LRU cache of compiled artifacts, keyed by ruleset fingerprint.
+    """Two-level cache of compiled artifacts, keyed by ruleset fingerprint.
 
     One manager serves every tenant of a :class:`~repro.service.service.
-    MatchingService`; capacity bounds the resident compiled rulesets
+    MatchingService`; ``capacity`` bounds the resident compiled rulesets
     (each entry holds a 256 x n match table and, for CAMA programs, the
-    mapped CAM fabric), evicting least-recently-used first.
+    mapped CAM fabric), evicting least-recently-used first.  With a
+    ``store``, evicted-then-re-requested (or never-seen-this-process)
+    rulesets load from disk instead of recompiling.
+
+    Args:
+        capacity: max resident in-memory entries.
+        store: optional persistent second level — an
+            :class:`ArtifactStore` or a directory path to open one in.
+        options: base :class:`PipelineOptions` for disk-cache keys and
+            compilation.  ``optimize``/``stride`` are forced to their
+            service-safe values (no optimization, stride 1): the
+            service must execute rulesets exactly as registered, since
+            optimization renumbers the state ids reports carry.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_CAPACITY,
+        *,
+        store: ArtifactStore | str | Path | None = None,
+        options: PipelineOptions | None = None,
+    ) -> None:
         if capacity < 1:
             raise ReproError("cache capacity must be >= 1")
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple[str, str], object] = OrderedDict()
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.store = store
+        self._options = (options or PipelineOptions()).replace(
+            optimize=False, stride=1
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -102,6 +122,87 @@ class RulesetManager:
             self.stats.evictions += 1
         return value
 
+    # -- artifact (second-level) plumbing --------------------------------
+    def artifact_options(
+        self, backend: str | ExecutionBackend | None
+    ) -> PipelineOptions | None:
+        """Disk-cache options for a backend hint, or None when the
+        combination is not disk-cacheable (custom backend instances
+        have no stable digest)."""
+        if backend is not None and not isinstance(backend, str):
+            return None
+        return self._options.replace(backend=backend)
+
+    def artifact_key(
+        self, automaton: Automaton, backend: str | ExecutionBackend | None
+    ) -> str | None:
+        options = self.artifact_options(backend)
+        if options is None:
+            return None
+        return ruleset_fingerprint(automaton, options)
+
+    def artifact_path(
+        self, automaton: Automaton, backend: str | ExecutionBackend | None
+    ) -> Path | None:
+        """Where this (ruleset, backend) artifact lives on disk, when a
+        store is attached and the artifact exists."""
+        if self.store is None:
+            return None
+        key = self.artifact_key(automaton, backend)
+        if key is None or not self.store.contains(key):
+            return None
+        return self.store.path(key)
+
+    def ensure_artifact(
+        self, automaton: Automaton, backend: str | ExecutionBackend
+    ) -> Path | None:
+        """Guarantee the (ruleset, backend) artifact is on disk.
+
+        Returns its path, serializing the already compiled in-memory
+        engine when possible (no recompilation), or None when the
+        manager has no store / the backend is not disk-cacheable.
+        This is what lets the sharded dispatcher ship artifacts to
+        spawn workers instead of pickled engines.
+        """
+        if self.store is None:
+            return None
+        options = self.artifact_options(backend)
+        if options is None:
+            return None
+        key = ruleset_fingerprint(automaton, options)
+        if self.store.contains(key):
+            return self.store.path(key)
+        engine = self.engine(automaton, backend)  # may itself write it
+        if self.store.contains(key):
+            return self.store.path(key)
+        compiled = CompiledRuleset(
+            automaton=automaton, options=options, key=key, kernel=engine.kernel
+        )
+        return self.store.put(CompiledArtifact.from_compiled(compiled))
+
+    def seed_engine(
+        self,
+        automaton: Automaton,
+        backend: str | ExecutionBackend,
+        engine: Engine,
+        *,
+        fingerprint: str | None = None,
+    ) -> None:
+        """Insert a ready engine (e.g. from an uploaded artifact).
+
+        The entry obeys the same LRU discipline as compiled ones; an
+        existing entry for the key is refreshed, not duplicated.
+        """
+        if fingerprint is None:
+            fingerprint = ruleset_fingerprint(automaton)
+        key = ("engine", backend, fingerprint)
+        self._entries[key] = engine
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- compiled-object accessors ----------------------------------------
     def engine(
         self,
         automaton: Automaton,
@@ -114,17 +215,59 @@ class RulesetManager:
         kernel, so re-requesting it never re-runs the policy).  Backend
         *instances* are keyed by identity, not by name — two
         differently parameterized backends that happen to share a name
-        never alias to one compiled engine.
+        never alias to one compiled engine — and bypass the disk level.
         """
         # the instance itself (not id()) keys the tuple: the cache entry
         # then pins the backend, so the identity can never be recycled
         key = ("engine", backend, ruleset_fingerprint(automaton))
-        return self._get(key, lambda: Engine(automaton, backend=backend))
+
+        def build() -> Engine:
+            options = self.artifact_options(backend)
+            if self.store is None or options is None:
+                return Engine(automaton, backend=backend)
+            artifact_key = ruleset_fingerprint(automaton, options)
+            artifact = self.store.get(artifact_key)
+            if artifact is not None:
+                try:
+                    engine = artifact.engine()
+                except ReproError:
+                    # loadable but unusable (e.g. table skew validate()
+                    # cannot see): a cache miss, never a stuck ruleset
+                    pass
+                else:
+                    self.stats.disk_hits += 1
+                    return engine
+            self.stats.disk_misses += 1
+            compiled = compile_ruleset(automaton, options)
+            self.store.put(CompiledArtifact.from_compiled(compiled))
+            return compiled.engine()
+
+        return self._get(key, build)
 
     def program(self, automaton: Automaton) -> CamaProgram:
         """The cached compiled :class:`CamaProgram` for ``automaton``."""
         key = ("program", ruleset_fingerprint(automaton))
-        return self._get(key, lambda: compile_automaton(automaton))
+
+        def build() -> CamaProgram:
+            options = self.artifact_options(None)
+            if self.store is None:
+                return compile_automaton(automaton)
+            artifact_key = ruleset_fingerprint(automaton, options)
+            artifact = self.store.get(artifact_key)
+            if artifact is not None and artifact.manifest.get("program"):
+                try:
+                    program = artifact.program()
+                except ReproError:
+                    pass  # unusable program tables: recompile below
+                else:
+                    self.stats.disk_hits += 1
+                    return program
+            self.stats.disk_misses += 1
+            compiled = compile_ruleset(automaton, options)
+            self.store.put(CompiledArtifact.from_compiled(compiled))
+            return compiled.program
+
+        return self._get(key, build)
 
     def machine(self, automaton: Automaton, variant: str = "E") -> CamaMachine:
         """A cached :class:`CamaMachine` (compiling the program if needed)."""
@@ -132,4 +275,5 @@ class RulesetManager:
         return self._get(key, lambda: CamaMachine(self.program(automaton), variant))
 
     def clear(self) -> None:
+        """Drop the in-memory level (the disk store, if any, persists)."""
         self._entries.clear()

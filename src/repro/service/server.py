@@ -56,7 +56,9 @@ from repro.service.service import MatchingService
 
 #: ops that touch the service (payloads, compiles, or its lock) and so
 #: always run on the thread pool, never on the event loop
-_HEAVY_OPS = frozenset({"register", "scan", "scan_many", "open", "feed", "close"})
+_HEAVY_OPS = frozenset(
+    {"register", "register_artifact", "scan", "scan_many", "open", "feed", "close"}
+)
 
 #: queue marker for an oversized frame (the line itself was unrecoverable)
 _OVERSIZED = object()
@@ -120,8 +122,9 @@ class MatchingServer:
         executor_workers: thread-pool size for matching work.
         allow_shutdown: honour the ``shutdown`` frame (handy for tests
             and benchmarks; disable for long-lived deployments).
-        num_shards, workers, backend, default_max_reports: forwarded to
-            :class:`MatchingService` when ``service`` is omitted.
+        num_shards, workers, backend, artifact_store,
+            default_max_reports: forwarded to :class:`MatchingService`
+            when ``service`` is omitted.
     """
 
     def __init__(
@@ -137,6 +140,7 @@ class MatchingServer:
         num_shards: int = 1,
         workers: int = 1,
         backend: str = "auto",
+        artifact_store=None,
         default_max_reports: int | None = None,
     ) -> None:
         if max_frame_bytes < 1024:
@@ -144,7 +148,12 @@ class MatchingServer:
         if max_inflight < 1:
             raise SimulationError("max_inflight must be >= 1")
         if service is None:
-            kwargs = dict(num_shards=num_shards, workers=workers, backend=backend)
+            kwargs = dict(
+                num_shards=num_shards,
+                workers=workers,
+                backend=backend,
+                artifact_store=artifact_store,
+            )
             if default_max_reports is not None:
                 kwargs["default_max_reports"] = default_max_reports
             service = MatchingService(**kwargs)
@@ -459,16 +468,52 @@ class MatchingServer:
                 code="bad-request",
             )
         handle = self.service.manager.fingerprint(automaton)
+        cached = self._remember_ruleset(handle, automaton)
+        # compile (and cache) the shard engines now: registration is the
+        # expensive step, scans against the handle stay warm
+        self.service.dispatcher(automaton, key=handle)
+        return {"handle": handle, "states": len(automaton), "cached": cached}
+
+    def _remember_ruleset(self, handle: str, automaton) -> bool:
+        """Insert into the LRU-bounded handle table; True when it was
+        already registered."""
         with self._state_lock:
             cached = handle in self._rulesets
             self._rulesets[handle] = automaton
             self._rulesets.move_to_end(handle)
             if len(self._rulesets) > self.service.manager.capacity:
                 self._rulesets.popitem(last=False)
-        # compile (and cache) the shard engines now: registration is the
-        # expensive step, scans against the handle stay warm
+        return cached
+
+    def _op_register_artifact(self, conn: _Connection, frame: dict) -> dict:
+        """Adopt a client-side precompiled ruleset ("compile once, load
+        anywhere"): the artifact's prebuilt tables seed the service
+        cache, so registration skips the compile the ``register`` op
+        would have paid."""
+        from repro.compile.artifact import CompiledArtifact
+        from repro.errors import ArtifactError
+
+        data = decode_data(frame.get("data", ""))
+        if not data:
+            raise ProtocolError(
+                "register_artifact needs 'data' (base64 .npz artifact)",
+                code="bad-request",
+            )
+        try:
+            artifact = CompiledArtifact.from_bytes(data)
+            handle, automaton = self.service.register_artifact(artifact)
+        except ArtifactError as exc:
+            raise ProtocolError(str(exc), code="bad-artifact") from exc
+        cached = self._remember_ruleset(handle, automaton)
+        # build the sharded dispatcher now (hits the seeded engine when
+        # the shard/backend shape lines up), so scans stay warm
         self.service.dispatcher(automaton, key=handle)
-        return {"handle": handle, "states": len(automaton), "cached": cached}
+        return {
+            "handle": handle,
+            "states": len(automaton),
+            "cached": cached,
+            "backend": artifact.backend,
+        }
 
     def _op_scan(self, conn: _Connection, frame: dict) -> dict:
         automaton = self._automaton_for(frame)

@@ -67,8 +67,16 @@ class MatchingService:
         backend: execution backend for every compiled ruleset —
             ``"sparse"``, ``"bitparallel"``, or ``"auto"`` (default:
             resolves per shard from size and estimated activity).
+        artifact_store: optional persistent compiled-artifact cache (an
+            :class:`~repro.compile.store.ArtifactStore` or a directory
+            path): warm restarts load serialized artifacts instead of
+            recompiling, spawn workers receive serialized artifacts
+            instead of pickled engines, and :meth:`register_artifact`
+            uploads land in it.
         default_max_reports: kept-reports cap for scans and sessions
             that do not pass their own ``max_reports``.
+        mp_start_method: multiprocessing start method for sharded
+            worker pools (None = platform default).
         on_truncation: what :meth:`scan` / :meth:`scan_many` do when the
             *default* cap truncates recording (an explicit per-call
             ``max_reports`` is intentional and stays silent, matching
@@ -88,18 +96,23 @@ class MatchingService:
         workers: int = 1,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         backend: str | ExecutionBackend = "auto",
+        artifact_store=None,
         default_max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
         on_truncation: str = "warn",
+        mp_start_method: str | None = None,
     ) -> None:
         if chunk_size < 1:
             raise SimulationError("chunk size must be >= 1")
         if default_max_reports < 0:
             raise SimulationError("default_max_reports must be >= 0")
-        self.manager = RulesetManager(capacity=cache_capacity)
+        self.manager = RulesetManager(
+            capacity=cache_capacity, store=artifact_store
+        )
         self.num_shards = num_shards
         self.workers = workers
         self.chunk_size = chunk_size
         self.backend = backend
+        self.mp_start_method = mp_start_method
         self.default_max_reports = default_max_reports
         self.on_truncation = check_truncation_policy(on_truncation)
         self.sessions: dict[str, Session] = {}
@@ -147,6 +160,7 @@ class MatchingService:
                 workers=self.workers,
                 manager=self.manager,
                 backend=self.backend,
+                mp_start_method=self.mp_start_method,
             )
             dispatcher.engines  # compile (and cache) the shard engines now
             with self._lock:
@@ -173,6 +187,54 @@ class MatchingService:
             if dispatcher is not None:
                 self._dispatchers.move_to_end(key)
             return dispatcher
+
+    # -- precompiled-artifact registration --------------------------------
+    def register_artifact(self, artifact) -> tuple[str, Automaton]:
+        """Adopt a precompiled ruleset artifact ("compile once, load
+        anywhere"): returns ``(handle, automaton)``.
+
+        ``artifact`` may be a :class:`~repro.compile.artifact.
+        CompiledArtifact`, its raw bytes, or a path to one.  The
+        reconstructed automaton is the ruleset; its prebuilt engine is
+        seeded into the compiled-ruleset cache (so the first scan skips
+        compilation when the sharding/backend configuration lines up),
+        and the artifact is persisted to the service's store when one
+        is attached.  The handle is the ruleset fingerprint — the same
+        handle a source-level registration of the same rules yields.
+        """
+        from pathlib import Path
+
+        from repro.compile.artifact import CompiledArtifact
+
+        if isinstance(artifact, (bytes, bytearray)):
+            artifact = CompiledArtifact.from_bytes(bytes(artifact))
+        elif isinstance(artifact, (str, Path)):
+            artifact = CompiledArtifact.load(artifact)
+        # Uploads are untrusted: verify() re-binds the content-address
+        # key to (content, options) and re-derives the match tables, so
+        # a hand-edited artifact can neither poison another ruleset's
+        # slot in a shared store nor smuggle in wrong match behaviour.
+        artifact.verify()
+        automaton = artifact.automaton()
+        # recomputed (not trusted from the manifest) so the handle is
+        # guaranteed to match a source-level registration of the same
+        # rules, even for a hand-edited artifact
+        handle = self.manager.fingerprint(automaton)
+        with self._lock:
+            if self.closed:
+                raise SimulationError("the matching service is closed")
+        if self.manager.store is not None:
+            self.manager.store.put(artifact)
+        if isinstance(self.backend, str):
+            self.manager.seed_engine(
+                automaton,
+                self.backend,
+                artifact.engine(
+                    backend=None if self.backend == "auto" else self.backend
+                ),
+                fingerprint=handle,
+            )
+        return handle, automaton
 
     # -- one-shot scans --------------------------------------------------
     def scan(

@@ -38,6 +38,7 @@ from repro.sim.backends.base import (
     CompiledKernel,
     EngineState,
     ExecutionBackend,
+    KernelTables,
     PlacementTracker,
     ReportTruncationWarning,
     SimulationResult,
@@ -94,6 +95,7 @@ __all__ = [
     "DENSE_ACTIVITY_THRESHOLD",
     "EngineState",
     "ExecutionBackend",
+    "KernelTables",
     "MAX_BITPARALLEL_STATES",
     "PlacementTracker",
     "ReportTruncationWarning",

@@ -241,6 +241,74 @@ def match_table(automaton) -> np.ndarray:
     return table
 
 
+@dataclass
+class KernelTables:
+    """Precomputed per-automaton structures a kernel can be built from.
+
+    This is the interchange form behind serialized compiled artifacts
+    (:mod:`repro.compile.artifact`): every array a kernel constructor
+    would otherwise derive from the automaton by Python loops, in a
+    backend-neutral layout (the match table is packed uint64 words —
+    the bit-parallel kernel uses it directly, the sparse kernel unpacks
+    it in one vectorized ``np.unpackbits``).  Building a kernel from
+    tables skips ``automaton.validate()`` too: validation happened at
+    compile time and the tables are trusted compile output.
+    """
+
+    #: packed per-symbol acceptance masks, shape (256, num_words(n))
+    match_words: np.ndarray
+    #: successor CSR
+    succ_offsets: np.ndarray
+    succ_targets: np.ndarray
+    #: start-state ids by kind
+    start_all: np.ndarray
+    start_sod: np.ndarray
+    #: boolean reporting-state vector, shape (n,)
+    reporting: np.ndarray
+    #: per-state report codes (None for non-reporting states)
+    report_codes: list
+
+    @classmethod
+    def from_automaton(cls, automaton) -> "KernelTables":
+        from repro.sim.backends import bitwords
+
+        offsets, targets = cached_successor_csr(automaton)
+        start_all, start_sod = start_ids(automaton)
+        return cls(
+            match_words=np.stack(
+                [bitwords.pack_bool(row) for row in match_table(automaton)]
+            ),
+            succ_offsets=offsets,
+            succ_targets=targets,
+            start_all=start_all,
+            start_sod=start_sod,
+            reporting=reporting_mask(automaton),
+            report_codes=[s.report_code for s in automaton.states],
+        )
+
+    def match_bool(self, n: int) -> np.ndarray:
+        """The (256, n) boolean match table, unpacked from the words."""
+        bits = np.unpackbits(
+            self.match_words.view(np.uint8), axis=1, bitorder="little"
+        )
+        return bits[:, :n].astype(bool)
+
+    def check(self, n: int) -> "KernelTables":
+        """Cheap structural consistency check against a state count."""
+        from repro.sim.backends import bitwords
+
+        if (
+            self.match_words.shape != (256, bitwords.num_words(n))
+            or self.succ_offsets.shape != (n + 1,)
+            or self.reporting.shape != (n,)
+            or len(self.report_codes) != n
+        ):
+            raise SimulationError(
+                f"kernel tables do not match an automaton of {n} states"
+            )
+        return self
+
+
 def append_reports(
     reports: list[Report],
     firing: np.ndarray,

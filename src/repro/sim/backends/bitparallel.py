@@ -31,6 +31,7 @@ from repro.sim.backends.base import (
     DEFAULT_MAX_KEPT_REPORTS,
     CompiledKernel,
     EngineState,
+    KernelTables,
     PlacementTracker,
     StepResult,
     append_reports,
@@ -57,8 +58,9 @@ class BitParallelKernel(CompiledKernel):
 
     name = "bitparallel"
 
-    def __init__(self, automaton) -> None:
-        automaton.validate()
+    def __init__(self, automaton, *, tables: KernelTables | None = None) -> None:
+        if tables is None:
+            automaton.validate()
         super().__init__(automaton)
         n = len(automaton)
         if n > MAX_BITPARALLEL_STATES:
@@ -73,22 +75,49 @@ class BitParallelKernel(CompiledKernel):
             )
         self._n = n
         self._num_words = bitwords.num_words(n)
-        # match_words[symbol] is the packed vector of states accepting it
-        self._match_words = np.stack(
-            [bitwords.pack_bool(row) for row in match_table(automaton)]
-        )
-        self._succ_offsets, self._succ_targets = cached_successor_csr(automaton)
+        if tables is None:
+            # match_words[symbol] is the packed vector of states accepting it
+            self._match_words = np.stack(
+                [bitwords.pack_bool(row) for row in match_table(automaton)]
+            )
+            self._succ_offsets, self._succ_targets = cached_successor_csr(
+                automaton
+            )
+            start_all, start_sod = start_ids(automaton)
+            self._reporting = reporting_mask(automaton)
+            self._report_codes = [s.report_code for s in automaton.states]
+        else:
+            # prebuilt tables (a loaded artifact): the packed match
+            # words are this kernel's native layout, used as-is
+            tables.check(n)
+            self._match_words = tables.match_words
+            self._succ_offsets = tables.succ_offsets
+            self._succ_targets = tables.succ_targets
+            start_all, start_sod = tables.start_all, tables.start_sod
+            self._reporting = tables.reporting
+            self._report_codes = list(tables.report_codes)
         self._succ_rows = bitwords.successor_rows(
             self._succ_offsets, self._succ_targets, n
         )
-        start_all, start_sod = start_ids(automaton)
         self._start_all_words = bitwords.pack_indices(start_all, n)
         self._start_first_words = self._start_all_words | bitwords.pack_indices(
             start_sod, n
         )
-        self._reporting = reporting_mask(automaton)
+        self._start_all = start_all
+        self._start_sod = start_sod
         self._reporting_words = bitwords.pack_bool(self._reporting)
-        self._report_codes = [s.report_code for s in automaton.states]
+
+    def export_tables(self) -> KernelTables:
+        """This kernel's structures in the serializable interchange form."""
+        return KernelTables(
+            match_words=self._match_words,
+            succ_offsets=self._succ_offsets,
+            succ_targets=self._succ_targets,
+            start_all=self._start_all,
+            start_sod=self._start_sod,
+            reporting=self._reporting,
+            report_codes=list(self._report_codes),
+        )
 
     # -- single-step API (parity with the sparse kernel) -----------------
     def enabled_at(self, active: np.ndarray, first_cycle: bool) -> np.ndarray:
@@ -190,3 +219,9 @@ class BitParallelBackend:
 
     def compile(self, automaton) -> BitParallelKernel:
         return BitParallelKernel(automaton)
+
+    def from_tables(
+        self, automaton, tables: KernelTables
+    ) -> BitParallelKernel:
+        """Rebuild a kernel from prebuilt (artifact) tables."""
+        return BitParallelKernel(automaton, tables=tables)

@@ -18,6 +18,7 @@ from repro.sim.backends.base import (
     DEFAULT_MAX_KEPT_REPORTS,
     CompiledKernel,
     EngineState,
+    KernelTables,
     PlacementTracker,
     StepResult,
     append_reports,
@@ -36,16 +37,46 @@ class SparseKernel(CompiledKernel):
 
     name = "sparse"
 
-    def __init__(self, automaton) -> None:
-        automaton.validate()
+    def __init__(self, automaton, *, tables: KernelTables | None = None) -> None:
+        if tables is None:
+            automaton.validate()
         super().__init__(automaton)
         n = len(automaton)
         self._n = n
-        self._match_table = match_table(automaton)
-        self._succ_offsets, self._succ_targets = cached_successor_csr(automaton)
-        self._start_all, self._start_sod = start_ids(automaton)
-        self._reporting = reporting_mask(automaton)
-        self._report_codes = [s.report_code for s in automaton.states]
+        if tables is None:
+            self._match_table = match_table(automaton)
+            self._succ_offsets, self._succ_targets = cached_successor_csr(
+                automaton
+            )
+            self._start_all, self._start_sod = start_ids(automaton)
+            self._reporting = reporting_mask(automaton)
+            self._report_codes = [s.report_code for s in automaton.states]
+        else:
+            # prebuilt tables (a loaded artifact): skip every derivation
+            tables.check(n)
+            self._match_table = tables.match_bool(n)
+            self._succ_offsets = tables.succ_offsets
+            self._succ_targets = tables.succ_targets
+            self._start_all = tables.start_all
+            self._start_sod = tables.start_sod
+            self._reporting = tables.reporting
+            self._report_codes = list(tables.report_codes)
+
+    def export_tables(self) -> KernelTables:
+        """This kernel's structures in the serializable interchange form."""
+        from repro.sim.backends import bitwords
+
+        return KernelTables(
+            match_words=np.stack(
+                [bitwords.pack_bool(row) for row in self._match_table]
+            ),
+            succ_offsets=self._succ_offsets,
+            succ_targets=self._succ_targets,
+            start_all=self._start_all,
+            start_sod=self._start_sod,
+            reporting=self._reporting,
+            report_codes=list(self._report_codes),
+        )
 
     # -- single-step API (used by the CAMA machine for lock-step checks) --
     def enabled_at(self, active: np.ndarray, first_cycle: bool) -> np.ndarray:
@@ -119,3 +150,7 @@ class SparseBackend:
 
     def compile(self, automaton) -> SparseKernel:
         return SparseKernel(automaton)
+
+    def from_tables(self, automaton, tables: KernelTables) -> SparseKernel:
+        """Rebuild a kernel from prebuilt (artifact) tables."""
+        return SparseKernel(automaton, tables=tables)

@@ -106,6 +106,29 @@ class Engine:
         self.max_kept_reports = max_kept_reports
         self.on_truncation = check_truncation_policy(on_truncation)
 
+    @classmethod
+    def from_kernel(
+        cls,
+        kernel: CompiledKernel,
+        *,
+        max_kept_reports: int = DEFAULT_MAX_KEPT_REPORTS,
+        on_truncation: str = "warn",
+    ) -> "Engine":
+        """Wrap an already compiled kernel (e.g. from a loaded artifact).
+
+        The normal constructor compiles; this one does not — it is the
+        warm-start path behind :meth:`repro.compile.artifact.
+        CompiledArtifact.engine` and the pipeline's kernel prebuild.
+        """
+        if max_kept_reports < 0:
+            raise SimulationError("max_kept_reports must be >= 0")
+        engine = cls.__new__(cls)
+        engine._kernel = kernel
+        engine.automaton = kernel.automaton
+        engine.max_kept_reports = max_kept_reports
+        engine.on_truncation = check_truncation_policy(on_truncation)
+        return engine
+
     @property
     def kernel(self) -> CompiledKernel:
         """The compiled kernel executing this engine's automaton."""

@@ -62,6 +62,54 @@ class TestCommands:
         assert main(["compile", str(regex_file), "--optimize"]) == 0
         assert "optimized:" in capsys.readouterr().out
 
+    def test_compile_timings(self, anml_file, capsys):
+        assert main(["compile", str(anml_file), "--timings"]) == 0
+        out = capsys.readouterr().out
+        for name in ("parse", "encode", "map", "kernel", "total"):
+            assert name in out
+
+    def test_compile_out_and_inspect(self, regex_file, tmp_path, capsys):
+        artifact = tmp_path / "rules.npz"
+        assert main(["compile", str(regex_file), "--out", str(artifact)]) == 0
+        assert artifact.exists()
+        assert "artifact:" in capsys.readouterr().out
+        assert main(["inspect", str(artifact), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "ruleset_fingerprint" in out
+        assert "content verified" in out
+
+    def test_inspect_rejects_non_artifact(self, tmp_path, capsys):
+        path = tmp_path / "bogus.npz"
+        path.write_bytes(b"not an npz")
+        assert main(["inspect", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compile_stride2(self, regex_file, capsys):
+        assert main(["compile", str(regex_file), "--stride", "2"]) == 0
+        assert "2-strided" in capsys.readouterr().out
+
+    def test_scan_artifact_cache_warms_across_invocations(
+        self, anml_file, input_file, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        args = [
+            "scan",
+            str(anml_file),
+            str(input_file),
+            "--artifact-cache",
+            str(cache),
+            "--max-reports",
+            "5",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert any(cache.glob("*.npz")), "scan should populate the cache"
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        cold = [l for l in first.splitlines() if l.startswith("cycle=")]
+        warm = [l for l in second.splitlines() if l.startswith("cycle=")]
+        assert cold == warm
+
     def test_run(self, anml_file, input_file, capsys):
         assert main(["run", str(anml_file), str(input_file)]) == 0
         out = capsys.readouterr().out

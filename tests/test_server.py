@@ -27,7 +27,7 @@ from repro.service import (
     MatchingService,
     RemoteError,
 )
-from repro.service.protocol import encode_frame
+from repro.service.protocol import PROTOCOL_VERSION, encode_frame
 from repro.sim.engine import Engine, ReportTruncationWarning
 
 RULES = {"r1": "(a|b)e*cd+", "r2": "abc", "r3": "x+y"}
@@ -154,7 +154,7 @@ class TestEndToEnd:
     def test_ping_and_stats_frames(self, harness):
         with harness.client() as client:
             pong = client.ping()
-            assert pong["pong"] is True and pong["version"] == 1
+            assert pong["pong"] is True and pong["version"] == PROTOCOL_VERSION
             handle = client.register(RULES)
             client.scan(handle, STREAM[:64])
             stats = client.stats()
@@ -413,6 +413,79 @@ class TestReportCapPolicies:
         assert remote.truncated == engine_result.truncated
         assert full_keys(remote.reports) == full_keys(engine_result.reports)
         assert remote.num_reports == engine_result.stats.num_reports
+
+
+class TestArtifactUpload:
+    """``register_artifact``: precompiled rulesets over the wire."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self, ruleset):
+        from repro.compile import CompiledArtifact, compile_ruleset
+
+        return CompiledArtifact.from_compiled(
+            compile_ruleset(ruleset, backend="auto")
+        )
+
+    def test_uploaded_artifact_scans_byte_identical(
+        self, harness, artifact, offline
+    ):
+        with harness.client() as client:
+            handle = client.register_artifact(artifact)
+            result = client.scan(handle, STREAM)
+        assert full_keys(result.reports) == full_keys(offline.reports)
+        assert result.num_reports == offline.num_reports
+
+    def test_artifact_handle_aliases_source_registration(
+        self, harness, artifact
+    ):
+        # same rules, registered by source and by artifact -> one handle
+        with harness.client() as client:
+            by_source = client.register(RULES)
+            by_artifact = client.register_artifact(artifact.to_bytes())
+        assert by_source == by_artifact
+
+    def test_uploaded_artifact_drives_sessions(self, harness, artifact, offline):
+        with harness.client() as client:
+            handle = client.register_artifact(artifact)
+            session = client.open_session(handle, "via-artifact")
+            reports = session.feed(STREAM[:300])
+            session.close()
+        expected = [k for k in full_keys(offline.reports) if k[0] < 300]
+        assert full_keys(reports) == expected
+
+    def test_poisoned_key_rejected(self, harness, artifact):
+        # an artifact whose manifest key claims another ruleset's cache
+        # slot must be rejected before it can reach any shared store
+        from repro.compile import CompiledArtifact
+
+        poisoned = CompiledArtifact.from_bytes(artifact.to_bytes())
+        poisoned.manifest["key"] = "0" * 64
+        with harness.client() as client:
+            with pytest.raises(RemoteError, match="key") as exc_info:
+                client.register_artifact(poisoned.to_bytes())
+            assert exc_info.value.code == "bad-artifact"
+
+    def test_corrupt_artifact_rejected_cleanly(self, harness, artifact):
+        blob = artifact.to_bytes()
+        with harness.client() as client:
+            with pytest.raises(RemoteError, match="corrupt") as exc_info:
+                client.register_artifact(blob[: len(blob) // 2])
+            assert exc_info.value.code == "bad-artifact"
+            assert client.ping()["pong"] is True  # connection survives
+
+    def test_empty_artifact_rejected(self, harness):
+        with harness.client() as client:
+            with pytest.raises(RemoteError, match="needs 'data'"):
+                client.register_artifact(b"")
+
+    def test_async_client_uploads(self, harness, artifact, offline):
+        async def run():
+            async with AsyncMatchingClient(port=harness.port) as client:
+                handle = await client.register_artifact(artifact)
+                return await client.scan(handle, STREAM)
+
+        result = asyncio.run(run())
+        assert full_keys(result.reports) == full_keys(offline.reports)
 
 
 class TestDrain:
