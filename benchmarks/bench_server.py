@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.automata import compile_regex_set
+from repro.api import ScanConfig
 from repro.service import BackgroundServer, MatchingClient, MatchingService
 from repro.workloads import multi_stream_inputs
 
@@ -152,12 +153,12 @@ def test_concurrent_streams_byte_identical_to_offline():
     """The acceptance run: >= 8 concurrent client streams, all correct."""
     nfa = compile_regex_set(RULES, name="bench-server")
     streams = make_streams(nfa, NUM_CLIENTS, STREAMS_PER_CLIENT)
-    with MatchingService(num_shards=2) as offline:
+    with MatchingService(ScanConfig(num_shards=2)) as offline:
         expected = {
             name: full_keys(offline.scan(nfa, data).reports)
             for name, data in streams.items()
         }
-    with BackgroundServer(num_shards=2, executor_workers=8) as bg:
+    with BackgroundServer(config=ScanConfig(num_shards=2), executor_workers=8) as bg:
         report = run_load(
             bg.port, streams, expected, num_clients=NUM_CLIENTS
         )
@@ -171,7 +172,7 @@ def test_one_shot_scan_throughput(benchmark):
     """Warm single-client scan RPC, for the latency trend line."""
     nfa = compile_regex_set(RULES, name="bench-server")
     data = next(iter(make_streams(nfa, 1, 1).values()))
-    with BackgroundServer(num_shards=2) as bg:
+    with BackgroundServer(config=ScanConfig(num_shards=2)) as bg:
         with MatchingClient(port=bg.port) as client:
             handle = client.register(RULES)
             client.scan(handle, data)  # warm
@@ -189,13 +190,14 @@ def main() -> int:
 
     nfa = compile_regex_set(RULES, name="bench-server")
     streams = make_streams(nfa, args.clients, args.streams)
-    with MatchingService(num_shards=args.shards) as offline:
+    with MatchingService(ScanConfig(num_shards=args.shards)) as offline:
         expected = {
             name: full_keys(offline.scan(nfa, data).reports)
             for name, data in streams.items()
         }
     with BackgroundServer(
-        num_shards=args.shards, executor_workers=max(4, args.clients)
+        config=ScanConfig(num_shards=args.shards),
+        executor_workers=max(4, args.clients),
     ) as bg:
         report = run_load(
             bg.port,

@@ -25,6 +25,7 @@ Shown here:
 """
 
 from repro.automata import compile_regex_set
+from repro.api import ScanConfig
 from repro.service import BackgroundServer, MatchingClient
 from repro.sim import Engine
 
@@ -35,7 +36,7 @@ def main() -> None:
         "hex-blob": r"0x[0-9a-f]{4}",
         "beacon": r"PING[0-9]+PONG",
     }
-    with BackgroundServer(num_shards=2) as background:
+    with BackgroundServer(config=ScanConfig(num_shards=2)) as background:
         print(f"server listening on 127.0.0.1:{background.port}")
 
         with MatchingClient(port=background.port) as client:

@@ -1,8 +1,9 @@
-"""Streaming service: cached rulesets, shards, and resumable sessions.
+"""Streaming service through repro.api: caching, shards, sessions.
 
     python examples/streaming_service.py
 
-Shows the three service-layer ideas on a network-flavoured rule set:
+Shows the three service-layer ideas on a network-flavoured rule set,
+driven entirely through the ``repro.api`` facade:
 
 1. ruleset caching — repeat scans skip compilation entirely;
 2. sharded dispatch — a multi-pattern ruleset splits into independent
@@ -11,8 +12,7 @@ Shows the three service-layer ideas on a network-flavoured rule set:
    its own stream position and START_OF_DATA semantics.
 """
 
-from repro.automata import compile_regex_set
-from repro.service import MatchingService
+from repro.api import Ruleset, ScanConfig
 from repro.sim import Engine
 from repro.workloads import multi_stream_inputs
 
@@ -24,14 +24,15 @@ def main() -> None:
         "beacon": r"PING[0-9]+PONG",
         "paper": "(a|b)e*cd+",
     }
-    nfa = compile_regex_set(rules, name="streaming-demo")
-    service = MatchingService(num_shards=4, chunk_size=64)
+    handle = Ruleset.from_regexes(rules, name="streaming-demo").compile(
+        scan=ScanConfig(num_shards=4, chunk_size=64)
+    )
 
     # 1. One-shot scans: the first compiles, the rest hit the cache.
     traffic = b"GET /bin/bash 0xdead PING42PONG aecdd " * 40
-    cold = service.scan(nfa, traffic)
-    warm = service.scan(nfa, traffic)
-    print(f"ruleset: {nfa}")
+    cold = handle.scan(traffic)
+    warm = handle.scan(traffic)
+    print(f"ruleset: {handle.automaton}")
     print(
         f"cold scan: {cold.num_reports} reports, cached={cold.cached}, "
         f"{cold.elapsed_s * 1e3:.1f} ms"
@@ -43,39 +44,37 @@ def main() -> None:
     )
 
     # 2. Shards reproduce the monolithic engine byte-for-byte.
-    monolithic = Engine(nfa).run(traffic)
+    monolithic = Engine(handle.automaton).run(traffic)
     assert [(r.cycle, r.state_id) for r in warm.reports] == [
         (r.cycle, r.state_id) for r in monolithic.reports
     ]
     print(f"shards: {warm.num_shards}, reports identical to one-shot run")
 
     # 3. Concurrent sessions: two tenants, chunks interleaved arbitrarily.
-    alice = service.open_session(nfa, "alice")
-    bob = service.open_session(nfa, "bob")
-    alice.feed(b"PING7")          # no report yet: pattern incomplete
-    bob.feed(b"/bin/s")
-    alice_hits = alice.feed(b"7PONG and more")   # completes across chunks
-    bob_hits = bob.feed(b"h --version")
-    print(
-        f"alice: {[(r.cycle, r.code) for r in alice_hits]} at "
-        f"position {alice.position}"
-    )
-    print(
-        f"bob:   {[(r.cycle, r.code) for r in bob_hits]} at "
-        f"position {bob.position}"
-    )
-    service.close_session("alice")
-    service.close_session("bob")
+    with handle.stream("alice") as alice, handle.stream("bob") as bob:
+        alice.feed(b"PING7")          # no report yet: pattern incomplete
+        bob.feed(b"/bin/s")
+        alice_hits = alice.feed(b"7PONG and more")  # completes across chunks
+        bob_hits = bob.feed(b"h --version")
+        print(
+            f"alice: {[(r.cycle, r.code) for r in alice_hits]} at "
+            f"position {alice.position}"
+        )
+        print(
+            f"bob:   {[(r.cycle, r.code) for r in bob_hits]} at "
+            f"position {bob.position}"
+        )
 
     # 4. Batch entry point: many named streams, one compiled ruleset.
-    streams = multi_stream_inputs(nfa, 4, length=400)
-    results = service.scan_many(nfa, streams)
+    streams = multi_stream_inputs(handle.automaton, 4, length=400)
+    results = handle.scan_many(streams)
     for name, result in results.items():
         print(
             f"{name}: {result.num_reports} reports, "
             f"{result.throughput_mbps:.2f} MB/s"
         )
-    print(f"cache after batch: {service.cache_stats}")
+    print(f"cache after batch: {handle.service.cache_stats}")
+    handle.close()
 
 
 if __name__ == "__main__":

@@ -7,6 +7,18 @@ CAMA and its baselines (CA, Impala, eAP, AP), the synthetic benchmark
 suite, and the experiment harnesses that regenerate the paper's tables
 and figures.  See DESIGN.md for the inventory and EXPERIMENTS.md for
 paper-vs-measured results.
+
+:mod:`repro.api` is the documented front door — typed configs
+(:class:`CompileConfig` / :class:`ScanConfig`) plus the fluent
+:class:`Ruleset` facade over compile, engines, service and server; its
+names are re-exported here::
+
+    from repro import Ruleset, ScanConfig
+
+    handle = Ruleset.from_regexes({"r1": "(a|b)e*cd+"}).compile(
+        scan=ScanConfig(num_shards=4)
+    )
+    result = handle.scan(payload)
 """
 
 from repro.automata import (
@@ -18,14 +30,20 @@ from repro.automata import (
     load_anml,
     load_mnrl,
 )
+from repro.errors import ConfigError
 from repro.sim import Engine, Report, SimulationResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Automaton",
+    "CompileConfig",
+    "ConfigError",
     "Engine",
     "Report",
+    "Ruleset",
+    "RulesetHandle",
+    "ScanConfig",
     "SimulationResult",
     "StartKind",
     "SymbolClass",
@@ -35,3 +53,19 @@ __all__ = [
     "load_mnrl",
     "__version__",
 ]
+
+#: facade names served lazily so ``import repro`` stays light (the
+#: service/server stack loads only when the facade is actually used)
+_API_EXPORTS = ("CompileConfig", "Ruleset", "RulesetHandle", "ScanConfig")
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        import repro.api as api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_API_EXPORTS))

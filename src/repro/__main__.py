@@ -25,6 +25,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.api.config import CompileConfig, ScanConfig
 from repro.arch.designs import ALL_DESIGNS, build_design
 from repro.automata.nfa import Automaton
 from repro.errors import ReproError
@@ -40,15 +41,37 @@ def load_automaton(path: str) -> Automaton:
     return load_source(path)
 
 
-def cmd_compile(args: argparse.Namespace) -> int:
-    from repro.compile import CompiledArtifact, PipelineOptions, compile_ruleset
+# -- args -> typed configs (parsed once, consumed everywhere) --------------
 
-    options = PipelineOptions(
+
+def compile_config_from_args(args: argparse.Namespace) -> CompileConfig:
+    """The ``compile`` subcommand's flags as one validated config."""
+    return CompileConfig(
         optimize=args.optimize,
         stride=args.stride,
         backend=args.backend,
     )
-    compiled = compile_ruleset(args.automaton, options)
+
+
+def scan_config_from_args(args: argparse.Namespace) -> ScanConfig:
+    """The service-shaped flags (``scan`` / ``serve``) as one validated
+    config — the same :class:`ScanConfig` the library API takes, so the
+    CLI cannot drift from it."""
+    return ScanConfig(
+        backend=args.backend,
+        num_shards=args.shards,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        max_reports=args.max_kept_reports,
+        on_truncation="error" if args.strict_reports else "warn",
+        artifact_store=args.artifact_cache,
+    )
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.compile import CompiledArtifact, compile_ruleset
+
+    compiled = compile_ruleset(args.automaton, compile_config_from_args(args))
     if compiled.optimization is not None:
         report = compiled.optimization
         print(
@@ -137,21 +160,15 @@ def cmd_scan(args: argparse.Namespace) -> int:
     data = Path(args.input).read_bytes()
     if args.limit:
         data = data[: args.limit]
-    service = MatchingService(
-        num_shards=args.shards,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-        backend=args.backend,
-        artifact_store=args.artifact_cache,
-        default_max_reports=args.max_kept_reports,
-    )
+    config = scan_config_from_args(args)
+    service = MatchingService(config)
     # --max-kept-reports caps *recording* (via the service default);
     # --max-reports only caps what is printed, mirroring `repro run`.
     # Truncation messaging is handled below, not by the service policy.
     result = service.scan(automaton, data, on_truncation="ignore")
     if result.truncated:
         message = (
-            f"scan hit the kept-reports cap ({args.max_kept_reports}); "
+            f"scan hit the kept-reports cap ({config.max_reports}); "
             f"further reports were counted but not recorded"
         )
         if args.strict_reports:
@@ -160,11 +177,11 @@ def cmd_scan(args: argparse.Namespace) -> int:
     for report in result.reports[: args.max_reports]:
         code = f" code={report.code}" if report.code else ""
         print(f"cycle={report.cycle} state={report.state_id}{code}")
-    backends = ",".join(sorted(set(result.backends))) or args.backend
+    backends = ",".join(sorted(set(result.backends))) or config.backend
     print(
         f"# {result.num_reports} reports over {len(data)} bytes | "
-        f"{result.num_shards} shard(s), {args.workers} worker(s), "
-        f"chunk {args.chunk_size} B, backend {backends} | "
+        f"{result.num_shards} shard(s), {config.workers} worker(s), "
+        f"chunk {config.chunk_size} B, backend {backends} | "
         f"{result.elapsed_s:.3f} s, {result.throughput_mbps:.2f} MB/s"
     )
     return 0
@@ -173,15 +190,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import MatchingServer, MatchingService, run_server
 
-    service = MatchingService(
-        num_shards=args.shards,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-        backend=args.backend,
-        artifact_store=args.artifact_cache,
-        default_max_reports=args.max_kept_reports,
-        on_truncation="error" if args.strict_reports else "warn",
-    )
+    service = MatchingService(scan_config_from_args(args))
     server = MatchingServer(
         service,
         host=args.host,
@@ -283,6 +292,8 @@ def main(argv: list[str] | None = None) -> int:
     p_inspect.set_defaults(fn=cmd_inspect)
 
     def add_backend_options(p: argparse.ArgumentParser) -> None:
+        # the flags behind ScanConfig's backend/max_reports/on_truncation
+        # (and Engine's equivalents for `repro run`)
         p.add_argument(
             "--backend",
             choices=BACKEND_NAMES,
@@ -301,7 +312,18 @@ def main(argv: list[str] | None = None) -> int:
             help="error (instead of warn) when the kept-reports cap truncates",
         )
 
-    def add_artifact_cache_option(p: argparse.ArgumentParser) -> None:
+    def add_scan_config_options(p: argparse.ArgumentParser) -> None:
+        # one block for every service-shaped subcommand; the flags map
+        # 1:1 onto ScanConfig fields via scan_config_from_args
+        add_backend_options(p)
+        p.add_argument("--chunk-size", type=int, default=65536)
+        p.add_argument("--shards", type=int, default=1)
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="shard-scan processes per scan (1 = serial)",
+        )
         p.add_argument(
             "--artifact-cache",
             default=None,
@@ -323,13 +345,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_scan.add_argument("automaton")
     p_scan.add_argument("input")
-    p_scan.add_argument("--chunk-size", type=int, default=65536)
-    p_scan.add_argument("--shards", type=int, default=1)
-    p_scan.add_argument("--workers", type=int, default=1)
     p_scan.add_argument("--limit", type=int, default=0)
     p_scan.add_argument("--max-reports", type=int, default=50)
-    add_backend_options(p_scan)
-    add_artifact_cache_option(p_scan)
+    add_scan_config_options(p_scan)
     p_scan.set_defaults(fn=cmd_scan)
 
     p_serve = sub.add_parser(
@@ -338,11 +356,6 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument(
         "--port", type=int, default=8765, help="0 picks a free port"
-    )
-    p_serve.add_argument("--chunk-size", type=int, default=65536)
-    p_serve.add_argument("--shards", type=int, default=1)
-    p_serve.add_argument(
-        "--workers", type=int, default=1, help="shard-scan processes per scan"
     )
     p_serve.add_argument(
         "--executor-workers",
@@ -367,8 +380,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="ignore client 'shutdown' frames",
     )
-    add_backend_options(p_serve)
-    add_artifact_cache_option(p_serve)
+    add_scan_config_options(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 
     p_eval = sub.add_parser("evaluate", help="compare designs on a workload")

@@ -1,0 +1,351 @@
+"""Typed configuration objects: the single source of option validation.
+
+Four PRs grew four parallel entry points — ``Engine``/``CamaMachine``,
+:class:`~repro.service.service.MatchingService`, the NDJSON server, and
+the ``repro.compile`` pipeline — each re-declaring the same knobs as
+loose keyword arguments.  This module collapses them into two frozen
+dataclasses:
+
+:class:`CompileConfig`
+    Everything that changes *what gets compiled* (optimize, stride,
+    backend hint, encoding knobs).  It is the same object the staged
+    pipeline has always threaded through its passes —
+    :class:`~repro.compile.ir.PipelineOptions` is now an alias — so its
+    :meth:`~CompileConfig.digest` keeps feeding
+    ``ruleset_fingerprint(automaton, options)`` unchanged: config
+    identity and artifact keys come from one place.
+
+:class:`ScanConfig`
+    Everything that changes *how compiled rulesets execute and are
+    cached* (backend policy, sharding, workers, chunking, report caps,
+    truncation policy, the artifact store, the multiprocessing start
+    method).  The service, dispatcher, session, server protocol and CLI
+    all consume it; per-call overrides merge onto it with
+    :meth:`~ScanConfig.merged`.
+
+Both validate in ``__post_init__`` (raising
+:class:`~repro.errors.ConfigError`), round-trip through
+``to_dict``/``from_dict`` (the wire-protocol and artifact-manifest
+form), and have a stable :meth:`digest`.
+
+Legacy keyword signatures across the code base keep working through
+thin shims that construct these objects internally and emit a
+:class:`DeprecationWarning` attributed to the *caller* — internal code
+paths never hit the shims, which the CI deprecation gate enforces by
+erroring on any ``DeprecationWarning`` attributed to a ``repro.*``
+module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import warnings
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.sim.backends.base import (
+    DEFAULT_MAX_KEPT_REPORTS,
+    TRUNCATION_POLICIES,
+)
+
+#: default streaming granularity (bytes per run_chunk call) — canonical
+#: definition; :mod:`repro.service.sharding` re-exports it
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+#: default max compiled rulesets resident in the in-memory LRU —
+#: canonical definition; :mod:`repro.service.ruleset` re-exports it
+DEFAULT_CACHE_CAPACITY = 32
+
+#: strides the compilation pipeline knows how to build — canonical
+#: definition; :mod:`repro.compile.ir` re-exports it
+SUPPORTED_STRIDES = (1, 2)
+
+#: multiprocessing start methods a :class:`ScanConfig` accepts (None =
+#: platform default); availability is checked at pool creation, not here
+MP_START_METHODS = (None, "fork", "spawn", "forkserver")
+
+
+def warn_legacy_kwargs(api: str, names, *, stacklevel: int = 3) -> None:
+    """Emit the deprecation warning for a legacy keyword call site.
+
+    ``stacklevel`` must attribute the warning to the *caller* of the
+    shimmed signature: the CI deprecation gate errors on warnings
+    attributed to ``repro.*`` modules, so an internal code path that
+    regresses onto a shim fails loudly while user code merely warns.
+    """
+    joined = ", ".join(sorted(names))
+    warnings.warn(
+        f"{api}({joined}=...) keyword configuration is deprecated; "
+        f"pass a typed config object instead "
+        f"(repro.api.CompileConfig / repro.api.ScanConfig)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def resolve_legacy_config(
+    api: str,
+    config,
+    legacy: dict,
+    *,
+    stacklevel: int = 4,
+):
+    """The shared deprecation shim behind every rewired constructor.
+
+    ``legacy`` maps :class:`ScanConfig` field names to the loose-kwarg
+    values the caller passed (None = not passed; ``max_reports`` is
+    displayed as ``default_max_reports`` where that was the old kwarg
+    name).  Returns ``config`` untouched when no legacy kwarg was used;
+    otherwise warns (attributed ``stacklevel`` frames up — the caller
+    of the shimmed constructor) and builds the config from the kwargs.
+    Mixing both forms is a :class:`~repro.errors.ConfigError`.
+    """
+    legacy = {k: v for k, v in legacy.items() if v is not None}
+    if not legacy:
+        return config
+    if config is not None:
+        raise ConfigError(
+            "pass either a ScanConfig or loose keywords, not both"
+        )
+    shown = {
+        "default_max_reports" if k == "_default_max_reports" else k
+        for k in legacy
+    }
+    warn_legacy_kwargs(api, shown, stacklevel=stacklevel)
+    return ScanConfig(
+        **{
+            ("max_reports" if k == "_default_max_reports" else k): v
+            for k, v in legacy.items()
+        }
+    )
+
+
+def _require_int(name: str, value, *, minimum: int) -> None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(
+            f"{name} must be an int, got {type(value).__name__}"
+        )
+    if value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+
+
+def _canonical_digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CompileConfig:
+    """Configuration of one compilation: what the pipeline builds.
+
+    Every field is *pipeline-relevant*: it changes the compiled output,
+    so it participates in :meth:`digest` and therefore in artifact keys
+    (see ``ruleset_fingerprint(automaton, options)``).
+
+    Args:
+        optimize: run the VASim-style optimization pass (dead-state
+            removal + prefix merging).  Off by default — the service
+            layer must execute rulesets exactly as given, since
+            optimization renumbers states and thus report ids.
+        stride: temporal stride (1 or 2).  Stride 2 builds the
+            2-strided automaton and a :class:`~repro.sim.engine.
+            StridedEngine`; the CAMA encoding/mapping passes apply only
+            at stride 1.
+        backend: execution-backend *hint* for the kernel-prebuild pass
+            ("sparse" / "bitparallel" / "auto"), or None to skip kernel
+            prebuild (program-only compilations).
+        allow_negation: apply negation optimization per state.
+        clustered: apply frequency-first symbol clustering.
+        fixed_32bit: bypass selection and use the fixed 32-bit
+            One-Zero-Prefix baseline of Table II.
+    """
+
+    optimize: bool = False
+    stride: int = 1
+    backend: str | None = "sparse"
+    allow_negation: bool = True
+    clustered: bool = True
+    fixed_32bit: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "CompileConfig":
+        """Check every field; kept as a method for legacy call sites
+        (validation already ran in ``__post_init__``)."""
+        from repro.sim.backends import BACKEND_NAMES
+
+        if self.stride not in SUPPORTED_STRIDES:
+            raise ConfigError(
+                f"unsupported stride {self.stride}; "
+                f"supported: {SUPPORTED_STRIDES}"
+            )
+        if self.backend is not None and self.backend not in BACKEND_NAMES:
+            raise ConfigError(
+                f"unknown execution backend {self.backend!r}; "
+                f"known: {', '.join(BACKEND_NAMES)}"
+            )
+        return self
+
+    def replace(self, **changes) -> "CompileConfig":
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompileConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown pipeline options: {', '.join(sorted(unknown))}"
+            )
+        return cls(**data)
+
+    def digest(self) -> str:
+        """Stable hex digest of the option set (keys artifact caches)."""
+        return _canonical_digest(self.to_dict())
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Configuration of scan execution: how compiled rulesets run.
+
+    One object carries every knob the service stack used to re-declare
+    per signature; :class:`~repro.service.service.MatchingService`,
+    :class:`~repro.service.sharding.Dispatcher`,
+    :class:`~repro.service.session.Session`, the server protocol and
+    the CLI all consume it.
+
+    Args:
+        backend: execution backend policy — ``"sparse"``,
+            ``"bitparallel"``, ``"auto"`` (resolves per shard), or an
+            :class:`~repro.sim.backends.ExecutionBackend` instance
+            (not serializable: :meth:`to_dict` rejects it).
+        num_shards: shards per ruleset (whole connected components,
+            balanced by state count).
+        workers: processes for one-shot scans; 1 = serial.
+        chunk_size: streaming granularity in bytes.
+        cache_capacity: max compiled rulesets resident in the LRU.
+        max_reports: kept-reports cap for scans and sessions that do
+            not pass their own explicit cap.
+        on_truncation: reaction when the *default* cap truncates
+            recording: ``"warn"``, ``"error"``, or ``"ignore"``.
+        artifact_store: optional persistent compiled-artifact cache (an
+            :class:`~repro.compile.store.ArtifactStore` or a directory
+            path).
+        mp_start_method: multiprocessing start method for sharded
+            worker pools (None = platform default).
+    """
+
+    backend: object = "auto"
+    num_shards: int = 1
+    workers: int = 1
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    max_reports: int = DEFAULT_MAX_KEPT_REPORTS
+    on_truncation: str = "warn"
+    artifact_store: object = None
+    mp_start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        from repro.sim.backends import BACKEND_NAMES, ExecutionBackend
+
+        if isinstance(self.backend, str):
+            if self.backend not in BACKEND_NAMES:
+                raise ConfigError(
+                    f"unknown execution backend {self.backend!r}; "
+                    f"known: {', '.join(BACKEND_NAMES)}"
+                )
+        elif not isinstance(self.backend, ExecutionBackend):
+            raise ConfigError(
+                f"not an execution backend: {self.backend!r} (expected a "
+                f"name or an object with .name and .compile)"
+            )
+        _require_int("num_shards", self.num_shards, minimum=1)
+        _require_int("workers", self.workers, minimum=1)
+        _require_int("chunk_size", self.chunk_size, minimum=1)
+        _require_int("cache_capacity", self.cache_capacity, minimum=1)
+        _require_int("max_reports", self.max_reports, minimum=0)
+        if self.on_truncation not in TRUNCATION_POLICIES:
+            raise ConfigError(
+                f"unknown truncation policy {self.on_truncation!r}; "
+                f"expected one of {', '.join(TRUNCATION_POLICIES)}"
+            )
+        if self.mp_start_method not in MP_START_METHODS:
+            known = ", ".join(str(m) for m in MP_START_METHODS)
+            raise ConfigError(
+                f"unknown mp_start_method {self.mp_start_method!r}; "
+                f"expected one of {known}"
+            )
+
+    # -- backend policy, resolved exactly once ----------------------------
+    @property
+    def engine_backend(self) -> object | None:
+        """The backend to rebuild an adopted artifact's engine with.
+
+        ``"auto"`` resolves to None — *defer to the backend the
+        artifact recorded at compile time* — while a pinned backend
+        passes through.  This is the one place the ``"auto"`` policy is
+        rewritten; every consumer (service artifact registration, the
+        facade) reads it from here instead of re-deriving it.
+        """
+        return None if self.backend == "auto" else self.backend
+
+    def replace(self, **changes) -> "ScanConfig":
+        return replace(self, **changes)
+
+    def merged(self, **overrides) -> "ScanConfig":
+        """This config with non-None per-call overrides applied.
+
+        The merge pattern behind ``scan(..., chunk_size=..., )``-style
+        call-level options: ``None`` means "keep the configured value".
+        """
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **changes) if changes else self
+
+    # -- serialization (wire protocol + manifests) ------------------------
+    def to_dict(self) -> dict:
+        """The JSON-serializable form used by wire frames and manifests.
+
+        A backend *instance* has no stable serial form and is rejected;
+        an attached store serializes as its directory path.
+        """
+        if not isinstance(self.backend, str):
+            raise ConfigError(
+                "a backend instance cannot be serialized; select the "
+                "backend by registry name to put it in a config dict"
+            )
+        store = self.artifact_store
+        if store is not None and not isinstance(store, (str, Path)):
+            store = getattr(store, "root", None)
+            if store is None:
+                raise ConfigError(
+                    "this artifact store cannot be serialized (no root "
+                    "directory); pass a directory path instead"
+                )
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["artifact_store"] = None if store is None else str(store)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown scan options: {', '.join(sorted(unknown))}"
+            )
+        return cls(**data)
+
+    def digest(self) -> str:
+        """Stable hex digest of the full option set.
+
+        Round-trips unchanged through ``to_dict``/``from_dict`` — i.e.
+        through a wire frame or an artifact manifest — which the
+        protocol tests assert end to end.
+        """
+        return _canonical_digest(self.to_dict())

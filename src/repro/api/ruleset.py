@@ -1,0 +1,348 @@
+"""The fluent facade: one front door over compile, engine, service, server.
+
+:class:`Ruleset` names *what to match* (regexes, ANML, MNRL, an
+:class:`~repro.automata.nfa.Automaton`, or a precompiled artifact);
+:meth:`Ruleset.compile` turns it into a :class:`RulesetHandle` under a
+:class:`~repro.api.config.CompileConfig` /
+:class:`~repro.api.config.ScanConfig` pair.  The handle exposes the
+whole deployment surface::
+
+    from repro.api import Ruleset, ScanConfig
+
+    handle = Ruleset.from_regexes({"r1": "(a|b)e*cd+"}).compile(
+        scan=ScanConfig(num_shards=4)
+    )
+    result = handle.scan(payload)                 # one-shot, cached
+    batch = handle.scan_many({"a": data_a, "b": data_b})
+    with handle.stream("tenant-a") as session:    # resumable stream
+        session.feed(chunk1); session.feed(chunk2)
+    handle.save("rules.npz")                      # compile once ...
+    warm = Ruleset.from_artifact("rules.npz").compile()   # load anywhere
+    handle.serve(port=8765)                       # ... or serve it
+
+Everything underneath is the existing machinery —
+:func:`repro.compile.pipeline.compile_ruleset`,
+:class:`~repro.service.service.MatchingService`,
+:class:`~repro.service.server.MatchingServer` — wired together through
+the typed configs, so results are byte-identical to driving those
+layers directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.api.config import CompileConfig, ScanConfig
+from repro.automata.nfa import Automaton
+from repro.errors import ConfigError
+
+
+class Ruleset:
+    """A ruleset source, ready to compile.
+
+    Build one with a ``from_*`` constructor, then call :meth:`compile`.
+    The intermediate object is cheap — it holds the parsed automaton
+    (or the loaded artifact) and nothing else.
+    """
+
+    def __init__(self, automaton: Automaton, *, artifact=None) -> None:
+        self.automaton = automaton
+        self._artifact = artifact
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_regexes(cls, rules, *, name: str = "ruleset") -> "Ruleset":
+        """From a dict/list of regex patterns (dict keys become report
+        codes)."""
+        from repro.automata import compile_regex_set
+
+        if not rules:
+            raise ConfigError("cannot compile an empty regex rule set")
+        return cls(compile_regex_set(rules, name=name))
+
+    @classmethod
+    def from_anml(cls, path) -> "Ruleset":
+        """From an ANML (``.anml``/``.xml``) file."""
+        from repro.automata import load_anml
+
+        return cls(load_anml(path))
+
+    @classmethod
+    def from_mnrl(cls, path) -> "Ruleset":
+        """From an MNRL (``.mnrl``/``.json``) file."""
+        from repro.automata import load_mnrl
+
+        return cls(load_mnrl(path))
+
+    @classmethod
+    def from_automaton(cls, automaton: Automaton) -> "Ruleset":
+        """From an already built homogeneous NFA (validated here)."""
+        automaton.validate()
+        return cls(automaton)
+
+    @classmethod
+    def from_file(cls, path) -> "Ruleset":
+        """From any supported ruleset file, dispatched on its suffix
+        (ANML, MNRL, or a newline-separated regex list)."""
+        from repro.compile import load_source
+
+        return cls(load_source(path))
+
+    @classmethod
+    def from_artifact(cls, source) -> "Ruleset":
+        """From a precompiled artifact — a
+        :class:`~repro.compile.artifact.CompiledArtifact`, its raw
+        ``.npz`` bytes, or a path to one.  Compiling this ruleset
+        adopts the artifact's prebuilt tables instead of recompiling
+        ("compile once, load anywhere")."""
+        from repro.compile.artifact import CompiledArtifact
+
+        if isinstance(source, (bytes, bytearray)):
+            artifact = CompiledArtifact.from_bytes(bytes(source))
+        elif isinstance(source, (str, Path)):
+            artifact = CompiledArtifact.load(source)
+        elif isinstance(source, CompiledArtifact):
+            artifact = source
+        else:
+            raise ConfigError(
+                f"cannot load a {type(source).__name__} as an artifact"
+            )
+        return cls(artifact.automaton(), artifact=artifact)
+
+    # -- the one verb -----------------------------------------------------
+    def compile(
+        self,
+        config: CompileConfig | None = None,
+        *,
+        scan: ScanConfig | None = None,
+    ) -> "RulesetHandle":
+        """Compile under ``config`` and bind scan behaviour to ``scan``.
+
+        For an artifact-backed ruleset, an omitted (or matching)
+        ``config`` adopts the artifact's prebuilt tables — no compile
+        runs; a *different* ``config`` recompiles from the reconstructed
+        automaton.  Otherwise the staged pipeline runs here, eagerly;
+        with no explicit ``config`` the compile backend hint follows
+        the scan backend policy and the compiled engine seeds the
+        handle's service cache, so a first single-shard scan is warm.
+        (With an explicitly *different* compile backend, or sharded
+        scanning, the service compiles its own per-shard engines on
+        first use — the same "when the configuration lines up" seeding
+        rule as ``MatchingService.register_artifact``; the eager
+        compile still backs ``save()``/``artifact()``.)
+        """
+        from repro.compile.pipeline import compile_ruleset
+
+        scan = scan if scan is not None else ScanConfig()
+        artifact = self._artifact
+        if artifact is not None:
+            if config is None or config == artifact.options:
+                return RulesetHandle(
+                    self.automaton,
+                    artifact.options,
+                    scan,
+                    artifact=artifact,
+                )
+            artifact = None  # recompile under the requested config
+        if config is None:
+            backend = scan.backend if isinstance(scan.backend, str) else None
+            config = CompileConfig(backend=backend)
+        compiled = compile_ruleset(self.automaton, config)
+        return RulesetHandle(
+            compiled.automaton, config, scan, compiled=compiled
+        )
+
+
+class RulesetHandle:
+    """A compiled ruleset bound to its scan configuration.
+
+    Holds the compiled product plus a lazily built
+    :class:`~repro.service.service.MatchingService` (created on the
+    first :meth:`scan` / :meth:`scan_many` / :meth:`stream` and seeded
+    with the compiled engine or adopted artifact where the backend and
+    sharding configuration lines up — see :meth:`Ruleset.compile`).
+    Handles are context managers; leaving the ``with`` block releases
+    the service's sessions and worker pools.
+    """
+
+    def __init__(
+        self,
+        automaton: Automaton,
+        compile_config: CompileConfig,
+        scan_config: ScanConfig,
+        *,
+        compiled=None,
+        artifact=None,
+    ) -> None:
+        self.automaton = automaton
+        self.compile_config = compile_config
+        self.scan_config = scan_config
+        self._compiled = compiled
+        self._artifact = artifact
+        self._service = None
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """The ruleset's language fingerprint (the service cache key and
+        the handle a server-side registration of these rules yields)."""
+        from repro.compile.fingerprint import ruleset_fingerprint
+
+        return ruleset_fingerprint(self.automaton)
+
+    @property
+    def key(self) -> str:
+        """The artifact key: language fingerprint mixed with the
+        compile-config digest (what :meth:`save` names the file after)."""
+        from repro.compile.fingerprint import ruleset_fingerprint
+
+        return ruleset_fingerprint(self.automaton, self.compile_config)
+
+    # -- the matching surface ---------------------------------------------
+    @property
+    def service(self):
+        """The lazily built matching service behind this handle."""
+        if self._service is None:
+            from repro.service.service import MatchingService
+
+            service = MatchingService(self.scan_config)
+            if self._artifact is not None:
+                service.register_artifact(self._artifact)
+            elif (
+                self._compiled is not None
+                and self._compiled.kernel is not None
+                and isinstance(self.scan_config.backend, str)
+                and self.compile_config.backend == self.scan_config.backend
+                and self.compile_config.stride == 1
+            ):
+                # seed the eager compile into the service cache so a
+                # single-shard scan skips recompilation entirely
+                service.manager.seed_engine(
+                    self.automaton,
+                    self.scan_config.backend,
+                    self._compiled.engine(),
+                    fingerprint=self.fingerprint,
+                )
+            self._service = service
+        return self._service
+
+    def scan(
+        self,
+        data: bytes,
+        *,
+        chunk_size: int | None = None,
+        max_reports: int | None = None,
+        on_truncation: str | None = None,
+    ):
+        """Scan one complete stream; returns a
+        :class:`~repro.service.service.ServiceResult`."""
+        return self.service.scan(
+            self.automaton,
+            data,
+            chunk_size=chunk_size,
+            max_reports=max_reports,
+            on_truncation=on_truncation,
+        )
+
+    def scan_many(
+        self,
+        streams: dict[str, bytes],
+        *,
+        chunk_size: int | None = None,
+        max_reports: int | None = None,
+        on_truncation: str | None = None,
+    ):
+        """Scan every named stream; returns ``{name: ServiceResult}``."""
+        return self.service.scan_many(
+            self.automaton,
+            streams,
+            chunk_size=chunk_size,
+            max_reports=max_reports,
+            on_truncation=on_truncation,
+        )
+
+    def stream(
+        self,
+        name: str,
+        *,
+        max_reports: int | None = None,
+        on_truncation: str | None = None,
+    ):
+        """Open a named resumable stream (a
+        :class:`~repro.service.session.Session`, usable as a context
+        manager: leaving the ``with`` block closes the stream).
+        ``max_reports`` / ``on_truncation`` default to the handle's
+        :class:`ScanConfig` values."""
+        return self.service.open_session(
+            self.automaton,
+            name,
+            max_reports=max_reports,
+            on_truncation=on_truncation,
+        )
+
+    # -- artifacts ---------------------------------------------------------
+    def artifact(self):
+        """The serializable compiled artifact of this handle (built on
+        first use for pipeline-compiled handles)."""
+        if self._artifact is None:
+            from repro.compile.artifact import CompiledArtifact
+            from repro.compile.pipeline import compile_ruleset
+
+            compiled = self._compiled
+            if compiled is None:
+                compiled = compile_ruleset(self.automaton, self.compile_config)
+                self._compiled = compiled
+            self._artifact = CompiledArtifact.from_compiled(compiled)
+        return self._artifact
+
+    def save(self, path) -> Path:
+        """Write the compiled artifact to ``path`` (a file or a
+        directory, where it lands under its content-address key); any
+        other process loads it with ``Ruleset.from_artifact(path)``."""
+        return self.artifact().save(path)
+
+    # -- deployment --------------------------------------------------------
+    def serve(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        background: bool = False,
+        **server_kwargs,
+    ):
+        """Serve this handle's service over TCP (NDJSON frames).
+
+        The ruleset is preloaded server-side, so remote clients can
+        ``scan`` against :attr:`fingerprint` without registering first.
+        Blocking by default (the CLI/`examples` shape); with
+        ``background=True`` returns a started
+        :class:`~repro.service.server.BackgroundServer` whose ``stop()``
+        also closes this handle's service.  Extra keyword arguments
+        (``max_frame_bytes``, ``executor_workers``, ...) pass through to
+        :class:`~repro.service.server.MatchingServer`.
+        """
+        from repro.service.server import (
+            BackgroundServer,
+            MatchingServer,
+            run_server,
+        )
+
+        server = MatchingServer(
+            self.service, host=host, port=port, **server_kwargs
+        )
+        server.preload_ruleset(self.automaton)
+        if background:
+            return BackgroundServer(server).start()
+        run_server(server)
+        return None
+
+    def close(self) -> None:
+        """Release the underlying service (sessions, worker pools)."""
+        if self._service is not None:
+            self._service.close()
+
+    def __enter__(self) -> "RulesetHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

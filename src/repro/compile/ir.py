@@ -13,88 +13,21 @@ entry.  The finished product is a :class:`CompiledRuleset`.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import time
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field
 
+from repro.api.config import SUPPORTED_STRIDES, CompileConfig
 from repro.automata.nfa import Automaton
 from repro.automata.optimize import OptimizationReport
 from repro.automata.striding import StridedAutomaton
 from repro.errors import ReproError
 
-#: strides the pipeline knows how to build
-SUPPORTED_STRIDES = (1, 2)
-
-
-@dataclass(frozen=True)
-class PipelineOptions:
-    """Configuration of one pipeline run.
-
-    Every field here is *pipeline-relevant*: it changes the compiled
-    output, so it participates in :meth:`digest` and therefore in
-    artifact keys (see ``ruleset_fingerprint(automaton, options)``).
-
-    Args:
-        optimize: run the VASim-style optimization pass (dead-state
-            removal + prefix merging).  Off by default — the service
-            layer must execute rulesets exactly as given, since
-            optimization renumbers states and thus report ids.
-        stride: temporal stride (1 or 2).  Stride 2 builds the
-            2-strided automaton and a :class:`~repro.sim.engine.
-            StridedEngine`; the CAMA encoding/mapping passes apply only
-            at stride 1.
-        backend: execution-backend *hint* for the kernel-prebuild pass
-            ("sparse" / "bitparallel" / "auto"), or None to skip kernel
-            prebuild (program-only compilations).
-        allow_negation: apply negation optimization per state.
-        clustered: apply frequency-first symbol clustering.
-        fixed_32bit: bypass selection and use the fixed 32-bit
-            One-Zero-Prefix baseline of Table II.
-    """
-
-    optimize: bool = False
-    stride: int = 1
-    backend: str | None = "sparse"
-    allow_negation: bool = True
-    clustered: bool = True
-    fixed_32bit: bool = False
-
-    def validate(self) -> "PipelineOptions":
-        from repro.sim.backends import BACKEND_NAMES
-
-        if self.stride not in SUPPORTED_STRIDES:
-            raise ReproError(
-                f"unsupported stride {self.stride}; "
-                f"supported: {SUPPORTED_STRIDES}"
-            )
-        if self.backend is not None and self.backend not in BACKEND_NAMES:
-            raise ReproError(
-                f"unknown execution backend {self.backend!r}; "
-                f"known: {', '.join(BACKEND_NAMES)}"
-            )
-        return self
-
-    def replace(self, **changes) -> "PipelineOptions":
-        return replace(self, **changes)
-
-    def to_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "PipelineOptions":
-        known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
-        if unknown:
-            raise ReproError(
-                f"unknown pipeline options: {', '.join(sorted(unknown))}"
-            )
-        return cls(**data).validate()
-
-    def digest(self) -> str:
-        """Stable hex digest of the option set (keys artifact caches)."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True)
-        return hashlib.sha256(canonical.encode()).hexdigest()
+#: the pipeline's configuration object, canonically defined as
+#: :class:`repro.api.config.CompileConfig`; this alias keeps the name
+#: every pass, artifact manifest and pre-facade caller was built
+#: against (the two are the *same class* — field set, ``to_dict`` form
+#: and ``digest`` are unchanged, so artifact keys never moved)
+PipelineOptions = CompileConfig
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,14 @@ class MappingError(ReproError):
     """The mapper could not place an automaton onto the CAMA fabric."""
 
 
+class ConfigError(ReproError):
+    """A configuration value is invalid (bad chunk size, unknown
+    truncation policy, unsupported stride, and similar).  Raised by the
+    typed config objects in :mod:`repro.api` — the single validation
+    surface every entry point (service, dispatcher, session, pipeline,
+    server protocol, CLI) goes through."""
+
+
 class SimulationError(ReproError):
     """The cycle simulator was driven with invalid inputs."""
 

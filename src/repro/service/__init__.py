@@ -48,15 +48,23 @@ defaults to the ``auto`` policy, which picks the sparse or bit-parallel
 kernel per shard from size and estimated activity; pass
 ``MatchingService(backend="sparse")`` (or ``"bitparallel"``) to pin one.
 
+Configuration is one typed object — :class:`repro.api.ScanConfig` —
+consumed by the service, dispatcher, session, server protocol and CLI
+alike; legacy loose keywords still work through deprecation shims.
+
 Quick use::
 
+    from repro.api import ScanConfig
     from repro.service import MatchingService
 
-    service = MatchingService(num_shards=4)
+    service = MatchingService(ScanConfig(num_shards=4))
     result = service.scan(automaton, data)          # one-shot, cached
     session = service.open_session(automaton, "tenant-a")
     session.feed(chunk1); session.feed(chunk2)      # resumable stream
     results = service.scan_many(automaton, {"a": data_a, "b": data_b})
+
+(:class:`repro.api.Ruleset` wraps all of this behind one fluent
+facade; prefer it in application code.)
 
 Chunked, sharded, and cached execution all reproduce the one-shot
 ``Engine.run`` report stream byte-for-byte; the equivalence tests in

@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 
 from repro.automata.mnrl import dumps_mnrl
 from repro.automata.nfa import Automaton
-from repro.errors import ReproError, SimulationError
+from repro.errors import ConfigError, ReproError, SimulationError
 from repro.service.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     ProtocolError,
@@ -72,6 +72,9 @@ class RemoteScanResult:
     backends: list[str]
     cached: bool
     warnings: list[str] = field(default_factory=list)
+    #: digest of the ScanConfig the request carried, echoed by the
+    #: server (None when the request used loose fields only)
+    config_digest: str | None = None
 
     @property
     def throughput_mbps(self) -> float:
@@ -132,8 +135,18 @@ def _artifact_frame(artifact) -> dict:
     return {"op": "register_artifact", "data": encode_data(data)}
 
 
-def _scan_frame(op: str, handle: str, **options) -> dict:
+def _scan_frame(op: str, handle: str, *, config=None, **options) -> dict:
     frame = {"op": op, "handle": handle}
+    if config is not None:
+        from repro.api.config import ScanConfig
+
+        if not isinstance(config, ScanConfig):
+            raise ConfigError(
+                f"config must be a ScanConfig, got {type(config).__name__}"
+            )
+        # the dict form is the wire form; the server echoes its digest
+        # back as config_digest, so round-tripping is verifiable
+        frame["config"] = config.to_dict()
     for key, value in options.items():
         if value is not None:
             frame[key] = value
@@ -171,6 +184,7 @@ def _scan_result(payload: dict) -> RemoteScanResult:
         backends=payload["backends"],
         cached=payload["cached"],
         warnings=list(payload.get("warnings", ())),
+        config_digest=payload.get("config_digest"),
     )
 
 
@@ -310,6 +324,7 @@ class MatchingClient:
         handle: str,
         data: bytes,
         *,
+        config=None,
         chunk_size: int | None = None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
@@ -318,6 +333,7 @@ class MatchingClient:
             _scan_frame(
                 "scan",
                 handle,
+                config=config,
                 data=encode_data(data),
                 chunk_size=chunk_size,
                 max_reports=max_reports,
@@ -331,6 +347,7 @@ class MatchingClient:
         handle: str,
         streams: dict[str, bytes],
         *,
+        config=None,
         chunk_size: int | None = None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
@@ -339,6 +356,7 @@ class MatchingClient:
             _scan_frame(
                 "scan_many",
                 handle,
+                config=config,
                 streams={
                     name: encode_data(data) for name, data in streams.items()
                 },
@@ -358,6 +376,7 @@ class MatchingClient:
         handle: str,
         name: str,
         *,
+        config=None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
     ) -> RemoteSession:
@@ -365,6 +384,7 @@ class MatchingClient:
             _scan_frame(
                 "open",
                 handle,
+                config=config,
                 session=name,
                 max_reports=max_reports,
                 on_truncation=on_truncation,
@@ -488,6 +508,7 @@ class AsyncMatchingClient:
         handle: str,
         data: bytes,
         *,
+        config=None,
         chunk_size: int | None = None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
@@ -496,6 +517,7 @@ class AsyncMatchingClient:
             _scan_frame(
                 "scan",
                 handle,
+                config=config,
                 data=encode_data(data),
                 chunk_size=chunk_size,
                 max_reports=max_reports,
@@ -509,6 +531,7 @@ class AsyncMatchingClient:
         handle: str,
         streams: dict[str, bytes],
         *,
+        config=None,
         chunk_size: int | None = None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
@@ -517,6 +540,7 @@ class AsyncMatchingClient:
             _scan_frame(
                 "scan_many",
                 handle,
+                config=config,
                 streams={
                     name: encode_data(data) for name, data in streams.items()
                 },
@@ -536,6 +560,7 @@ class AsyncMatchingClient:
         handle: str,
         name: str,
         *,
+        config=None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
     ) -> AsyncRemoteSession:
@@ -543,6 +568,7 @@ class AsyncMatchingClient:
             _scan_frame(
                 "open",
                 handle,
+                config=config,
                 session=name,
                 max_reports=max_reports,
                 on_truncation=on_truncation,

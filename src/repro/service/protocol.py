@@ -44,6 +44,17 @@ version-incompatible compiled artifact), ``unknown-op``,
 The ``register_artifact`` op (wire name; the table row is wrapped) was
 added in protocol version 2; version-1 servers answer it with
 ``unknown-op``, which clients can treat as "upload source instead".
+
+Scan-shaped requests (``scan``, ``scan_many``, ``open``) may carry a
+``config`` object — a :meth:`repro.api.ScanConfig.to_dict` payload —
+instead of (or alongside; loose fields win) the loose ``chunk_size`` /
+``max_reports`` / ``on_truncation`` fields.  The server validates it
+through :class:`~repro.api.config.ScanConfig` itself (the single
+validation surface) and echoes ``config_digest`` in the response so the
+client can assert the config survived the wire byte-identically.  Only
+the per-scan fields apply remotely; sharding/worker/caching fields are
+server deployment policy.  Both additions are backwards-compatible
+within protocol version 2.
 """
 
 from __future__ import annotations
@@ -51,11 +62,20 @@ from __future__ import annotations
 import base64
 import json
 
-from repro.errors import ReproError
+from repro.api.config import ScanConfig
+from repro.errors import ConfigError, ReproError
 from repro.sim.reports import Report
 
-#: protocol version advertised by ``ping`` (2: ``register_artifact``)
+#: protocol version advertised by ``ping`` (2: ``register_artifact``;
+#: still 2 after the optional ``config`` request field and the
+#: ``config_digest`` response field — both are backwards-compatible
+#: additions a v2 peer simply omits/ignores)
 PROTOCOL_VERSION = 2
+
+#: the :class:`~repro.api.config.ScanConfig` fields a request frame may
+#: override per scan/session; the rest (sharding, workers, caching) are
+#: server deployment policy and are ignored when a client sends them
+SCAN_FRAME_FIELDS = ("chunk_size", "max_reports", "on_truncation")
 
 #: default cap on one frame's encoded size (request and response)
 DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
@@ -127,6 +147,69 @@ def decode_reports(triples: list[list]) -> list[Report]:
         Report(cycle=int(c), state_id=int(s), code=code)
         for c, s, code in triples
     ]
+
+
+def scan_config_from_frame(
+    frame: dict, base: ScanConfig
+) -> tuple[ScanConfig, bool, str | None]:
+    """Resolve one scan/open request's effective :class:`ScanConfig`.
+
+    ``base`` carries the server's deployment defaults (with the wire's
+    ``on_truncation`` default already applied by the caller).  A frame
+    may override the per-scan fields (:data:`SCAN_FRAME_FIELDS`) two
+    ways — the legacy loose ``chunk_size``/``max_reports``/
+    ``on_truncation`` fields, or a ``config`` object in
+    ``ScanConfig.to_dict()`` form; loose fields win when both appear.
+    Either way the values land in a :class:`ScanConfig`, so the config
+    dataclass is the *single* validation surface for the wire too:
+    anything it rejects comes back as a ``bad-request``
+    :class:`ProtocolError`.
+
+    A serialized config carries *every* field (``to_dict`` is total),
+    so a field counts as a request-level override only when its value
+    differs from the :class:`ScanConfig` default — otherwise a client
+    sending ``ScanConfig(chunk_size=1024)`` would silently replace the
+    server's deployment ``max_reports``/``on_truncation`` with the
+    client-side defaults and mute the server's truncation messaging.
+    A client that really wants a default-valued cap states it with the
+    loose ``max_reports`` field.
+
+    Returns ``(config, explicit_cap, config_digest)``:
+    ``explicit_cap`` is True when the request set its own
+    ``max_reports`` (intentional caps stay silent, mirroring
+    :meth:`Engine.run`), and ``config_digest`` is the digest of the
+    parsed ``config`` object (None without one) — the server echoes it
+    so clients can assert the config survived the wire unchanged.
+    """
+    overrides: dict = {}
+    digest = None
+    sent = frame.get("config")
+    if sent is not None:
+        if not isinstance(sent, dict):
+            raise ProtocolError(
+                "config must be a JSON object (ScanConfig.to_dict() form)",
+                code="bad-request",
+            )
+        try:
+            parsed = ScanConfig.from_dict(sent)
+        except (ConfigError, TypeError) as exc:
+            raise ProtocolError(
+                f"invalid config: {exc}", code="bad-request"
+            ) from exc
+        digest = parsed.digest()
+        defaults = ScanConfig()
+        for name in SCAN_FRAME_FIELDS:
+            value = getattr(parsed, name)
+            if name in sent and value != getattr(defaults, name):
+                overrides[name] = value
+    for name in SCAN_FRAME_FIELDS:
+        if frame.get(name) is not None:
+            overrides[name] = frame[name]
+    explicit_cap = "max_reports" in overrides
+    try:
+        return base.merged(**overrides), explicit_cap, digest
+    except ConfigError as exc:
+        raise ProtocolError(str(exc), code="bad-request") from exc
 
 
 def error_frame(request_id, message: str, code: str) -> dict:

@@ -26,6 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.api.config import DEFAULT_CACHE_CAPACITY
 from repro.automata.nfa import Automaton
 from repro.compile.artifact import CompiledArtifact
 from repro.compile.fingerprint import ruleset_fingerprint
@@ -34,11 +35,9 @@ from repro.compile.pipeline import compile_ruleset
 from repro.compile.store import ArtifactStore
 from repro.core.compiler import CamaProgram, compile_automaton
 from repro.core.machine import CamaMachine
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.sim.backends import ExecutionBackend
 from repro.sim.engine import Engine
-
-DEFAULT_CACHE_CAPACITY = 32
 
 
 @dataclass
@@ -92,7 +91,7 @@ class RulesetManager:
         options: PipelineOptions | None = None,
     ) -> None:
         if capacity < 1:
-            raise ReproError("cache capacity must be >= 1")
+            raise ConfigError("cache capacity must be >= 1")
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple[str, str], object] = OrderedDict()

@@ -37,9 +37,10 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.api.config import ScanConfig, resolve_legacy_config
 from repro.automata.glushkov import compile_regex_set
 from repro.automata.mnrl import loads_mnrl
-from repro.errors import ReproError, SimulationError
+from repro.errors import ConfigError, ReproError, SimulationError
 from repro.service.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     DEFAULT_MAX_INFLIGHT,
@@ -51,6 +52,7 @@ from repro.service.protocol import (
     encode_reports,
     error_frame,
     ok_frame,
+    scan_config_from_frame,
 )
 from repro.service.service import MatchingService
 
@@ -111,8 +113,10 @@ class MatchingServer:
     """Serve a :class:`MatchingService` over TCP (NDJSON frames).
 
     Args:
-        service: the service to expose; one is built from the remaining
-            keyword arguments when omitted.
+        service: the service to expose; one is built from ``config``
+            (or the deprecated loose keywords) when omitted.
+        config: the :class:`~repro.api.config.ScanConfig` for the
+            service built when ``service`` is omitted.
         host, port: bind address (``port=0`` picks a free port; read the
             bound one from :attr:`port` after :meth:`start`).
         max_frame_bytes: reject request lines longer than this and
@@ -123,41 +127,57 @@ class MatchingServer:
         allow_shutdown: honour the ``shutdown`` frame (handy for tests
             and benchmarks; disable for long-lived deployments).
         num_shards, workers, backend, artifact_store,
-            default_max_reports: forwarded to :class:`MatchingService`
-            when ``service`` is omitted.
+            default_max_reports: deprecated loose keywords; a
+            :class:`ScanConfig` is built from them (with a
+            :class:`DeprecationWarning`) when both ``service`` and
+            ``config`` are omitted.
     """
 
     def __init__(
         self,
         service: MatchingService | None = None,
         *,
+        config: ScanConfig | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         executor_workers: int = 4,
         allow_shutdown: bool = True,
-        num_shards: int = 1,
-        workers: int = 1,
-        backend: str = "auto",
+        num_shards: int | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
         artifact_store=None,
         default_max_reports: int | None = None,
     ) -> None:
         if max_frame_bytes < 1024:
-            raise SimulationError("max_frame_bytes must be >= 1024")
+            raise ConfigError("max_frame_bytes must be >= 1024")
         if max_inflight < 1:
-            raise SimulationError("max_inflight must be >= 1")
+            raise ConfigError("max_inflight must be >= 1")
+        config = resolve_legacy_config(
+            "MatchingServer",
+            config,
+            {
+                "num_shards": num_shards,
+                "workers": workers,
+                "backend": backend,
+                "artifact_store": artifact_store,
+                "_default_max_reports": default_max_reports,
+            },
+        )
         if service is None:
-            kwargs = dict(
-                num_shards=num_shards,
-                workers=workers,
-                backend=backend,
-                artifact_store=artifact_store,
+            service = MatchingService(
+                config if config is not None else ScanConfig()
             )
-            if default_max_reports is not None:
-                kwargs["default_max_reports"] = default_max_reports
-            service = MatchingService(**kwargs)
+        elif config is not None:
+            raise ConfigError(
+                "pass either a prebuilt service or a config, not both"
+            )
         self.service = service
+        # wire semantics: a frame that names no truncation policy warns,
+        # independent of the service's own scan policy (the client gets
+        # the warning and decides); per-frame options merge onto this
+        self._frame_base = service.config.replace(on_truncation="warn")
         self.host = host
         self._requested_port = port
         self.max_frame_bytes = max_frame_bytes
@@ -380,26 +400,12 @@ class MatchingServer:
             )
         return automaton
 
-    @staticmethod
-    def _scan_options(frame: dict) -> tuple[int | None, int | None, str]:
-        chunk_size = frame.get("chunk_size")
-        if chunk_size is not None and (
-            not isinstance(chunk_size, int) or chunk_size < 1
-        ):
-            raise ProtocolError("chunk_size must be a positive int", code="bad-request")
-        max_reports = frame.get("max_reports")
-        if max_reports is not None and (
-            not isinstance(max_reports, int) or max_reports < 0
-        ):
-            raise ProtocolError(
-                "max_reports must be a non-negative int", code="bad-request"
-            )
-        on_truncation = frame.get("on_truncation", "warn")
-        if on_truncation not in ("warn", "error", "ignore"):
-            raise ProtocolError(
-                f"unknown truncation policy {on_truncation!r}", code="bad-request"
-            )
-        return chunk_size, max_reports, on_truncation
+    def _scan_config(self, frame: dict) -> tuple:
+        """The request's effective scan config (see
+        :func:`~repro.service.protocol.scan_config_from_frame`); the
+        typed config object is the single validation surface for loose
+        frame fields and ``config`` objects alike."""
+        return scan_config_from_frame(frame, self._frame_base)
 
     def _record_backend_traffic(self, result) -> None:
         key = "+".join(sorted(set(result.backends))) or "unresolved"
@@ -485,6 +491,20 @@ class MatchingServer:
                 self._rulesets.popitem(last=False)
         return cached
 
+    def preload_ruleset(self, automaton) -> str:
+        """Register ``automaton`` server-side, before any client asks.
+
+        The deployment-shape primitive behind ``repro.api``'s
+        ``handle.serve()``: the ruleset compiles (and its handle
+        registers) at startup, so the first remote ``scan`` against the
+        returned handle is already warm.  Returns the handle — the same
+        fingerprint a client-side ``register`` of the same rules yields.
+        """
+        handle = self.service.manager.fingerprint(automaton)
+        self._remember_ruleset(handle, automaton)
+        self.service.dispatcher(automaton, key=handle)
+        return handle
+
     def _op_register_artifact(self, conn: _Connection, frame: dict) -> dict:
         """Adopt a client-side precompiled ruleset ("compile once, load
         anywhere"): the artifact's prebuilt tables seed the service
@@ -518,20 +538,23 @@ class MatchingServer:
     def _op_scan(self, conn: _Connection, frame: dict) -> dict:
         automaton = self._automaton_for(frame)
         data = decode_data(frame.get("data", ""))
-        chunk_size, max_reports, on_truncation = self._scan_options(frame)
+        cfg, explicit_cap, digest = self._scan_config(frame)
         result = self.service.scan(
             automaton,
             data,
-            chunk_size=chunk_size,
-            max_reports=max_reports,
+            chunk_size=cfg.chunk_size,
+            max_reports=cfg.max_reports,
             on_truncation="ignore",
         )
-        return self._scan_payload(
+        payload = self._scan_payload(
             result,
-            explicit_cap=max_reports is not None,
-            on_truncation=on_truncation,
-            cap=self.service.default_max_reports,
+            explicit_cap=explicit_cap,
+            on_truncation=cfg.on_truncation,
+            cap=cfg.max_reports,
         )
+        if digest is not None:
+            payload["config_digest"] = digest
+        return payload
 
     def _op_scan_many(self, conn: _Connection, frame: dict) -> dict:
         automaton = self._automaton_for(frame)
@@ -541,26 +564,29 @@ class MatchingServer:
                 "scan_many needs a 'streams' dict of name -> base64 data",
                 code="bad-request",
             )
-        chunk_size, max_reports, on_truncation = self._scan_options(frame)
+        cfg, explicit_cap, digest = self._scan_config(frame)
         decoded = {str(name): decode_data(data) for name, data in streams.items()}
         results = self.service.scan_many(
             automaton,
             decoded,
-            chunk_size=chunk_size,
-            max_reports=max_reports,
+            chunk_size=cfg.chunk_size,
+            max_reports=cfg.max_reports,
             on_truncation="ignore",
         )
-        return {
+        payload = {
             "results": {
                 name: self._scan_payload(
                     result,
-                    explicit_cap=max_reports is not None,
-                    on_truncation=on_truncation,
-                    cap=self.service.default_max_reports,
+                    explicit_cap=explicit_cap,
+                    on_truncation=cfg.on_truncation,
+                    cap=cfg.max_reports,
                 )
                 for name, result in results.items()
             }
         }
+        if digest is not None:
+            payload["config_digest"] = digest
+        return payload
 
     def _op_open(self, conn: _Connection, frame: dict) -> dict:
         automaton = self._automaton_for(frame)
@@ -574,20 +600,26 @@ class MatchingServer:
                 f"session {name!r} is already open on this connection",
                 code="bad-request",
             )
-        _, max_reports, on_truncation = self._scan_options(frame)
+        cfg, _, digest = self._scan_config(frame)
         internal = f"conn{conn.conn_id}/{name}"
         # policy is applied at the frame level (below); the underlying
         # session must not warn inside a worker thread
         session = self.service.open_session(
-            automaton, internal, max_reports=max_reports, on_truncation="ignore"
+            automaton,
+            internal,
+            max_reports=cfg.max_reports,
+            on_truncation="ignore",
         )
         conn.sessions[name] = _ServerSession(
             name=name,
             internal=internal,
-            on_truncation=on_truncation,
+            on_truncation=cfg.on_truncation,
             max_reports=session.max_reports,
         )
-        return {"session": name}
+        payload = {"session": name}
+        if digest is not None:
+            payload["config_digest"] = digest
+        return payload
 
     def _session_for(self, conn: _Connection, frame: dict) -> _ServerSession:
         name = frame.get("session")
@@ -695,11 +727,37 @@ class BackgroundServer:
 
     ::
 
-        with BackgroundServer(num_shards=4) as bg:
+        with BackgroundServer(config=ScanConfig(num_shards=4)) as bg:
             client = MatchingClient(port=bg.port)
     """
 
+    #: the service-shaped legacy kwargs this wrapper resolves itself, so
+    #: the deprecation warning is attributed to *its* caller instead of
+    #: this module's forwarding frame (the CI gate errors on repro.*)
+    _LEGACY_SERVICE_KWARGS = (
+        "num_shards",
+        "workers",
+        "backend",
+        "artifact_store",
+        "default_max_reports",
+    )
+
     def __init__(self, server: MatchingServer | None = None, **kwargs) -> None:
+        if server is None:
+            legacy = {
+                (
+                    "_default_max_reports"
+                    if name == "default_max_reports"
+                    else name
+                ): kwargs.pop(name)
+                for name in self._LEGACY_SERVICE_KWARGS
+                if name in kwargs
+            }
+            config = resolve_legacy_config(
+                "BackgroundServer", kwargs.pop("config", None), legacy
+            )
+            if config is not None:
+                kwargs["config"] = config
         self.server = server if server is not None else MatchingServer(**kwargs)
         self.loop: asyncio.AbstractEventLoop | None = None
         self.port: int | None = None

@@ -16,12 +16,13 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.api.config import ScanConfig, resolve_legacy_config
 from repro.automata.nfa import Automaton
 from repro.errors import SimulationError
-from repro.service.ruleset import DEFAULT_CACHE_CAPACITY, CacheStats, RulesetManager
+from repro.service.ruleset import CacheStats, RulesetManager
 from repro.service.session import Session
-from repro.service.sharding import DEFAULT_CHUNK_SIZE, Dispatcher
-from repro.sim.backends import DEFAULT_MAX_KEPT_REPORTS, ExecutionBackend
+from repro.service.sharding import Dispatcher
+from repro.sim.backends import ExecutionBackend
 from repro.sim.backends.base import check_truncation_policy, handle_truncation
 from repro.sim.reports import Report
 from repro.sim.trace import TraceStats
@@ -59,29 +60,18 @@ class MatchingService:
     """Streaming, sharded, multi-tenant automata-matching service.
 
     Args:
-        cache_capacity: max compiled rulesets resident in the LRU.
-        num_shards: shards per ruleset (whole connected components,
-            balanced by state count).
-        workers: processes for one-shot scans; 1 = serial.
-        chunk_size: default streaming granularity in bytes.
-        backend: execution backend for every compiled ruleset —
-            ``"sparse"``, ``"bitparallel"``, or ``"auto"`` (default:
-            resolves per shard from size and estimated activity).
-        artifact_store: optional persistent compiled-artifact cache (an
-            :class:`~repro.compile.store.ArtifactStore` or a directory
-            path): warm restarts load serialized artifacts instead of
-            recompiling, spawn workers receive serialized artifacts
-            instead of pickled engines, and :meth:`register_artifact`
-            uploads land in it.
-        default_max_reports: kept-reports cap for scans and sessions
-            that do not pass their own ``max_reports``.
-        mp_start_method: multiprocessing start method for sharded
-            worker pools (None = platform default).
-        on_truncation: what :meth:`scan` / :meth:`scan_many` do when the
-            *default* cap truncates recording (an explicit per-call
-            ``max_reports`` is intentional and stays silent, matching
-            :class:`~repro.sim.engine.Engine`): ``"warn"`` (default),
-            ``"error"``, or ``"ignore"``.
+        config: the :class:`~repro.api.config.ScanConfig` driving this
+            service — backend policy, sharding, workers, chunking, the
+            default kept-reports cap and truncation policy, the
+            persistent artifact store, and the multiprocessing start
+            method.  One validated object replaces the former keyword
+            sprawl; see :class:`ScanConfig` for field semantics.
+        cache_capacity, num_shards, workers, chunk_size, backend,
+            artifact_store, default_max_reports, on_truncation,
+            mp_start_method: deprecated loose keywords; a
+            :class:`ScanConfig` is built from them (with a
+            :class:`DeprecationWarning`) when ``config`` is omitted.
+            ``default_max_reports`` maps to ``ScanConfig.max_reports``.
 
     The service is safe to share across threads: compiled-artifact
     acquisition and the session table are lock-protected, while scans
@@ -90,31 +80,38 @@ class MatchingService:
 
     def __init__(
         self,
+        config: ScanConfig | None = None,
         *,
-        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
-        num_shards: int = 1,
-        workers: int = 1,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
-        backend: str | ExecutionBackend = "auto",
+        cache_capacity: int | None = None,
+        num_shards: int | None = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        backend: str | ExecutionBackend | None = None,
         artifact_store=None,
-        default_max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
-        on_truncation: str = "warn",
+        default_max_reports: int | None = None,
+        on_truncation: str | None = None,
         mp_start_method: str | None = None,
     ) -> None:
-        if chunk_size < 1:
-            raise SimulationError("chunk size must be >= 1")
-        if default_max_reports < 0:
-            raise SimulationError("default_max_reports must be >= 0")
-        self.manager = RulesetManager(
-            capacity=cache_capacity, store=artifact_store
+        config = resolve_legacy_config(
+            "MatchingService",
+            config,
+            {
+                "cache_capacity": cache_capacity,
+                "num_shards": num_shards,
+                "workers": workers,
+                "chunk_size": chunk_size,
+                "backend": backend,
+                "artifact_store": artifact_store,
+                "_default_max_reports": default_max_reports,
+                "on_truncation": on_truncation,
+                "mp_start_method": mp_start_method,
+            },
         )
-        self.num_shards = num_shards
-        self.workers = workers
-        self.chunk_size = chunk_size
-        self.backend = backend
-        self.mp_start_method = mp_start_method
-        self.default_max_reports = default_max_reports
-        self.on_truncation = check_truncation_policy(on_truncation)
+        self.config = config if config is not None else ScanConfig()
+        self.manager = RulesetManager(
+            capacity=self.config.cache_capacity,
+            store=self.config.artifact_store,
+        )
         self.sessions: dict[str, Session] = {}
         # LRU-bounded alongside the manager: a Dispatcher pins its shard
         # engines, so an unbounded dict here would defeat the cache cap.
@@ -131,6 +128,35 @@ class MatchingService:
         # they are closed with the service
         self._retired: list[Dispatcher] = []
         self.closed = False
+
+    # -- config views (the pre-facade attribute surface) ------------------
+    @property
+    def num_shards(self) -> int:
+        return self.config.num_shards
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    @property
+    def chunk_size(self) -> int:
+        return self.config.chunk_size
+
+    @property
+    def backend(self) -> str | ExecutionBackend:
+        return self.config.backend
+
+    @property
+    def mp_start_method(self) -> str | None:
+        return self.config.mp_start_method
+
+    @property
+    def default_max_reports(self) -> int:
+        return self.config.max_reports
+
+    @property
+    def on_truncation(self) -> str:
+        return self.config.on_truncation
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -155,12 +181,7 @@ class MatchingService:
             if cached is not None:
                 return cached
             dispatcher = Dispatcher(
-                automaton,
-                num_shards=self.num_shards,
-                workers=self.workers,
-                manager=self.manager,
-                backend=self.backend,
-                mp_start_method=self.mp_start_method,
+                automaton, self.config, manager=self.manager
             )
             dispatcher.engines  # compile (and cache) the shard engines now
             with self._lock:
@@ -226,12 +247,12 @@ class MatchingService:
         if self.manager.store is not None:
             self.manager.store.put(artifact)
         if isinstance(self.backend, str):
+            # the "auto" -> "defer to the artifact's recorded kernel"
+            # rewrite is resolved once, inside ScanConfig
             self.manager.seed_engine(
                 automaton,
                 self.backend,
-                artifact.engine(
-                    backend=None if self.backend == "auto" else self.backend
-                ),
+                artifact.engine(backend=self.config.engine_backend),
                 fingerprint=handle,
             )
         return handle, automaton
@@ -322,9 +343,13 @@ class MatchingService:
         name: str,
         *,
         max_reports: int | None = None,
-        on_truncation: str = "warn",
+        on_truncation: str | None = None,
     ) -> Session:
-        """Open a named resumable stream against ``automaton``."""
+        """Open a named resumable stream against ``automaton``.
+
+        ``max_reports`` / ``on_truncation`` default to the service
+        config's values; pass either to override for this session.
+        """
         dispatcher = self.dispatcher(automaton)
         with self._lock:
             if name in self.sessions and not self.sessions[name].closed:
@@ -332,12 +357,9 @@ class MatchingService:
             session = Session(
                 name,
                 dispatcher,
-                max_reports=(
-                    self.default_max_reports
-                    if max_reports is None
-                    else max_reports
+                self.config.merged(
+                    max_reports=max_reports, on_truncation=on_truncation
                 ),
-                on_truncation=on_truncation,
             )
             self.sessions[name] = session
             return session

@@ -12,11 +12,11 @@ sessions'.
 
 from __future__ import annotations
 
+from repro.api.config import ScanConfig, resolve_legacy_config
 from repro.errors import SimulationError
 from repro.service.merge import accumulate_stats
 from repro.service.sharding import Dispatcher, iter_chunks
-from repro.sim.backends import DEFAULT_MAX_KEPT_REPORTS
-from repro.sim.backends.base import check_truncation_policy, handle_truncation
+from repro.sim.backends.base import handle_truncation
 from repro.sim.engine import SimulationResult
 from repro.sim.reports import Report
 from repro.sim.trace import TraceStats
@@ -30,26 +30,38 @@ class Session:
     point.  Sessions are cheap: per shard they hold only the active
     state indices and the stream position.
 
-    ``max_reports`` bounds the reports *recorded* over the whole stream
-    (reports keep being counted past it).  The first chunk that loses a
-    report to the cap marks the session ``truncated`` and, per
-    ``on_truncation``, raises a :class:`ReportTruncationWarning`
+    The session consumes two fields of its
+    :class:`~repro.api.config.ScanConfig`: ``max_reports`` bounds the
+    reports *recorded* over the whole stream (reports keep being
+    counted past it), and ``on_truncation`` decides what the first
+    chunk that loses a report to the cap does — mark the session
+    ``truncated`` and raise a :class:`ReportTruncationWarning`
     (``"warn"``, the default), a :class:`~repro.errors.SimulationError`
-    (``"error"``), or nothing (``"ignore"``).
+    (``"error"``), or nothing (``"ignore"``).  ``max_reports`` /
+    ``on_truncation`` loose keywords are deprecated shims.
+
+    Sessions are context managers: leaving the ``with`` block closes
+    the stream (the accumulated result stays readable via
+    :attr:`reports` / :attr:`stats`).
     """
 
     def __init__(
         self,
         name: str,
         dispatcher: Dispatcher,
+        config: ScanConfig | None = None,
         *,
-        max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
-        on_truncation: str = "warn",
+        max_reports: int | None = None,
+        on_truncation: str | None = None,
     ) -> None:
+        config = resolve_legacy_config(
+            "Session",
+            config,
+            {"max_reports": max_reports, "on_truncation": on_truncation},
+        )
+        self.config = config if config is not None else ScanConfig()
         self.name = name
-        self.on_truncation = check_truncation_policy(on_truncation)
         self.dispatcher = dispatcher
-        self.max_reports = max_reports
         self.truncated = False
         self.closed = False
         self._states = dispatcher.initial_states()
@@ -57,6 +69,14 @@ class Session:
         self._stats = TraceStats(
             num_states=sum(len(s.global_ids) for s in dispatcher.shards)
         )
+
+    @property
+    def max_reports(self) -> int:
+        return self.config.max_reports
+
+    @property
+    def on_truncation(self) -> str:
+        return self.config.on_truncation
 
     @property
     def position(self) -> int:
@@ -110,3 +130,10 @@ class Session:
         return SimulationResult(
             reports=self._reports, stats=self._stats, truncated=self.truncated
         )
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.closed:
+            self.close()

@@ -27,17 +27,28 @@ import threading
 from collections.abc import Iterator
 from dataclasses import dataclass
 
+from repro.api.config import (
+    DEFAULT_CHUNK_SIZE,
+    ScanConfig,
+    resolve_legacy_config,
+)
 from repro.automata.analysis import balanced_shards, connected_components
 from repro.automata.nfa import Automaton
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.service.merge import accumulate_stats, merge_shard_results
 from repro.service.ruleset import RulesetManager
 from repro.sim.backends import DEFAULT_MAX_KEPT_REPORTS, ExecutionBackend
 from repro.sim.engine import Engine, EngineState, SimulationResult
 from repro.sim.trace import TraceStats
 
-#: default streaming granularity (bytes per run_chunk call)
-DEFAULT_CHUNK_SIZE = 64 * 1024
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "Dispatcher",
+    "Shard",
+    "chunked_scan",
+    "iter_chunks",
+    "make_shards",
+]
 
 
 @dataclass(frozen=True)
@@ -56,7 +67,7 @@ class Shard:
 def iter_chunks(data: bytes, chunk_size: int) -> Iterator[bytes]:
     """Split ``data`` into consecutive chunks of ``chunk_size`` bytes."""
     if chunk_size < 1:
-        raise SimulationError("chunk size must be >= 1")
+        raise ConfigError("chunk size must be >= 1")
     for start in range(0, len(data), chunk_size):
         yield data[start : start + chunk_size]
 
@@ -145,47 +156,64 @@ class Dispatcher:
 
     Args:
         automaton: the full ruleset.
-        num_shards: upper bound on independent shards (the component
-            structure may yield fewer).
-        workers: processes for :meth:`scan`; 1 means in-process serial
-            execution.  Parallelism is across *shards*, so workers
-            beyond ``len(shards)`` are never used.  Streaming sessions
-            always run serially — chunk N+1 of a stream cannot start
-            before chunk N finishes.
+        config: the :class:`~repro.api.config.ScanConfig` driving this
+            dispatcher.  The consumed fields:
+
+            ``num_shards``
+                upper bound on independent shards (the component
+                structure may yield fewer).
+            ``workers``
+                processes for :meth:`scan`; 1 means in-process serial
+                execution.  Parallelism is across *shards*, so workers
+                beyond ``len(shards)`` are never used.  Streaming
+                sessions always run serially — chunk N+1 of a stream
+                cannot start before chunk N finishes.
+            ``backend``
+                execution backend for the shard engines.  ``"auto"``
+                resolves *per shard*: each shard's sub-automaton is
+                sized and density-estimated independently, so one
+                ruleset can mix sparse and bit-parallel kernels.
+            ``mp_start_method``
+                multiprocessing start method for the worker pool (None
+                = platform default).  Under ``spawn`` (or
+                ``forkserver``) with a manager that has an artifact
+                store, workers receive the per-shard *serialized
+                artifacts* and rebuild their engines from the tables
+                instead of having whole engines pickled to them; under
+                ``fork`` the engines arrive as copy-on-write pages,
+                which is already free.
         manager: optional shared :class:`RulesetManager`; shard engines
             are then cached by fingerprint and survive this dispatcher.
-        backend: execution backend for the shard engines.  ``"auto"``
-            resolves *per shard*: each shard's sub-automaton is sized
-            and density-estimated independently, so one ruleset can mix
-            sparse and bit-parallel kernels.
-        mp_start_method: multiprocessing start method for the worker
-            pool (None = platform default).  Under ``spawn`` (or
-            ``forkserver``) with a manager that has an artifact store,
-            workers receive the per-shard *serialized artifacts* and
-            rebuild their engines from the tables instead of having
-            whole engines pickled to them; under ``fork`` the engines
-            arrive as copy-on-write pages, which is already free.
+        num_shards, workers, backend, mp_start_method: deprecated loose
+            keywords; a :class:`ScanConfig` is built from them (with a
+            :class:`DeprecationWarning`) when ``config`` is omitted.
     """
 
     def __init__(
         self,
         automaton: Automaton,
+        config: ScanConfig | None = None,
         *,
-        num_shards: int = 1,
-        workers: int = 1,
         manager: RulesetManager | None = None,
-        backend: str | ExecutionBackend = "auto",
+        num_shards: int | None = None,
+        workers: int | None = None,
+        backend: str | ExecutionBackend | None = None,
         mp_start_method: str | None = None,
     ) -> None:
-        if num_shards < 1:
-            raise SimulationError("shard count must be >= 1")
-        if workers < 1:
-            raise SimulationError("workers must be >= 1")
+        config = resolve_legacy_config(
+            "Dispatcher",
+            config,
+            {
+                "num_shards": num_shards,
+                "workers": workers,
+                "backend": backend,
+                "mp_start_method": mp_start_method,
+            },
+        )
+        self.config = config if config is not None else ScanConfig()
         self.automaton = automaton
-        self.backend = backend
-        self.mp_start_method = mp_start_method
-        self.shards = make_shards(automaton, num_shards)
-        self.workers = min(workers, len(self.shards))
+        self.shards = make_shards(automaton, self.config.num_shards)
+        self.workers = min(self.config.workers, len(self.shards))
         self._manager = manager
         self._engines: list[Engine] | None = None
         self._pool: multiprocessing.pool.Pool | None = None
@@ -197,6 +225,15 @@ class Dispatcher:
         self.num_dropped_states = len(automaton) - sum(
             len(s.global_ids) for s in self.shards
         )
+
+    @property
+    def backend(self) -> str | ExecutionBackend:
+        """The configured execution-backend policy."""
+        return self.config.backend
+
+    @property
+    def mp_start_method(self) -> str | None:
+        return self.config.mp_start_method
 
     @property
     def num_shards(self) -> int:

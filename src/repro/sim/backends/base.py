@@ -52,7 +52,9 @@ TRUNCATION_POLICIES = ("warn", "error", "ignore")
 def check_truncation_policy(on_truncation: str) -> str:
     """Validate an ``on_truncation`` argument, returning it unchanged."""
     if on_truncation not in TRUNCATION_POLICIES:
-        raise SimulationError(
+        from repro.errors import ConfigError
+
+        raise ConfigError(
             f"unknown truncation policy {on_truncation!r}; "
             f"expected one of {', '.join(TRUNCATION_POLICIES)}"
         )

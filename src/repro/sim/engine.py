@@ -100,7 +100,9 @@ class Engine:
         on_truncation: str = "warn",
     ) -> None:
         if max_kept_reports < 0:
-            raise SimulationError("max_kept_reports must be >= 0")
+            from repro.errors import ConfigError
+
+            raise ConfigError("max_kept_reports must be >= 0")
         self._kernel = get_backend(backend).compile(automaton)
         self.automaton = automaton
         self.max_kept_reports = max_kept_reports

@@ -403,7 +403,9 @@ class TestTruncationControls:
         assert not result.truncated
 
     def test_bad_policy_rejected(self):
-        with pytest.raises(SimulationError):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
             Engine(glushkov_nfa("a"), on_truncation="explode")
 
     def test_session_truncation_flag(self):

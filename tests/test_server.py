@@ -18,6 +18,7 @@ import warnings
 
 import pytest
 
+from repro.api import ScanConfig
 from repro.automata import compile_regex_set
 from repro.errors import SimulationError
 from repro.service import (
@@ -61,7 +62,7 @@ def offline(ruleset):
 
 @pytest.fixture(scope="module")
 def harness():
-    with ServerHarness(num_shards=2) as h:
+    with ServerHarness(config=ScanConfig(num_shards=2)) as h:
         yield h
 
 
@@ -341,7 +342,7 @@ class TestReportCapPolicies:
         assert result.truncated and len(result.reports) == 2
 
     def test_server_scan_default_cap_warns_client_side(self):
-        with ServerHarness(default_max_reports=3) as harness:
+        with ServerHarness(config=ScanConfig(max_reports=3)) as harness:
             with harness.client() as client:
                 handle = client.register(RULES)
                 with pytest.warns(ReportTruncationWarning):
@@ -351,7 +352,7 @@ class TestReportCapPolicies:
                 assert result.warnings
 
     def test_server_scan_strict_raises_like_engine(self):
-        with ServerHarness(default_max_reports=3) as harness:
+        with ServerHarness(config=ScanConfig(max_reports=3)) as harness:
             with harness.client() as client:
                 handle = client.register(RULES)
                 with pytest.raises(SimulationError, match="kept-reports cap"):
@@ -363,7 +364,7 @@ class TestReportCapPolicies:
                 assert result.truncated
 
     def test_server_scan_many_policies(self):
-        with ServerHarness(default_max_reports=3) as harness:
+        with ServerHarness(config=ScanConfig(max_reports=3)) as harness:
             with harness.client() as client:
                 handle = client.register(RULES)
                 with pytest.warns(ReportTruncationWarning):

@@ -10,7 +10,7 @@ from repro.automata import balanced_shards, glushkov_nfa
 from repro.automata.glushkov import compile_regex_set
 from repro.core.compiler import compile_automaton
 from repro.core.machine import CamaMachine
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.service import (
     Dispatcher,
     MatchingService,
@@ -225,7 +225,7 @@ class TestSharding:
             dispatcher.run_chunk(b"ab", [EngineState()] * 5)
 
     def test_iter_chunks_rejects_bad_size(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigError):
             list(iter_chunks(b"abc", 0))
 
 
@@ -337,7 +337,7 @@ class TestMatchingService:
             )
 
     def test_bad_chunk_size_rejected(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigError):
             MatchingService(chunk_size=0)
 
 
