@@ -1,0 +1,73 @@
+"""Bench: telemetry overhead on the hot scan path.
+
+The :mod:`repro.telemetry` metrics sit inside the kernel chunk loop,
+the dispatcher fan-out and the service scan path, so the registry must
+be near-free when enabled and free when disabled.  This smoke runs the
+same engine workload with the default registry enabled and disabled
+and holds the enabled median within 5% of the disabled one.  Run
+directly:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_telemetry.py -q
+"""
+
+import time
+
+from repro.service import MatchingService
+from repro.telemetry.metrics import default_registry
+
+SCAN_ROUNDS = 7
+OVERHEAD_TARGET = 1.05
+
+
+def _median(times):
+    return sorted(times)[len(times) // 2]
+
+
+def test_telemetry_overhead_within_5pct(ctx, bench_json):
+    """Acceptance ratio: enabled-telemetry scans within 5% of disabled.
+
+    Interleaved medians absorb scheduler noise; one retry keeps a
+    single unlucky burst on a shared CI runner from failing an
+    unrelated change.  Always writes BENCH_telemetry.json, win or
+    lose.
+    """
+    registry = default_registry()
+    was_enabled = registry.enabled
+    automaton = ctx.benchmark("Snort").automaton
+    data = ctx.stream("Snort")
+    service = MatchingService()
+    service.scan(automaton, data)  # prime the compile cache
+    best = (float("inf"), 0.0, 0.0)  # (ratio, disabled, enabled)
+    try:
+        for _ in range(2):
+            on_times, off_times = [], []
+            for _ in range(SCAN_ROUNDS):
+                registry.disable()
+                start = time.perf_counter()
+                service.scan(automaton, data)
+                off_times.append(time.perf_counter() - start)
+                registry.enable()
+                start = time.perf_counter()
+                service.scan(automaton, data)
+                on_times.append(time.perf_counter() - start)
+            off, on = _median(off_times), _median(on_times)
+            best = min(best, (on / off, off, on))
+            if best[0] <= OVERHEAD_TARGET:
+                break
+    finally:
+        registry.enabled = was_enabled
+    ratio, off, on = best
+    bench_json(
+        "telemetry",
+        {
+            "workload": {"benchmark": "Snort", "bytes": len(data)},
+            "disabled_median_s": round(off, 6),
+            "enabled_median_s": round(on, 6),
+            "overhead_ratio": round(ratio, 4),
+            "target": OVERHEAD_TARGET,
+        },
+    )
+    assert ratio <= OVERHEAD_TARGET, (
+        f"telemetry overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"{100 * (OVERHEAD_TARGET - 1):.0f}%"
+    )

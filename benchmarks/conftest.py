@@ -10,6 +10,7 @@ full-scale numbers.
 import json
 import os
 import platform
+import subprocess
 import time
 from pathlib import Path
 
@@ -20,6 +21,28 @@ from repro.experiments.common import ExperimentContext
 #: where machine-readable BENCH_*.json results land (the bench
 #: trajectory the CI artifact job collects); default: the invocation cwd
 BENCH_RESULTS_DIR = os.environ.get("BENCH_RESULTS_DIR", ".")
+
+#: version of the BENCH_*.json envelope; bump when envelope fields
+#: change shape so downstream trend tooling can branch on it (1 = the
+#: original envelope, 2 = adds ``schema_version`` + ``git_commit``)
+BENCH_SCHEMA_VERSION = 2
+
+
+def _git_commit() -> str | None:
+    """The repo's HEAD commit, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
 
 
 def write_bench_json(name: str, payload: dict) -> Path:
@@ -35,9 +58,11 @@ def write_bench_json(name: str, payload: dict) -> Path:
     path = out_dir / f"BENCH_{name}.json"
     document = {
         "bench": name,
+        "schema_version": BENCH_SCHEMA_VERSION,
         "created_unix": round(time.time(), 3),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "git_commit": _git_commit(),
         **payload,
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,100 @@
+"""The hardware ledger: modeled CAMA cost attached to live scans.
+
+    python examples/hardware_ledger.py
+
+The paper's headline numbers are an energy/latency model (Fig. 12,
+Table IV); the serving stack's output is scan results.  The ledger
+joins them: ask for ``ScanConfig(hardware_ledger=True)`` and every
+result carries the modeled energy breakdown, cycle latency and tile
+occupancy of running that exact workload on the chosen CAMA design —
+computed by the same accounting path as the offline experiments, so
+the numbers agree to the last bit.
+
+Shown here:
+
+1. a one-shot ledgered (and traced) service scan;
+2. the running ledger of a streamed session, equal to the one-shot;
+3. design comparison (CAMA-E vs CAMA-T) on the same traffic;
+4. the differential property: served ledger == offline Fig. 12
+   accounting.
+"""
+
+from repro.api import Ruleset, ScanConfig
+from repro.arch.designs import build_design
+from repro.service import MatchingService
+from repro.sim import Engine
+
+RULES = {
+    "shell": r"/bin/(sh|bash)",
+    "hex-blob": r"0x[0-9a-f]{4}",
+    "beacon": r"PING[0-9]+PONG",
+}
+TRAFFIC = b"GET /bin/bash 0xdead PING42PONG " * 200
+
+
+def main() -> None:
+    automaton = Ruleset.from_regexes(RULES, name="ledger-demo").automaton
+
+    # 1. One-shot scan: the ledger and a span trace ride the result.
+    config = ScanConfig(hardware_ledger=True, trace=True, num_shards=2)
+    with MatchingService(config) as service:
+        result = service.scan(automaton, TRAFFIC)
+        print(f"{result.num_reports} reports over {len(TRAFFIC)} bytes\n")
+        print(result.ledger.render())
+        print()
+        print(result.trace.render())
+        print()
+
+        # 2. A streamed session carries a *running* ledger: read it at
+        # any chunk boundary; closing folds it into service totals.
+        session = service.open_session(automaton, "tenant-a")
+        for start in range(0, len(TRAFFIC), 512):
+            session.feed(TRAFFIC[start : start + 512])
+        streamed = session.ledger()
+        service.close_session("tenant-a")
+        drift = abs(streamed.total_pj - result.ledger.total_pj)
+        print(
+            f"streamed session: {streamed.total_pj:.1f} pJ over "
+            f"{streamed.num_cycles} cycles "
+            f"(vs one-shot drift {drift:.2e} pJ)"
+        )
+        totals = service.ledger_totals.to_dict()
+        print(
+            f"service totals: {totals['scans']} ledgered scans, "
+            f"{totals['total_pj']:.1f} pJ, "
+            f"{totals['modeled_latency_s'] * 1e6:.2f} us modeled\n"
+        )
+
+    # 3. Same traffic, both CAMA variants: E trades energy for the
+    # transposed layout's density, T flips the breakdown toward state
+    # matching (the Fig. 12 shape).
+    with MatchingService() as service:
+        for design in ("CAMA-E", "CAMA-T"):
+            ledger = service.scan(
+                automaton,
+                TRAFFIC,
+                hardware_ledger=True,
+                ledger_design=design,
+            ).ledger
+            fractions = ledger.fractions()
+            print(
+                f"{design}: {ledger.per_cycle_pj:6.3f} pJ/cycle at "
+                f"{ledger.freq_ghz:.2f} GHz — match "
+                f"{fractions['state_match']:5.1%}, switch+wire "
+                f"{fractions['switch_wire']:5.1%}, encoder "
+                f"{fractions['encoder']:5.1%}"
+            )
+
+    # 4. The differential property the test suite pins down: the served
+    # ledger IS the offline Fig. 12 accounting for this workload.
+    build = build_design("CAMA-E", automaton)
+    stats = Engine(automaton, backend="sparse").run(
+        TRAFFIC, placement=build.placement, max_reports=0
+    ).stats
+    offline = build.energy(stats).total_pj
+    assert abs(offline - result.ledger.total_pj) < 1e-6
+    print(f"\noffline Fig. 12 accounting agrees: {offline:.1f} pJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -65,6 +65,9 @@ def scan_config_from_args(args: argparse.Namespace) -> ScanConfig:
         max_reports=args.max_kept_reports,
         on_truncation="error" if args.strict_reports else "warn",
         artifact_store=args.artifact_cache,
+        hardware_ledger=getattr(args, "ledger", False),
+        ledger_design=getattr(args, "ledger_design", "CAMA-E"),
+        trace=getattr(args, "trace", False),
     )
 
 
@@ -184,12 +187,23 @@ def cmd_scan(args: argparse.Namespace) -> int:
         f"chunk {config.chunk_size} B, backend {backends} | "
         f"{result.elapsed_s:.3f} s, {result.throughput_mbps:.2f} MB/s"
     )
+    if result.ledger is not None:
+        print(result.ledger.render())
+    if result.trace is not None:
+        print(result.trace.render())
     return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import MatchingServer, MatchingService, run_server
+    from repro.telemetry.log import configure as configure_logging
+    from repro.telemetry.metrics import enable as enable_metrics
 
+    configure_logging(args.log_level)
+    if args.metrics:
+        # force-enable even under REPRO_TELEMETRY=0 so the `metrics`
+        # op serves live series when the operator asked for them
+        enable_metrics()
     service = MatchingService(scan_config_from_args(args))
     server = MatchingServer(
         service,
@@ -331,6 +345,24 @@ def main(argv: list[str] | None = None) -> int:
             help="persistent compiled-artifact cache directory (warm "
             "restarts skip compilation; spawn workers load artifacts)",
         )
+        p.add_argument(
+            "--ledger",
+            action="store_true",
+            help="attach the modeled CAMA hardware ledger (energy pJ, "
+            "cycle latency, tile occupancy) to every scan",
+        )
+        p.add_argument(
+            "--ledger-design",
+            choices=ALL_DESIGNS,
+            default="CAMA-E",
+            help="hardware design point the ledger models",
+        )
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="record per-scan trace spans (compile passes, shard "
+            "runs, kernel chunks) and print the span tree",
+        )
 
     p_run = sub.add_parser("run", help="simulate an automaton on an input file")
     p_run.add_argument("automaton")
@@ -379,6 +411,18 @@ def main(argv: list[str] | None = None) -> int:
         "--no-remote-shutdown",
         action="store_true",
         help="ignore client 'shutdown' frames",
+    )
+    p_serve.add_argument(
+        "--log-level",
+        default="info",
+        help="JSON-lines log level for the 'repro' logger tree "
+        "(debug|info|warning|error)",
+    )
+    p_serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="force-enable the metrics registry (overrides "
+        "REPRO_TELEMETRY=0); scrape via the 'metrics' op",
     )
     add_scan_config_options(p_serve)
     p_serve.set_defaults(fn=cmd_serve)

@@ -239,6 +239,15 @@ class ScanConfig:
             path).
         mp_start_method: multiprocessing start method for sharded
             worker pools (None = platform default).
+        hardware_ledger: attach the modeled-hardware ledger (CAMA
+            energy breakdown, cycle latency, tile occupancy — see
+            :mod:`repro.telemetry.ledger`) to every scan result and
+            session.  Costs a reference side-simulation per scan.
+        ledger_design: which architecture model prices the ledger
+            (any :data:`repro.arch.designs.ALL_DESIGNS` name).
+        trace: record a per-scan span tree (scan -> shards -> chunks,
+            compile passes) and carry its ``trace_id`` through results
+            and protocol frames.
     """
 
     backend: object = "auto"
@@ -250,6 +259,9 @@ class ScanConfig:
     on_truncation: str = "warn"
     artifact_store: object = None
     mp_start_method: str | None = None
+    hardware_ledger: bool = False
+    ledger_design: str = "CAMA-E"
+    trace: bool = False
 
     def __post_init__(self) -> None:
         from repro.sim.backends import BACKEND_NAMES, ExecutionBackend
@@ -280,6 +292,23 @@ class ScanConfig:
             raise ConfigError(
                 f"unknown mp_start_method {self.mp_start_method!r}; "
                 f"expected one of {known}"
+            )
+        for flag in ("hardware_ledger", "trace"):
+            if not isinstance(getattr(self, flag), bool):
+                raise ConfigError(
+                    f"{flag} must be a bool, got "
+                    f"{type(getattr(self, flag)).__name__}"
+                )
+        if self.hardware_ledger:
+            # lazy: the design registry sits above the simulator and is
+            # only needed when the ledger is actually requested
+            from repro.telemetry.ledger import check_ledger_design
+
+            check_ledger_design(self.ledger_design)
+        elif not isinstance(self.ledger_design, str):
+            raise ConfigError(
+                f"ledger_design must be a design name, got "
+                f"{type(self.ledger_design).__name__}"
             )
 
     # -- backend policy, resolved exactly once ----------------------------

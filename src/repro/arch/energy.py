@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.circuits import MacroModel
-from repro.errors import ModelError
+from repro.errors import ConfigError, ModelError
 from repro.sim.trace import TraceStats
 
 
@@ -90,8 +90,18 @@ def switch_access_energy(
 
 
 def require_partition_stats(stats: TraceStats) -> None:
+    """Reject statistics collected without a placement.
+
+    A misconfigured accounting call — an engine run without
+    ``placement=build.placement`` — is a configuration error on the
+    caller's side, so this raises the typed
+    :class:`~repro.errors.ConfigError` every config-validation path
+    uses, not a model error.
+    """
     if stats.partition_enabled_cycles is None:
-        raise ModelError(
-            "energy accounting needs partition-resolved TraceStats "
-            "(run the engine with a placement)"
+        raise ConfigError(
+            "energy accounting needs partition-resolved TraceStats; run "
+            "the engine with placement=build.placement (or request the "
+            "hardware ledger via ScanConfig(hardware_ledger=True), which "
+            "does this for you)"
         )

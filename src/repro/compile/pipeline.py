@@ -25,6 +25,19 @@ from repro.compile.ir import (
 )
 from repro.compile.passes import DEFAULT_PASSES, CompilePass
 from repro.errors import ReproError
+from repro.telemetry.metrics import default_registry
+from repro.telemetry.tracing import current_trace
+
+_PASS_RUNS = default_registry().counter(
+    "repro_compile_pass_runs_total",
+    "Compile-pass executions, by pass and outcome (run | skipped)",
+    ("pass", "outcome"),
+)
+_PASS_SECONDS = default_registry().histogram(
+    "repro_compile_pass_seconds",
+    "Wall-clock seconds per executed compile pass",
+    ("pass",),
+)
 
 
 class Pipeline:
@@ -60,6 +73,7 @@ class Pipeline:
                 name=compile_pass.name, seconds=0.0, skipped=skip
             )
             state.timings.append(timing)
+            _PASS_RUNS.labels(compile_pass.name, "skipped").inc()
             return timing
         missing = [
             f for f in compile_pass.requires if getattr(state, f) is None
@@ -84,6 +98,15 @@ class Pipeline:
             name=compile_pass.name, seconds=elapsed, detail=detail or {}
         )
         state.timings.append(timing)
+        _PASS_RUNS.labels(compile_pass.name, "run").inc()
+        _PASS_SECONDS.labels(compile_pass.name).observe(elapsed)
+        trace = current_trace()
+        if trace is not None:
+            # the pipeline's own pass timer doubles as the span clock,
+            # so traced compiles reuse the PassTiming measurements
+            trace.add_span(
+                f"compile.{compile_pass.name}", elapsed, start_s=start
+            )
         return timing
 
     def run(

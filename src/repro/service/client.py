@@ -75,6 +75,12 @@ class RemoteScanResult:
     #: digest of the ScanConfig the request carried, echoed by the
     #: server (None when the request used loose fields only)
     config_digest: str | None = None
+    #: modeled CAMA hardware cost (``HardwareLedger.to_dict()`` form);
+    #: present only when the scan was ledgered (``hardware_ledger``)
+    ledger: dict | None = None
+    #: server-side trace id for joining with server spans/log lines;
+    #: present only when the scan was traced
+    trace_id: str | None = None
 
     @property
     def throughput_mbps(self) -> float:
@@ -185,6 +191,8 @@ def _scan_result(payload: dict) -> RemoteScanResult:
         cached=payload["cached"],
         warnings=list(payload.get("warnings", ())),
         config_digest=payload.get("config_digest"),
+        ledger=payload.get("ledger"),
+        trace_id=payload.get("trace_id"),
     )
 
 
@@ -201,10 +209,16 @@ class _SessionBase:
         self.position = 0
         self.truncated = False
         self.closed = False
+        #: running :class:`~repro.telemetry.ledger.HardwareLedger` dict
+        #: over everything fed so far; None unless the session was
+        #: opened with ``hardware_ledger``
+        self.ledger: dict | None = None
 
     def _absorb(self, payload: dict) -> list[Report]:
         self.position = payload["position"]
         self.truncated = payload["truncated"]
+        if "ledger" in payload:
+            self.ledger = payload["ledger"]
         return decode_reports(payload["reports"])
 
 
@@ -226,6 +240,8 @@ class RemoteSession(_SessionBase):
         """Finish the stream; returns the accumulated summary."""
         payload = self._client._request({"op": "close", "session": self.name})
         self.closed = True
+        if "ledger" in payload:
+            self.ledger = payload["ledger"]
         return payload
 
 
@@ -328,6 +344,9 @@ class MatchingClient:
         chunk_size: int | None = None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
+        hardware_ledger: bool | None = None,
+        ledger_design: str | None = None,
+        trace: bool | None = None,
     ) -> RemoteScanResult:
         payload = self._request(
             _scan_frame(
@@ -338,6 +357,9 @@ class MatchingClient:
                 chunk_size=chunk_size,
                 max_reports=max_reports,
                 on_truncation=on_truncation,
+                hardware_ledger=hardware_ledger,
+                ledger_design=ledger_design,
+                trace=trace,
             )
         )
         return _scan_result(payload)
@@ -351,6 +373,9 @@ class MatchingClient:
         chunk_size: int | None = None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
+        hardware_ledger: bool | None = None,
+        ledger_design: str | None = None,
+        trace: bool | None = None,
     ) -> dict[str, RemoteScanResult]:
         payload = self._request(
             _scan_frame(
@@ -363,6 +388,9 @@ class MatchingClient:
                 chunk_size=chunk_size,
                 max_reports=max_reports,
                 on_truncation=on_truncation,
+                hardware_ledger=hardware_ledger,
+                ledger_design=ledger_design,
+                trace=trace,
             )
         )
         results = {}
@@ -379,6 +407,8 @@ class MatchingClient:
         config=None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
+        hardware_ledger: bool | None = None,
+        ledger_design: str | None = None,
     ) -> RemoteSession:
         self._request(
             _scan_frame(
@@ -388,12 +418,18 @@ class MatchingClient:
                 session=name,
                 max_reports=max_reports,
                 on_truncation=on_truncation,
+                hardware_ledger=hardware_ledger,
+                ledger_design=ledger_design,
             )
         )
         return RemoteSession(self, name)
 
     def stats(self) -> dict:
         return self._request({"op": "stats"})
+
+    def metrics(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return self._request({"op": "metrics"})["metrics"]
 
     def shutdown(self) -> dict:
         """Ask the server to drain and stop (when it allows it)."""
@@ -418,6 +454,8 @@ class AsyncRemoteSession(_SessionBase):
             {"op": "close", "session": self.name}
         )
         self.closed = True
+        if "ledger" in payload:
+            self.ledger = payload["ledger"]
         return payload
 
 
@@ -512,6 +550,9 @@ class AsyncMatchingClient:
         chunk_size: int | None = None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
+        hardware_ledger: bool | None = None,
+        ledger_design: str | None = None,
+        trace: bool | None = None,
     ) -> RemoteScanResult:
         payload = await self._request(
             _scan_frame(
@@ -522,6 +563,9 @@ class AsyncMatchingClient:
                 chunk_size=chunk_size,
                 max_reports=max_reports,
                 on_truncation=on_truncation,
+                hardware_ledger=hardware_ledger,
+                ledger_design=ledger_design,
+                trace=trace,
             )
         )
         return _scan_result(payload)
@@ -535,6 +579,9 @@ class AsyncMatchingClient:
         chunk_size: int | None = None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
+        hardware_ledger: bool | None = None,
+        ledger_design: str | None = None,
+        trace: bool | None = None,
     ) -> dict[str, RemoteScanResult]:
         payload = await self._request(
             _scan_frame(
@@ -547,6 +594,9 @@ class AsyncMatchingClient:
                 chunk_size=chunk_size,
                 max_reports=max_reports,
                 on_truncation=on_truncation,
+                hardware_ledger=hardware_ledger,
+                ledger_design=ledger_design,
+                trace=trace,
             )
         )
         results = {}
@@ -563,6 +613,8 @@ class AsyncMatchingClient:
         config=None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
+        hardware_ledger: bool | None = None,
+        ledger_design: str | None = None,
     ) -> AsyncRemoteSession:
         await self._request(
             _scan_frame(
@@ -572,12 +624,19 @@ class AsyncMatchingClient:
                 session=name,
                 max_reports=max_reports,
                 on_truncation=on_truncation,
+                hardware_ledger=hardware_ledger,
+                ledger_design=ledger_design,
             )
         )
         return AsyncRemoteSession(self, name)
 
     async def stats(self) -> dict:
         return await self._request({"op": "stats"})
+
+    async def metrics(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        payload = await self._request({"op": "metrics"})
+        return payload["metrics"]
 
     async def shutdown(self) -> dict:
         return await self._request({"op": "shutdown"})

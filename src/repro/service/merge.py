@@ -21,19 +21,12 @@ from repro.sim.trace import TraceStats
 def accumulate_stats(total: TraceStats, chunk: TraceStats) -> TraceStats:
     """Fold one chunk's statistics into the running stream total.
 
-    Both must describe the same automaton (``num_states``) and carry no
-    partition-resolved fields (the service layer never passes a
-    placement).  Returns ``total`` for chaining.
+    Both must describe the same automaton (``num_states``).  Partition-
+    resolved fields (present when the chunk ran with a placement, e.g.
+    the hardware-ledger reference run) fold additively — see
+    :meth:`TraceStats.accumulate`.  Returns ``total`` for chaining.
     """
-    if total.num_states != chunk.num_states:
-        raise ValueError("cannot accumulate stats across different automata")
-    total.num_cycles += chunk.num_cycles
-    total.num_reports += chunk.num_reports
-    total.enabled_states_sum += chunk.enabled_states_sum
-    total.active_states_sum += chunk.active_states_sum
-    total.enabled_per_cycle.extend(chunk.enabled_per_cycle)
-    total.active_per_cycle.extend(chunk.active_per_cycle)
-    return total
+    return total.accumulate(chunk)
 
 
 def merge_shard_stats(per_shard: list[TraceStats]) -> TraceStats:

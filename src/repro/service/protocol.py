@@ -18,19 +18,25 @@ register   ``kind`` ("regex"|"mnrl"), ``rules``|``text`` ``handle``, ``states``,
 register-  ``data`` (b64 ``.npz`` compiled artifact —    ``handle``, ``states``, ``cached``,
 artifact   see :mod:`repro.compile.artifact`)            ``backend``
 scan       ``handle``, ``data`` (b64), ``chunk_size?``,  ``reports``, ``num_reports``,
-           ``max_reports?``, ``on_truncation?``          ``truncated``, ``bytes``,
-                                                         ``elapsed_s``, ``backends``,
-                                                         ``cached``, ``warnings``
+           ``max_reports?``, ``on_truncation?``,         ``truncated``, ``bytes``,
+           ``hardware_ledger?``, ``ledger_design?``,     ``elapsed_s``, ``backends``,
+           ``trace?``                                    ``cached``, ``warnings``,
+                                                         ``ledger?``, ``trace_id?``
 scan_many  ``handle``, ``streams`` ({name: b64}), ...    ``results`` ({name: scan payload})
 open       ``handle``, ``session``, ``max_reports?``,    ``session``
            ``on_truncation?``
 feed       ``session``, ``data`` (b64)                   ``reports``, ``position``,
-                                                         ``truncated``, ``warnings``
+                                                         ``truncated``, ``warnings``,
+                                                         ``ledger?``
 close      ``session``                                   ``num_reports``, ``cycles``,
-                                                         ``truncated``
-stats      --                                            ``cache``, ``active_sessions``,
+                                                         ``truncated``, ``ledger?``
+stats      --                                            ``stats_version``, ``cache``,
+                                                         ``active_sessions``,
                                                          ``connections``, ``frames``,
-                                                         ``backends``
+                                                         ``backends``, ``telemetry``,
+                                                         ``ledger``
+metrics    --                                            ``metrics`` (Prometheus text),
+                                                         ``content_type``
 shutdown   --                                            ``draining``
 ========== ============================================= ==============
 
@@ -68,14 +74,27 @@ from repro.sim.reports import Report
 
 #: protocol version advertised by ``ping`` (2: ``register_artifact``;
 #: still 2 after the optional ``config`` request field and the
-#: ``config_digest`` response field — both are backwards-compatible
-#: additions a v2 peer simply omits/ignores)
+#: ``config_digest`` response field, and still 2 after the observability
+#: additions — the ``metrics`` op, stats-frame v2 fields, and the
+#: optional ``ledger``/``trace_id`` response fields — all of which are
+#: backwards-compatible additions a v2 peer simply omits/ignores)
 PROTOCOL_VERSION = 2
 
 #: the :class:`~repro.api.config.ScanConfig` fields a request frame may
 #: override per scan/session; the rest (sharding, workers, caching) are
-#: server deployment policy and are ignored when a client sends them
-SCAN_FRAME_FIELDS = ("chunk_size", "max_reports", "on_truncation")
+#: server deployment policy and are ignored when a client sends them.
+#: ``hardware_ledger``/``ledger_design``/``trace`` were added with the
+#: stats-frame v2 work — a client may request the modeled-cost ledger
+#: (and a ``trace_id``) per scan even when the server's deployment
+#: config does not ledger by default
+SCAN_FRAME_FIELDS = (
+    "chunk_size",
+    "max_reports",
+    "on_truncation",
+    "hardware_ledger",
+    "ledger_design",
+    "trace",
+)
 
 #: default cap on one frame's encoded size (request and response)
 DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024

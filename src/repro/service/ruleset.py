@@ -38,6 +38,15 @@ from repro.core.machine import CamaMachine
 from repro.errors import ConfigError, ReproError
 from repro.sim.backends import ExecutionBackend
 from repro.sim.engine import Engine
+from repro.telemetry.metrics import default_registry
+
+#: the cache-layer metric series; labels: level = memory | disk,
+#: outcome = hit | miss | eviction
+_CACHE_EVENTS = default_registry().counter(
+    "repro_ruleset_cache_events_total",
+    "Compiled-ruleset cache lookups and evictions, by level and outcome",
+    ("level", "outcome"),
+)
 
 
 @dataclass
@@ -111,14 +120,17 @@ class RulesetManager:
     def _get(self, key: tuple[str, str], build):
         if key in self._entries:
             self.stats.hits += 1
+            _CACHE_EVENTS.labels("memory", "hit").inc()
             self._entries.move_to_end(key)
             return self._entries[key]
         self.stats.misses += 1
+        _CACHE_EVENTS.labels("memory", "miss").inc()
         value = build()
         self._entries[key] = value
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            _CACHE_EVENTS.labels("memory", "eviction").inc()
         return value
 
     # -- artifact (second-level) plumbing --------------------------------
@@ -200,6 +212,7 @@ class RulesetManager:
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            _CACHE_EVENTS.labels("memory", "eviction").inc()
 
     # -- compiled-object accessors ----------------------------------------
     def engine(
@@ -235,8 +248,10 @@ class RulesetManager:
                     pass
                 else:
                     self.stats.disk_hits += 1
+                    _CACHE_EVENTS.labels("disk", "hit").inc()
                     return engine
             self.stats.disk_misses += 1
+            _CACHE_EVENTS.labels("disk", "miss").inc()
             compiled = compile_ruleset(automaton, options)
             self.store.put(CompiledArtifact.from_compiled(compiled))
             return compiled.engine()
@@ -260,8 +275,10 @@ class RulesetManager:
                     pass  # unusable program tables: recompile below
                 else:
                     self.stats.disk_hits += 1
+                    _CACHE_EVENTS.labels("disk", "hit").inc()
                     return program
             self.stats.disk_misses += 1
+            _CACHE_EVENTS.labels("disk", "miss").inc()
             compiled = compile_ruleset(automaton, options)
             self.store.put(CompiledArtifact.from_compiled(compiled))
             return compiled.program

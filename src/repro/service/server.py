@@ -33,6 +33,7 @@ import asyncio
 import concurrent.futures
 import itertools
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -55,11 +56,39 @@ from repro.service.protocol import (
     scan_config_from_frame,
 )
 from repro.service.service import MatchingService
+from repro.telemetry.log import get_logger
+from repro.telemetry.metrics import default_registry, render_prometheus
 
 #: ops that touch the service (payloads, compiles, or its lock) and so
 #: always run on the thread pool, never on the event loop
 _HEAVY_OPS = frozenset(
     {"register", "register_artifact", "scan", "scan_many", "open", "feed", "close"}
+)
+
+_log = get_logger("repro.service.server")
+
+_REGISTRY = default_registry()
+_REQUESTS = _REGISTRY.counter(
+    "repro_server_requests_total",
+    "Protocol frames handled, by op and outcome (ok | error code)",
+    ("op", "outcome"),
+)
+_REQUEST_SECONDS = _REGISTRY.histogram(
+    "repro_server_request_seconds",
+    "Frame turnaround (decode to response built), by op",
+    ("op",),
+)
+_INFLIGHT = _REGISTRY.gauge(
+    "repro_server_inflight_frames",
+    "Frames read off sockets but not yet responded to (queue depth)",
+)
+_CONNECTIONS_ACTIVE = _REGISTRY.gauge(
+    "repro_server_connections_active",
+    "Currently open client connections",
+)
+_CONNECTIONS_TOTAL = _REGISTRY.counter(
+    "repro_server_connections_total",
+    "Client connections accepted over the server's lifetime",
 )
 
 #: queue marker for an oversized frame (the line itself was unrecoverable)
@@ -240,6 +269,9 @@ class MatchingServer:
         """
         if self._server is None:
             return
+        _log.info(
+            "server.draining", connections=self._connections_active
+        )
         self._drain_event.set()
         self._server.close()
         await self._server.wait_closed()
@@ -265,6 +297,12 @@ class MatchingServer:
         self._conn_tasks.add(task)
         self._connections_total += 1
         self._connections_active += 1
+        _CONNECTIONS_TOTAL.labels().inc()
+        _CONNECTIONS_ACTIVE.labels().inc()
+        peer = writer.get_extra_info("peername")
+        _log.debug(
+            "connection.open", conn_id=conn.conn_id, peer=str(peer)
+        )
         processor = asyncio.create_task(self._process_frames(conn, writer))
         drain_wait = asyncio.ensure_future(self._drain_event.wait())
         try:
@@ -281,14 +319,25 @@ class MatchingServer:
                 except (asyncio.LimitOverrunError, ValueError):
                     # the line exceeded max_frame_bytes; the stream can no
                     # longer be framed, so reject and stop reading
+                    _log.warning(
+                        "connection.frame_too_large",
+                        conn_id=conn.conn_id,
+                        limit=self.max_frame_bytes,
+                    )
                     await conn.queue.put(_OVERSIZED)
                     break
-                except (ConnectionError, OSError):
+                except (ConnectionError, OSError) as exc:
+                    _log.debug(
+                        "connection.reset",
+                        conn_id=conn.conn_id,
+                        error=str(exc),
+                    )
                     break  # client reset the connection
                 if not line:
                     break  # EOF
                 if line.strip():
                     await conn.queue.put(line)
+                    _INFLIGHT.labels().inc()
         finally:
             drain_wait.cancel()
             # the processor consumes until this sentinel even after a
@@ -297,6 +346,8 @@ class MatchingServer:
             await processor
             self._close_connection_sessions(conn)
             self._connections_active -= 1
+            _CONNECTIONS_ACTIVE.labels().dec()
+            _log.debug("connection.close", conn_id=conn.conn_id)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -321,6 +372,8 @@ class MatchingServer:
             item = await conn.queue.get()
             if item is None:
                 return
+            if item is not _OVERSIZED:
+                _INFLIGHT.labels().dec()
             if discarding:
                 continue
             if item is _OVERSIZED:
@@ -347,7 +400,12 @@ class MatchingServer:
             try:
                 writer.write(payload)
                 await writer.drain()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError) as exc:
+                _log.debug(
+                    "connection.write_failed",
+                    conn_id=conn.conn_id,
+                    error=str(exc),
+                )
                 discarding = True
                 continue
             if conn.closing:
@@ -356,12 +414,15 @@ class MatchingServer:
     async def _respond(self, conn: _Connection, line: bytes) -> dict:
         """Turn one raw request line into its response frame."""
         request_id = None
+        op = "unknown"
+        start = time.perf_counter()
         try:
             frame = decode_frame(line)
             request_id = frame.get("id")
-            op = frame.get("op")
-            if not isinstance(op, str):
+            raw_op = frame.get("op")
+            if not isinstance(raw_op, str):
                 raise ProtocolError("frame has no 'op' field", code="bad-request")
+            op = raw_op
             handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
             if handler is None:
                 raise ProtocolError(f"unknown op {op!r}", code="unknown-op")
@@ -372,16 +433,41 @@ class MatchingServer:
                 )
             else:
                 payload = handler(conn, frame)
-            return ok_frame(request_id, **payload)
+            response = ok_frame(request_id, **payload)
+            outcome = "ok"
         except ProtocolError as exc:
-            return error_frame(request_id, str(exc), exc.code)
+            _log.info(
+                "request.rejected",
+                conn_id=conn.conn_id,
+                op=op,
+                code=exc.code,
+                error=str(exc),
+            )
+            response, outcome = error_frame(request_id, str(exc), exc.code), exc.code
         except ReproError as exc:
-            return error_frame(request_id, str(exc), "bad-request")
+            _log.info(
+                "request.rejected",
+                conn_id=conn.conn_id,
+                op=op,
+                code="bad-request",
+                error=str(exc),
+            )
+            response, outcome = error_frame(request_id, str(exc), "bad-request"), "bad-request"
         except Exception as exc:  # noqa: BLE001 — a handler bug must not
             # kill the connection; report it to the client instead
-            return error_frame(
+            _log.error(
+                "request.internal_error",
+                conn_id=conn.conn_id,
+                op=op,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            response = error_frame(
                 request_id, f"{type(exc).__name__}: {exc}", "internal"
             )
+            outcome = "internal"
+        _REQUESTS.labels(op, outcome).inc()
+        _REQUEST_SECONDS.labels(op).observe(time.perf_counter() - start)
+        return response
 
     # -- shared op plumbing ----------------------------------------------
     def _automaton_for(self, frame: dict):
@@ -432,7 +518,7 @@ class MatchingServer:
                 raise ProtocolError(message, code="truncated")
             if on_truncation == "warn":
                 warnings_out.append(message)
-        return {
+        payload = {
             "reports": encode_reports(result.reports),
             "num_reports": result.num_reports,
             "truncated": result.truncated,
@@ -442,6 +528,11 @@ class MatchingServer:
             "cached": result.cached,
             "warnings": warnings_out,
         }
+        if result.ledger is not None:
+            payload["ledger"] = result.ledger.to_dict()
+        if result.trace is not None:
+            payload["trace_id"] = result.trace_id
+        return payload
 
     # -- ops ---------------------------------------------------------------
     def _op_ping(self, conn: _Connection, frame: dict) -> dict:
@@ -545,6 +636,9 @@ class MatchingServer:
             chunk_size=cfg.chunk_size,
             max_reports=cfg.max_reports,
             on_truncation="ignore",
+            hardware_ledger=cfg.hardware_ledger,
+            ledger_design=cfg.ledger_design,
+            trace=cfg.trace,
         )
         payload = self._scan_payload(
             result,
@@ -572,6 +666,9 @@ class MatchingServer:
             chunk_size=cfg.chunk_size,
             max_reports=cfg.max_reports,
             on_truncation="ignore",
+            hardware_ledger=cfg.hardware_ledger,
+            ledger_design=cfg.ledger_design,
+            trace=cfg.trace,
         )
         payload = {
             "results": {
@@ -609,6 +706,8 @@ class MatchingServer:
             internal,
             max_reports=cfg.max_reports,
             on_truncation="ignore",
+            hardware_ledger=cfg.hardware_ledger,
+            ledger_design=cfg.ledger_design,
         )
         conn.sessions[name] = _ServerSession(
             name=name,
@@ -648,22 +747,31 @@ class MatchingServer:
                 raise ProtocolError(message, code="truncated")
             if record.on_truncation == "warn":
                 warnings_out.append(message)
-        return {
+        payload = {
             "reports": encode_reports(reports),
             "position": session.position,
             "truncated": session.truncated,
             "warnings": warnings_out,
         }
+        ledger = session.ledger()
+        if ledger is not None:
+            payload["ledger"] = ledger.to_dict()
+        return payload
 
     def _op_close(self, conn: _Connection, frame: dict) -> dict:
         record = self._session_for(conn, frame)
+        session = self.service.sessions.get(record.internal)
+        ledger = session.ledger() if session is not None else None
         result = self.service.close_session(record.internal)
         del conn.sessions[record.name]
-        return {
+        payload = {
             "num_reports": result.num_reports,
             "cycles": result.stats.num_cycles,
             "truncated": result.truncated,
         }
+        if ledger is not None:
+            payload["ledger"] = ledger.to_dict()
+        return payload
 
     def _op_stats(self, conn: _Connection, frame: dict) -> dict:
         cache = self.service.cache_stats
@@ -678,7 +786,11 @@ class MatchingServer:
                 for name, stats in self._backend_stats.items()
             }
             num_rulesets = len(self._rulesets)
-        return {
+        payload = {
+            #: stats-frame schema version (2: adds ``stats_version``,
+            #: ``ledger`` totals and the ``telemetry`` block; absent
+            #: means v1)
+            "stats_version": 2,
             "cache": {
                 "hits": cache.hits,
                 "misses": cache.misses,
@@ -693,9 +805,27 @@ class MatchingServer:
             "frames": self._frames_processed,
             "rulesets": num_rulesets,
             "backends": backend_stats,
+            "telemetry": {
+                "metrics_enabled": _REGISTRY.enabled,
+                "hardware_ledger": self.service.config.hardware_ledger,
+            },
             "draining": self._drain_event.is_set()
             if self._drain_event
             else False,
+        }
+        totals = self.service.ledger_totals
+        if totals is not None:
+            with self.service._lock:
+                payload["ledger"] = totals.to_dict()
+        return payload
+
+    def _op_metrics(self, conn: _Connection, frame: dict) -> dict:
+        """The process-wide metrics registry in the Prometheus text
+        exposition format (a light op: snapshotting the registry takes
+        one lock, never the service's)."""
+        return {
+            "content_type": "text/plain; version=0.0.4",
+            "metrics": render_prometheus(),
         }
 
     def _op_shutdown(self, conn: _Connection, frame: dict) -> dict:
@@ -713,8 +843,13 @@ class MatchingServer:
         for record in conn.sessions.values():
             try:
                 self.service.close_session(record.internal)
-            except ReproError:
-                pass
+            except ReproError as exc:
+                _log.warning(
+                    "session.close_failed",
+                    conn_id=conn.conn_id,
+                    session=record.name,
+                    error=str(exc),
+                )
         conn.sessions.clear()
 
 
@@ -826,12 +961,23 @@ class BackgroundServer:
 
 
 def run_server(server: MatchingServer) -> None:
-    """Blocking convenience wrapper: start and serve until shutdown."""
+    """Blocking convenience wrapper: start and serve until shutdown.
+
+    Installs the JSON-lines log handler when the host application has
+    not configured the ``repro`` logger tree itself, so the listening
+    address (and every connection/request event) is observable.
+    """
+    import logging
+
+    from repro.telemetry.log import configure as _configure_logging
+
+    if not logging.getLogger("repro").handlers:
+        _configure_logging()
 
     async def _main() -> None:
         await server.start()
         host, port = server.address
-        print(f"repro matching server listening on {host}:{port}")
+        _log.info("server.listening", host=host, port=port)
         try:
             await server.serve_forever()
         finally:

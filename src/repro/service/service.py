@@ -26,6 +26,27 @@ from repro.sim.backends import ExecutionBackend
 from repro.sim.backends.base import check_truncation_policy, handle_truncation
 from repro.sim.reports import Report
 from repro.sim.trace import TraceStats
+from repro.telemetry.metrics import default_registry
+from repro.telemetry.tracing import Trace, start_trace
+
+_REGISTRY = default_registry()
+_SERVICE_SCANS = _REGISTRY.counter(
+    "repro_service_scans_total",
+    "One-shot MatchingService scans, by dispatcher cache outcome",
+    ("cached",),
+)
+_SERVICE_SCAN_BYTES = _REGISTRY.counter(
+    "repro_service_scan_bytes_total",
+    "Input bytes consumed by one-shot MatchingService scans",
+)
+_SERVICE_SCAN_SECONDS = _REGISTRY.histogram(
+    "repro_service_scan_seconds",
+    "End-to-end MatchingService.scan wall-clock latency",
+)
+_SESSIONS_OPEN = _REGISTRY.gauge(
+    "repro_service_sessions_open",
+    "Streaming sessions currently open across MatchingService instances",
+)
 
 
 @dataclass
@@ -43,6 +64,16 @@ class ServiceResult:
     backends: list[str] = field(default_factory=list)
     #: True when the kept-reports cap truncated recording
     truncated: bool = False
+    #: modeled CAMA hardware cost (:class:`~repro.telemetry.ledger.
+    #: HardwareLedger`); present only under ``ScanConfig(hardware_
+    #: ledger=True)``
+    ledger: object | None = None
+    #: the scan's span tree; present only under ``ScanConfig(trace=True)``
+    trace: Trace | None = None
+
+    @property
+    def trace_id(self) -> str | None:
+        return self.trace.trace_id if self.trace is not None else None
 
     @property
     def num_reports(self) -> int:
@@ -127,6 +158,17 @@ class MatchingService:
         # (terminating a pool mid-scan would kill another thread's work);
         # they are closed with the service
         self._retired: list[Dispatcher] = []
+        # hardware-ledger reference material — (DesignBuild, sparse
+        # reference Engine) per (fingerprint, design) — shares the
+        # manager's LRU bound; guarded by _compile_lock (placement +
+        # compile are the expensive parts)
+        self._ledger_refs: OrderedDict[tuple[str, str], tuple] = OrderedDict()
+        #: running modeled-cost totals across ledgered scans/sessions
+        #: (:class:`~repro.telemetry.ledger.LedgerAccumulator`), exposed
+        #: by the server's stats frame; folded under ``_lock``
+        from repro.telemetry.ledger import LedgerAccumulator
+
+        self.ledger_totals = LedgerAccumulator()
         self.closed = False
 
     # -- config views (the pre-facade attribute surface) ------------------
@@ -209,6 +251,45 @@ class MatchingService:
                 self._dispatchers.move_to_end(key)
             return dispatcher
 
+    # -- hardware-ledger plumbing -----------------------------------------
+    def _check_design(self, ledger_design: str | None) -> str:
+        """Resolve (and validate) a per-call ledger-design override."""
+        if ledger_design is None:
+            return self.config.ledger_design
+        from repro.telemetry.ledger import check_ledger_design
+
+        return check_ledger_design(ledger_design)
+
+    def _ledger_probe(self, automaton: Automaton, key: str, design: str):
+        """A fresh :class:`~repro.telemetry.ledger.LedgerProbe` for one
+        scan/session, reusing the cached design build + reference engine
+        (placement and compilation are the expensive parts; the probe
+        itself only holds stream state)."""
+        from repro.telemetry.ledger import LedgerProbe, build_design
+
+        ref_key = (key, design)
+        with self._compile_lock:
+            ref = self._ledger_refs.get(ref_key)
+            if ref is not None:
+                self._ledger_refs.move_to_end(ref_key)
+            else:
+                probe = LedgerProbe(
+                    automaton, design, build=build_design(design, automaton)
+                )
+                ref = (probe.build, probe.engine)
+                self._ledger_refs[ref_key] = ref
+                if len(self._ledger_refs) > self.manager.capacity:
+                    self._ledger_refs.popitem(last=False)
+                return probe
+        build, engine = ref
+        return LedgerProbe(automaton, design, build=build, engine=engine)
+
+    def _fold_ledger(self, ledger) -> None:
+        if ledger is None or self.ledger_totals is None:
+            return
+        with self._lock:
+            self.ledger_totals.add(ledger)
+
     # -- precompiled-artifact registration --------------------------------
     def register_artifact(self, artifact) -> tuple[str, Automaton]:
         """Adopt a precompiled ruleset artifact ("compile once, load
@@ -266,6 +347,9 @@ class MatchingService:
         chunk_size: int | None = None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
+        hardware_ledger: bool | None = None,
+        ledger_design: str | None = None,
+        trace: bool | None = None,
     ) -> ServiceResult:
         """Scan one complete stream, reusing cached compiled shards.
 
@@ -273,24 +357,60 @@ class MatchingService:
         service's (or the call's) ``on_truncation`` policy applies —
         warn, error, or stay silent; an explicit ``max_reports`` is
         taken as intentional, mirroring :meth:`Engine.run`.
+
+        ``hardware_ledger`` / ``ledger_design`` / ``trace`` override the
+        service config's telemetry fields for this call (None = keep).
         """
         policy = (
             self.on_truncation
             if on_truncation is None
             else check_truncation_policy(on_truncation)
         )
+        want_ledger = (
+            self.config.hardware_ledger
+            if hardware_ledger is None
+            else hardware_ledger
+        )
+        design = self._check_design(ledger_design)
+        want_trace = self.config.trace if trace is None else trace
         key = self.manager.fingerprint(automaton)
         cached = key in self._dispatchers
-        start = time.perf_counter()
-        dispatcher = self.dispatcher(automaton, key=key)
         explicit = max_reports is not None
         cap = max_reports if explicit else self.default_max_reports
-        result = dispatcher.scan(
-            data,
-            chunk_size=self.chunk_size if chunk_size is None else chunk_size,
-            max_reports=cap,
-        )
+        size = self.chunk_size if chunk_size is None else chunk_size
+        trace = Trace() if want_trace else None
+        ledger = None
+
+        def run():
+            dispatcher = self.dispatcher(automaton, key=key)
+            result = dispatcher.scan(data, chunk_size=size, max_reports=cap)
+            probe = None
+            if want_ledger:
+                probe = self._ledger_probe(automaton, key, design)
+                if trace is not None:
+                    with trace.span("ledger.probe", design=design):
+                        probe.run(data)
+                else:
+                    probe.run(data)
+            return dispatcher, result, probe
+
+        start = time.perf_counter()
+        if trace is not None:
+            with start_trace(trace):
+                with trace.span(
+                    "service.scan", ruleset=automaton.name, bytes=len(data)
+                ):
+                    dispatcher, result, probe = run()
+        else:
+            dispatcher, result, probe = run()
         elapsed = time.perf_counter() - start
+
+        if probe is not None:
+            ledger = probe.ledger()
+            self._fold_ledger(ledger)
+        _SERVICE_SCANS.labels("hit" if cached else "miss").inc()
+        _SERVICE_SCAN_BYTES.labels().inc(len(data))
+        _SERVICE_SCAN_SECONDS.labels().observe(elapsed)
         if result.truncated and not explicit:
             handle_truncation(
                 policy,
@@ -306,6 +426,8 @@ class MatchingService:
             cached=cached,
             backends=dispatcher.backend_names,
             truncated=result.truncated,
+            ledger=ledger,
+            trace=trace,
         )
 
     def scan_many(
@@ -316,6 +438,9 @@ class MatchingService:
         chunk_size: int | None = None,
         max_reports: int | None = None,
         on_truncation: str | None = None,
+        hardware_ledger: bool | None = None,
+        ledger_design: str | None = None,
+        trace: bool | None = None,
     ) -> dict[str, ServiceResult]:
         """Batch entry point: scan every named stream against one ruleset.
 
@@ -332,6 +457,9 @@ class MatchingService:
                 chunk_size=chunk_size,
                 max_reports=max_reports,
                 on_truncation=on_truncation,
+                hardware_ledger=hardware_ledger,
+                ledger_design=ledger_design,
+                trace=trace,
             )
             for name, data in streams.items()
         }
@@ -344,13 +472,26 @@ class MatchingService:
         *,
         max_reports: int | None = None,
         on_truncation: str | None = None,
+        hardware_ledger: bool | None = None,
+        ledger_design: str | None = None,
     ) -> Session:
         """Open a named resumable stream against ``automaton``.
 
-        ``max_reports`` / ``on_truncation`` default to the service
-        config's values; pass either to override for this session.
+        ``max_reports`` / ``on_truncation`` (and the hardware-ledger
+        fields) default to the service config's values; pass any to
+        override for this session.
         """
-        dispatcher = self.dispatcher(automaton)
+        want_ledger = (
+            self.config.hardware_ledger
+            if hardware_ledger is None
+            else hardware_ledger
+        )
+        design = self._check_design(ledger_design)
+        key = self.manager.fingerprint(automaton)
+        dispatcher = self.dispatcher(automaton, key=key)
+        probe = None
+        if want_ledger:
+            probe = self._ledger_probe(automaton, key, design)
         with self._lock:
             if name in self.sessions and not self.sessions[name].closed:
                 raise SimulationError(f"session {name!r} is already open")
@@ -360,8 +501,10 @@ class MatchingService:
                 self.config.merged(
                     max_reports=max_reports, on_truncation=on_truncation
                 ),
+                ledger_probe=probe,
             )
             self.sessions[name] = session
+            _SESSIONS_OPEN.labels().inc()
             return session
 
     def close_session(self, name: str):
@@ -371,6 +514,8 @@ class MatchingService:
                 session = self.sessions.pop(name)
             except KeyError:
                 raise SimulationError(f"no such session: {name!r}") from None
+        _SESSIONS_OPEN.labels().dec()
+        self._fold_ledger(session.ledger())
         return session.close()
 
     def close(self) -> None:
@@ -392,6 +537,7 @@ class MatchingService:
             self._dispatchers.clear()
             self._retired = []
         for session in sessions:
+            _SESSIONS_OPEN.labels().dec()
             if not session.closed:
                 session.close()
         for dispatcher in dispatchers:

@@ -20,6 +20,17 @@ from repro.sim.backends.base import handle_truncation
 from repro.sim.engine import SimulationResult
 from repro.sim.reports import Report
 from repro.sim.trace import TraceStats
+from repro.telemetry.metrics import default_registry
+
+_REGISTRY = default_registry()
+_SESSION_FEEDS = _REGISTRY.counter(
+    "repro_session_feeds_total",
+    "Chunks fed into streaming sessions",
+)
+_SESSION_FEED_BYTES = _REGISTRY.counter(
+    "repro_session_feed_bytes_total",
+    "Input bytes consumed by streaming-session feeds",
+)
 
 
 class Session:
@@ -53,6 +64,7 @@ class Session:
         *,
         max_reports: int | None = None,
         on_truncation: str | None = None,
+        ledger_probe=None,
     ) -> None:
         config = resolve_legacy_config(
             "Session",
@@ -69,6 +81,10 @@ class Session:
         self._stats = TraceStats(
             num_states=sum(len(s.global_ids) for s in dispatcher.shards)
         )
+        # resumable reference accounting (:class:`~repro.telemetry.
+        # ledger.LedgerProbe`): fed the same chunks as the shards, so a
+        # running hardware ledger is available at any chunk boundary
+        self._ledger_probe = ledger_probe
 
     @property
     def max_reports(self) -> int:
@@ -100,6 +116,10 @@ class Session:
         result = self.dispatcher.run_chunk(
             chunk, self._states, max_reports=budget
         )
+        _SESSION_FEEDS.labels().inc()
+        _SESSION_FEED_BYTES.labels().inc(len(chunk))
+        if self._ledger_probe is not None:
+            self._ledger_probe.feed(chunk)
         self._reports.extend(result.reports)
         accumulate_stats(self._stats, result.stats)
         if result.truncated and not self.truncated:
@@ -119,6 +139,14 @@ class Session:
         for chunk in iter_chunks(data, chunk_size):
             out.extend(self.feed(chunk))
         return out
+
+    def ledger(self):
+        """The running :class:`~repro.telemetry.ledger.HardwareLedger`
+        over everything fed so far, or None when the session was opened
+        without ``ScanConfig(hardware_ledger=True)``."""
+        if self._ledger_probe is None:
+            return None
+        return self._ledger_probe.ledger()
 
     def snapshot(self):
         """Copies of the per-shard engine states (a resumable checkpoint)."""

@@ -40,6 +40,8 @@ from repro.service.ruleset import RulesetManager
 from repro.sim.backends import DEFAULT_MAX_KEPT_REPORTS, ExecutionBackend
 from repro.sim.engine import Engine, EngineState, SimulationResult
 from repro.sim.trace import TraceStats
+from repro.telemetry.metrics import default_registry
+from repro.telemetry.tracing import current_trace
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -49,6 +51,22 @@ __all__ = [
     "iter_chunks",
     "make_shards",
 ]
+
+_REGISTRY = default_registry()
+_DISPATCH_SCANS = _REGISTRY.counter(
+    "repro_dispatcher_scans_total",
+    "One-shot Dispatcher.scan fan-outs, by execution mode (serial | pool)",
+    ("mode",),
+)
+_SHARD_RUNS = _REGISTRY.counter(
+    "repro_dispatcher_shard_runs_total",
+    "Per-shard stream executions dispatched, by execution mode",
+    ("mode",),
+)
+_CHUNK_RUNS = _REGISTRY.counter(
+    "repro_dispatcher_chunk_runs_total",
+    "Session chunks fanned across every shard via Dispatcher.run_chunk",
+)
 
 
 @dataclass(frozen=True)
@@ -285,6 +303,8 @@ class Dispatcher:
             raise SimulationError(
                 "state snapshot does not match shard count"
             )
+        _CHUNK_RUNS.labels().inc()
+        _SHARD_RUNS.labels("serial").inc(len(self.shards))
         per_shard = [
             engine.run_chunk(data, state, max_reports=max_reports)
             for engine, state in zip(self.engines, states)
@@ -300,17 +320,42 @@ class Dispatcher:
         max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
     ) -> SimulationResult:
         """Scan a complete stream across all shards and merge the results."""
+        trace = current_trace()
         if self.workers > 1:
+            _DISPATCH_SCANS.labels("pool").inc()
+            _SHARD_RUNS.labels("pool").inc(len(self.shards))
             tasks = [
                 (shard.index, data, chunk_size, max_reports)
                 for shard in self.shards
             ]
-            per_shard = self._worker_pool().map(_scan_shard, tasks)
+            if trace is not None:
+                # worker-process kernel spans cannot cross the pickle
+                # boundary; one span records the whole fan-out instead
+                with trace.span(
+                    "dispatcher.pool", shards=len(self.shards), workers=self.workers
+                ):
+                    per_shard = self._worker_pool().map(_scan_shard, tasks)
+            else:
+                per_shard = self._worker_pool().map(_scan_shard, tasks)
         else:
-            per_shard = [
-                chunked_scan(engine, data, chunk_size, max_reports)
-                for engine in self.engines
-            ]
+            _DISPATCH_SCANS.labels("serial").inc()
+            _SHARD_RUNS.labels("serial").inc(len(self.shards))
+            per_shard = []
+            for shard, engine in zip(self.shards, self.engines):
+                if trace is not None:
+                    with trace.span(
+                        "dispatcher.shard",
+                        shard=shard.index,
+                        backend=engine.backend_name,
+                        states=len(shard.global_ids),
+                    ):
+                        per_shard.append(
+                            chunked_scan(engine, data, chunk_size, max_reports)
+                        )
+                else:
+                    per_shard.append(
+                        chunked_scan(engine, data, chunk_size, max_reports)
+                    )
         return self._merge_capped(per_shard, max_reports)
 
     def _worker_pool(self) -> "multiprocessing.pool.Pool":

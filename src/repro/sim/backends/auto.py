@@ -28,9 +28,16 @@ from repro.sim.backends.bitparallel import (
     BitParallelBackend,
 )
 from repro.sim.backends.sparse import SparseBackend
+from repro.telemetry.metrics import default_registry
 
 #: expected active fraction above which the packed kernel wins
 DENSE_ACTIVITY_THRESHOLD = 0.05
+
+_AUTO_CHOICES = default_registry().counter(
+    "repro_backend_auto_choices_total",
+    "Resolutions of the auto backend policy, by chosen kernel",
+    ("choice",),
+)
 
 
 def choose_backend_name(
@@ -45,12 +52,17 @@ def choose_backend_name(
     from a probe run) when the caller has one.
     """
     if len(automaton) > MAX_BITPARALLEL_STATES:
-        return "sparse"
-    if active_fraction is None:
-        active_fraction = estimate_active_fraction(automaton)
-    if active_fraction >= DENSE_ACTIVITY_THRESHOLD:
-        return "bitparallel"
-    return "sparse"
+        choice = "sparse"
+    else:
+        if active_fraction is None:
+            active_fraction = estimate_active_fraction(automaton)
+        choice = (
+            "bitparallel"
+            if active_fraction >= DENSE_ACTIVITY_THRESHOLD
+            else "sparse"
+        )
+    _AUTO_CHOICES.labels(choice).inc()
+    return choice
 
 
 class AutoBackend:

@@ -35,9 +35,23 @@ from repro.automata.nfa import StartKind
 from repro.errors import SimulationError
 from repro.sim.reports import Report
 from repro.sim.trace import PartitionAssignment, TraceStats
+from repro.telemetry.metrics import default_registry
 
 #: default cap on *recorded* (not counted) reports per run/chunk call
 DEFAULT_MAX_KEPT_REPORTS = 1_000_000
+
+#: kernel compilations by backend, bumped by each backend's compile()
+KERNEL_COMPILES = default_registry().counter(
+    "repro_kernel_compiles_total",
+    "Kernels compiled, by execution backend",
+    ("backend",),
+)
+
+_TRUNCATIONS = default_registry().counter(
+    "repro_report_truncations_total",
+    "Runs that hit the kept-reports cap, by configured policy",
+    ("policy",),
+)
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
 
@@ -65,6 +79,7 @@ def handle_truncation(
     on_truncation: str, message: str, *, stacklevel: int = 3
 ) -> None:
     """React to a hit kept-reports cap per the configured policy."""
+    _TRUNCATIONS.labels(on_truncation).inc()
     if on_truncation == "error":
         raise SimulationError(message)
     if on_truncation == "warn":

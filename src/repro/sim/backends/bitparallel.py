@@ -218,6 +218,9 @@ class BitParallelBackend:
     name = "bitparallel"
 
     def compile(self, automaton) -> BitParallelKernel:
+        from repro.sim.backends.base import KERNEL_COMPILES
+
+        KERNEL_COMPILES.labels(self.name).inc()
         return BitParallelKernel(automaton)
 
     def from_tables(

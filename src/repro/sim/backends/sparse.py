@@ -149,6 +149,9 @@ class SparseBackend:
     name = "sparse"
 
     def compile(self, automaton) -> SparseKernel:
+        from repro.sim.backends.base import KERNEL_COMPILES
+
+        KERNEL_COMPILES.labels(self.name).inc()
         return SparseKernel(automaton)
 
     def from_tables(self, automaton, tables: KernelTables) -> SparseKernel:

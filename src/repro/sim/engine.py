@@ -35,6 +35,8 @@ while an explicit per-call ``max_reports`` is taken as intentional.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.automata.nfa import Automaton
@@ -64,9 +66,65 @@ from repro.sim.backends.base import (
 )
 from repro.sim.reports import Report
 from repro.sim.trace import PartitionAssignment, TraceStats
+from repro.telemetry.metrics import default_registry
+from repro.telemetry.tracing import current_trace
 
 #: backwards-compatible alias of :data:`DEFAULT_MAX_KEPT_REPORTS`
 _MAX_KEPT_REPORTS = DEFAULT_MAX_KEPT_REPORTS
+
+# -- kernel instrumentation (chunk granularity: the per-cycle loops stay
+# untouched, so the overhead is a few counter bumps per chunk) ----------
+_REGISTRY = default_registry()
+_KERNEL_CHUNKS = _REGISTRY.counter(
+    "repro_kernel_chunks_total",
+    "Chunks executed by the simulation kernels",
+    ("backend",),
+)
+_KERNEL_CYCLES = _REGISTRY.counter(
+    "repro_kernel_cycles_total",
+    "Input symbols (cycles) consumed by the simulation kernels",
+    ("backend",),
+)
+_KERNEL_REPORTS = _REGISTRY.counter(
+    "repro_kernel_reports_total",
+    "Reports produced by the simulation kernels",
+    ("backend",),
+)
+_KERNEL_SECONDS = _REGISTRY.histogram(
+    "repro_kernel_chunk_seconds",
+    "Wall-clock seconds per kernel chunk",
+    ("backend",),
+)
+
+
+def _kernel_instruments(backend: str):
+    return (
+        _KERNEL_CHUNKS.labels(backend),
+        _KERNEL_CYCLES.labels(backend),
+        _KERNEL_REPORTS.labels(backend),
+        _KERNEL_SECONDS.labels(backend),
+    )
+
+
+def _observe_chunk(
+    instruments, backend: str, elapsed: float, data: bytes, result
+) -> None:
+    """Record one executed chunk (metrics + an optional trace span)."""
+    chunks, cycles, reports, seconds = instruments
+    chunks.inc()
+    cycles.inc(result.stats.num_cycles)
+    reports.inc(result.stats.num_reports)
+    seconds.observe(elapsed)
+    trace = current_trace()
+    if trace is not None:
+        trace.add_span(
+            "kernel.chunk",
+            elapsed,
+            backend=backend,
+            bytes=len(data),
+            cycles=result.stats.num_cycles,
+            reports=result.stats.num_reports,
+        )
 
 
 def _cap_message(kept: int, cap: int, what: str) -> str:
@@ -107,6 +165,7 @@ class Engine:
         self.automaton = automaton
         self.max_kept_reports = max_kept_reports
         self.on_truncation = check_truncation_policy(on_truncation)
+        self._instruments = _kernel_instruments(self._kernel.name)
 
     @classmethod
     def from_kernel(
@@ -129,7 +188,20 @@ class Engine:
         engine.automaton = kernel.automaton
         engine.max_kept_reports = max_kept_reports
         engine.on_truncation = check_truncation_policy(on_truncation)
+        engine._instruments = _kernel_instruments(kernel.name)
         return engine
+
+    # Metric instruments hold the registry lock and cannot cross a
+    # process boundary (spawn-based shard pools pickle whole engines);
+    # drop them from the pickled state and rebind on arrival.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_instruments", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._instruments = _kernel_instruments(self._kernel.name)
 
     @property
     def kernel(self) -> CompiledKernel:
@@ -175,12 +247,20 @@ class Engine:
         """
         explicit = max_reports is not None
         cap = max_reports if explicit else self.max_kept_reports
+        start = time.perf_counter()
         result = self._kernel.run_chunk(
             data,
             state,
             placement=placement,
             keep_per_cycle=keep_per_cycle,
             max_reports=cap,
+        )
+        _observe_chunk(
+            self._instruments,
+            self._kernel.name,
+            time.perf_counter() - start,
+            data,
+            result,
         )
         if result.truncated and not explicit:
             handle_truncation(
@@ -262,6 +342,10 @@ class StridedEngine:
                 f"known: {', '.join(BACKEND_NAMES)}"
             )
         self.backend_name = name
+        # strided runs get their own metric series: their cycle consumes
+        # two input bytes, so mixing them with 1-stride counts would
+        # skew cycles-per-chunk ratios
+        self._instruments = _kernel_instruments(f"{name}-strided")
         n = len(strided)
         self._n = n
         hi = np.zeros((256, n), dtype=bool)
@@ -291,6 +375,17 @@ class StridedEngine:
             self._hi_table = hi
             self._lo_table = lo
 
+    # Same pickling contract as Engine: metric children are
+    # process-local, rebind them against this process's registry.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_instruments", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._instruments = _kernel_instruments(f"{self.backend_name}-strided")
+
     def run(
         self,
         data: bytes,
@@ -308,6 +403,7 @@ class StridedEngine:
         """
         explicit = max_reports is not None
         cap = max_reports if explicit else self.max_kept_reports
+        start_time = time.perf_counter()
         pairs = stride_pairs(data)
         stats = TraceStats(num_states=self._n)
         tracker = None
@@ -350,6 +446,14 @@ class StridedEngine:
                     out.append(Report(cycle=cycle, state_id=origin))
                 else:
                     truncated = True
+        result = SimulationResult(reports=out, stats=stats, truncated=truncated)
+        _observe_chunk(
+            self._instruments,
+            f"{self.backend_name}-strided",
+            time.perf_counter() - start_time,
+            data,
+            result,
+        )
         if truncated and not explicit:
             handle_truncation(
                 self.on_truncation,
@@ -357,7 +461,7 @@ class StridedEngine:
                     len(out), cap, f"StridedEngine({self.automaton.name!r})"
                 ),
             )
-        return SimulationResult(reports=out, stats=stats, truncated=truncated)
+        return result
 
     def _sparse_cycles(self, pairs):
         """Yield (stride_idx, enabled_count, enabled_ids, active) sparsely."""

@@ -75,6 +75,68 @@ class TraceStats:
     #: sum over cycles of active states with a cross-partition successor
     global_crossing_states_sum: int = 0
 
+    # -- sequential accumulation ------------------------------------------
+    def accumulate(self, chunk: "TraceStats") -> "TraceStats":
+        """Fold one chunk's statistics into this running stream total.
+
+        Sequential semantics: the chunk continues the same stream
+        through the same automaton, so cycle counts add and per-cycle
+        histories concatenate.  Partition-resolved fields are all sums
+        over cycles, so they add too — a chunked run with a placement
+        accumulates to exactly the one-shot statistics (the hardware
+        ledger of a streamed session depends on this).  Returns
+        ``self`` for chaining.
+        """
+        if self.num_states != chunk.num_states:
+            raise ValueError(
+                "cannot accumulate stats across different automata"
+            )
+        self.num_cycles += chunk.num_cycles
+        self.num_reports += chunk.num_reports
+        self.enabled_states_sum += chunk.enabled_states_sum
+        self.active_states_sum += chunk.active_states_sum
+        self.enabled_per_cycle.extend(chunk.enabled_per_cycle)
+        self.active_per_cycle.extend(chunk.active_per_cycle)
+        if chunk.num_partitions:
+            if self.num_partitions == 0:
+                # first partition-resolved chunk: adopt its shape
+                self.num_partitions = chunk.num_partitions
+                self.partition_enabled_cycles = np.zeros(
+                    chunk.num_partitions, dtype=np.int64
+                )
+                self.partition_active_cycles = np.zeros(
+                    chunk.num_partitions, dtype=np.int64
+                )
+                self.partition_enabled_states_sum = np.zeros(
+                    chunk.num_partitions, dtype=np.int64
+                )
+                self.partition_enabled_weight_sum = np.zeros(
+                    chunk.num_partitions, dtype=np.float64
+                )
+                self.partition_active_states_sum = np.zeros(
+                    chunk.num_partitions, dtype=np.int64
+                )
+            elif self.num_partitions != chunk.num_partitions:
+                raise ValueError(
+                    "cannot accumulate stats across different placements"
+                )
+            self.partition_enabled_cycles += chunk.partition_enabled_cycles
+            self.partition_active_cycles += chunk.partition_active_cycles
+            self.partition_enabled_states_sum += (
+                chunk.partition_enabled_states_sum
+            )
+            self.partition_enabled_weight_sum += (
+                chunk.partition_enabled_weight_sum
+            )
+            self.partition_active_states_sum += (
+                chunk.partition_active_states_sum
+            )
+            self.global_source_partitions_sum += (
+                chunk.global_source_partitions_sum
+            )
+            self.global_crossing_states_sum += chunk.global_crossing_states_sum
+        return self
+
     # -- derived averages -------------------------------------------------
     def avg_enabled_states(self) -> float:
         return self.enabled_states_sum / self.num_cycles if self.num_cycles else 0.0

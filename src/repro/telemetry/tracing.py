@@ -1,0 +1,228 @@
+"""Per-scan trace spans: scan -> shards -> chunks -> kernel steps.
+
+A :class:`Trace` is a flat list of finished :class:`Span` records tied
+together by ``span_id``/``parent_id`` (a tree, stored post-order as
+spans finish).  The active trace travels through a ``contextvars``
+variable, so deep layers — the compile pipeline's pass timer, the
+engine's chunk loop, the dispatcher's shard fan-out — attach spans
+without any parameter plumbing: they ask :func:`current_trace` and do
+nothing when no trace is active (the common case; one contextvar read).
+
+Spans are *cheap but not free*, so tracing is opt-in per scan
+(``ScanConfig(trace=True)`` / ``repro scan --trace``) rather than a
+global toggle like metrics.  A trace caps itself at
+:data:`MAX_SPANS_PER_TRACE` finished spans and counts the overflow in
+``dropped`` instead of growing without bound on huge streams.
+
+The ``trace_id`` (32 hex chars) is echoed in protocol frames and CLI
+output so a client-side observation can be joined with server-side
+spans and log lines.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MAX_SPANS_PER_TRACE",
+    "Span",
+    "Trace",
+    "current_trace",
+    "new_trace_id",
+    "start_trace",
+]
+
+#: finished-span cap per trace; beyond it spans are counted, not kept
+MAX_SPANS_PER_TRACE = 512
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+@dataclass
+class Span:
+    """One finished timed operation inside a trace."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    duration_s: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Trace:
+    """One scan's span tree, accumulated as operations finish.
+
+    Not thread-safe by design: a trace follows one logical scan, and
+    the sharded dispatcher's in-process thread pool is given per-shard
+    child traces that are merged afterwards (process pools simply don't
+    trace — spans can't cross a pickle boundary cheaply).
+    """
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._next_id = 0
+        self._stack: list[int] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Time a block as a child of the innermost open span."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        start = time.perf_counter()
+        record = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent,
+            start_s=start,
+            duration_s=0.0,
+            attrs=attrs,
+        )
+        try:
+            yield record
+        finally:
+            record.duration_s = time.perf_counter() - start
+            self._stack.pop()
+            self._add(record)
+
+    def add_span(
+        self,
+        name: str,
+        duration_s: float,
+        *,
+        start_s: float | None = None,
+        **attrs,
+    ) -> None:
+        """Attach an already-timed operation (e.g. a compile PassTiming)."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        self._add(
+            Span(
+                name=name,
+                span_id=span_id,
+                parent_id=parent,
+                start_s=time.perf_counter() if start_s is None else start_s,
+                duration_s=duration_s,
+                attrs=attrs,
+            )
+        )
+
+    def _add(self, span: Span) -> None:
+        if len(self.spans) >= MAX_SPANS_PER_TRACE:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    def merge_child(self, child: "Trace", parent_span_id: int | None) -> None:
+        """Fold a per-shard child trace under one of this trace's spans."""
+        offset = self._next_id
+        for span in child.spans:
+            self._add(
+                Span(
+                    name=span.name,
+                    span_id=span.span_id + offset,
+                    parent_id=(
+                        span.parent_id + offset
+                        if span.parent_id is not None
+                        else parent_span_id
+                    ),
+                    start_s=span.start_s,
+                    duration_s=span.duration_s,
+                    attrs=span.attrs,
+                )
+            )
+        self._next_id = offset + child._next_id
+        self.dropped += child.dropped
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "spans": [s.to_dict() for s in self.spans],
+            "dropped": self.dropped,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Trace":
+        trace = cls(payload.get("trace_id"))
+        for raw in payload.get("spans", ()):
+            trace.spans.append(
+                Span(
+                    name=raw["name"],
+                    span_id=raw["span_id"],
+                    parent_id=raw.get("parent_id"),
+                    start_s=raw.get("start_s", 0.0),
+                    duration_s=raw.get("duration_s", 0.0),
+                    attrs=raw.get("attrs", {}),
+                )
+            )
+        trace.dropped = payload.get("dropped", 0)
+        trace._next_id = 1 + max(
+            (s.span_id for s in trace.spans), default=-1
+        )
+        return trace
+
+    def render(self) -> str:
+        """An indented text tree of the spans (CLI `--trace` output)."""
+        children: dict[int | None, list[Span]] = {}
+        for span in self.spans:
+            children.setdefault(span.parent_id, []).append(span)
+        lines = [f"trace {self.trace_id}"]
+
+        def walk(parent: int | None, depth: int) -> None:
+            for span in children.get(parent, ()):
+                attrs = " ".join(
+                    f"{k}={v}" for k, v in sorted(span.attrs.items())
+                )
+                lines.append(
+                    "  " * depth
+                    + f"- {span.name}  {span.duration_s * 1e3:.3f} ms"
+                    + (f"  [{attrs}]" if attrs else "")
+                )
+                walk(span.span_id, depth + 1)
+
+        walk(None, 1)
+        if self.dropped:
+            lines.append(f"  ... {self.dropped} span(s) dropped (cap)")
+        return "\n".join(lines)
+
+
+_current: contextvars.ContextVar[Trace | None] = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+
+
+def current_trace() -> Trace | None:
+    """The trace active in this context, or None (the fast common case)."""
+    return _current.get()
+
+
+@contextmanager
+def start_trace(trace: Trace | None = None):
+    """Activate a trace for the enclosed block (and its callees)."""
+    trace = trace or Trace()
+    token = _current.set(trace)
+    try:
+        yield trace
+    finally:
+        _current.reset(token)

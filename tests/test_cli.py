@@ -139,6 +139,28 @@ class TestCommands:
         assert "MB/s" in out
         assert "code=m" in out
 
+    def test_scan_ledger_and_trace(self, anml_file, input_file, capsys):
+        assert (
+            main(
+                [
+                    "scan",
+                    str(anml_file),
+                    str(input_file),
+                    "--ledger",
+                    "--ledger-design",
+                    "CAMA-T",
+                    "--trace",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ledger design=CAMA-T" in out
+        assert "pJ/cycle" in out and "occupancy" in out
+        assert "trace " in out
+        assert "- service.scan" in out
+        assert "- ledger.probe" in out
+
     def test_scan_matches_run_reports(self, anml_file, input_file, capsys):
         main(["run", str(anml_file), str(input_file), "--max-reports", "10"])
         run_out = capsys.readouterr().out.splitlines()

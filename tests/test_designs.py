@@ -15,7 +15,7 @@ from repro.arch.designs import (
 from repro.arch.stride_models import multistride_energy
 from repro.automata.glushkov import compile_regex_set
 from repro.automata.nfa import Automaton, StartKind
-from repro.errors import ModelError
+from repro.errors import ConfigError, ModelError
 from repro.sim.engine import Engine
 
 
@@ -185,9 +185,11 @@ class TestEnergy:
         assert powers["CAMA-E"] < powers["CA"]
 
     def test_energy_requires_partition_stats(self, nfa, lib, data):
+        # stats collected without a placement are a caller-side
+        # configuration error: typed ConfigError, not a model error
         build = build_cama(nfa, "E", lib)
         stats = Engine(nfa).run(data).stats  # no placement
-        with pytest.raises(ModelError):
+        with pytest.raises(ConfigError, match="partition-resolved"):
             build.energy(stats)
 
 
