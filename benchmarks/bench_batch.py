@@ -1,0 +1,138 @@
+"""Bench: batched multi-stream stepping vs per-stream kernel calls.
+
+The scoreboard for the batched execution path: 64 concurrent Snort
+streams advanced through one bit-parallel kernel, comparing N
+independent ``run_chunk`` calls per tick against a single
+``step_batch`` over the whole stream matrix.  This is the software
+mirror of the paper's CAM amortization — one search key evaluated
+against every stored state row at once — applied across *streams*
+instead of states.  Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch.py -q -s
+"""
+
+import time
+
+from repro.sim.engine import Engine
+
+NUM_STREAMS = 64
+CHUNK_BYTES = 4096
+ROUNDS = 3
+TARGET_SPEEDUP = 4.0
+
+
+def _chunks(data: bytes) -> list[bytes]:
+    return [
+        data[start : start + CHUNK_BYTES]
+        for start in range(0, len(data), CHUNK_BYTES)
+    ]
+
+
+def _keys(reports):
+    return [(r.cycle, r.state_id, r.code) for r in reports]
+
+
+def _streams(ctx) -> list[bytes]:
+    bench = ctx.benchmark("Snort")
+    return [
+        bench.input_stream(ctx.stream_length, seed=i)
+        for i in range(NUM_STREAMS)
+    ]
+
+
+def _run_per_stream(engine: Engine, streams: list[bytes]):
+    """The baseline: each stream stepped through its own kernel calls."""
+    reports = []
+    for data in streams:
+        state = engine.initial_state()
+        stream_reports = []
+        for chunk in _chunks(data):
+            stream_reports.extend(
+                engine.run_chunk(chunk, state, max_reports=10_000).reports
+            )
+        reports.append(stream_reports)
+    return reports
+
+
+def _run_batched(engine: Engine, streams: list[bytes]):
+    """One vectorized kernel step per tick for all streams at once."""
+    states = [engine.initial_state() for _ in streams]
+    per_stream = [_chunks(data) for data in streams]
+    reports = [[] for _ in streams]
+    ticks = max(len(chunks) for chunks in per_stream)
+    for tick in range(ticks):
+        chunks = [
+            chunks[tick] if tick < len(chunks) else b""
+            for chunks in per_stream
+        ]
+        results = engine.step_batch(chunks, states, max_reports=10_000)
+        for row, result in enumerate(results):
+            reports[row].extend(result.reports)
+    return reports
+
+
+def test_batch_speedup_4x(ctx, bench_json):
+    """The acceptance ratio: batched stepping >= 4x aggregate MB/s.
+
+    Medians over interleaved rounds absorb scheduler noise; one retry
+    keeps a single unlucky burst on a shared CI runner from failing an
+    unrelated change.  Always writes BENCH_batch.json, win or lose.
+
+    The backend is pinned to ``bitparallel``: Snort at bench scale is
+    sparse enough that ``auto`` picks the sparse kernel, whose
+    ``step_batch`` is the per-row loop fallback (correct, not faster).
+    """
+    automaton = ctx.benchmark("Snort").automaton
+    streams = _streams(ctx)
+    total_bytes = sum(len(data) for data in streams)
+    engine = Engine(automaton, backend="bitparallel")
+    engine.run(streams[0][:64])  # compile outside the measured region
+
+    # correctness first: the batched path must reproduce the baseline
+    baseline = _run_per_stream(engine, streams)
+    batched = _run_batched(engine, streams)
+    for row, (expect, got) in enumerate(zip(baseline, batched)):
+        assert _keys(expect) == _keys(got), f"stream {row} diverges"
+
+    best = (0.0, 0.0, 0.0)  # (speedup, per-stream median, batched median)
+    for _ in range(2):
+        solo_times, batch_times = [], []
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            _run_per_stream(engine, streams)
+            solo_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            _run_batched(engine, streams)
+            batch_times.append(time.perf_counter() - start)
+        solo = sorted(solo_times)[len(solo_times) // 2]
+        batch = sorted(batch_times)[len(batch_times) // 2]
+        best = max(best, (solo / batch, solo, batch))
+        if best[0] >= TARGET_SPEEDUP:
+            break
+    speedup, solo, batch = best
+    bench_json(
+        "batch",
+        {
+            "workload": {
+                "benchmark": "Snort",
+                "streams": NUM_STREAMS,
+                "stream_bytes": ctx.stream_length,
+                "chunk_bytes": CHUNK_BYTES,
+                "backend": "bitparallel",
+            },
+            # the medians behind the recorded speedup (same attempt)
+            "per_stream_median_s": round(solo, 6),
+            "batched_median_s": round(batch, 6),
+            "per_stream_mbps": round(total_bytes / solo / 1e6, 4),
+            "batched_mbps": round(total_bytes / batch / 1e6, 4),
+            "speedup": round(speedup, 2),
+            "target": TARGET_SPEEDUP,
+        },
+    )
+    print(
+        f"\nbench_batch: {NUM_STREAMS} streams, "
+        f"per-stream {total_bytes / solo / 1e6:.3f} MB/s vs "
+        f"batched {total_bytes / batch / 1e6:.3f} MB/s "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= TARGET_SPEEDUP, f"batched speedup only {speedup:.2f}x"

@@ -149,7 +149,7 @@ def run_load(
     return report
 
 
-def test_concurrent_streams_byte_identical_to_offline():
+def test_concurrent_streams_byte_identical_to_offline(bench_json):
     """The acceptance run: >= 8 concurrent client streams, all correct."""
     nfa = compile_regex_set(RULES, name="bench-server")
     streams = make_streams(nfa, NUM_CLIENTS, STREAMS_PER_CLIENT)
@@ -165,6 +165,26 @@ def test_concurrent_streams_byte_identical_to_offline():
     assert not report.errors, report.errors
     assert report.num_streams >= 8
     assert report.feed_latencies_s, "no requests measured"
+    lat = report.feed_latencies_s
+    bench_json(
+        "server",
+        {
+            "workload": {
+                "clients": NUM_CLIENTS,
+                "streams": report.num_streams,
+                "stream_bytes": STREAM_BYTES,
+                "chunk_bytes": CHUNK_BYTES,
+            },
+            "total_bytes": report.total_bytes,
+            "elapsed_s": round(report.elapsed_s, 6),
+            "throughput_mbps": round(report.throughput_mbps, 3),
+            "requests": len(lat),
+            # per-request feed turnaround over TCP (client-observed)
+            "feed_latency_p50_ms": round(percentile(lat, 0.50) * 1e3, 3),
+            "feed_latency_p95_ms": round(percentile(lat, 0.95) * 1e3, 3),
+            "feed_latency_p99_ms": round(percentile(lat, 0.99) * 1e3, 3),
+        },
+    )
     print(f"\nbench_server: {report.summary()}")
 
 

@@ -32,8 +32,16 @@ Architecture (bottom-up)::
     session.Session                   one named stream's snapshot; feed()
                                       chunks as they arrive
 
+    batching.BatchScheduler           cross-stream coalescing: pending
+                                      feeds sharing a dispatcher flush as
+                                      one vectorized step_batch over a
+                                      struct-of-arrays state matrix
+                                      (rows_full / max_delay / drain)
+
     service.MatchingService           the facade: cache + dispatchers +
-                                      sessions + scan / scan_many
+                                      sessions + scan / scan_many (two or
+                                      more streams advance in lock-step
+                                      batched kernel calls)
 
     protocol / server / client        the network face: newline-delimited
                                       JSON frames over TCP; an asyncio
@@ -71,6 +79,7 @@ Chunked, sharded, and cached execution all reproduce the one-shot
 ``tests/test_service.py`` assert this across every registry benchmark.
 """
 
+from repro.service.batching import BatchScheduler, feed_session_batch
 from repro.service.client import (
     AsyncMatchingClient,
     MatchingClient,
@@ -110,6 +119,7 @@ from repro.service.sharding import (
 __all__ = [
     "AsyncMatchingClient",
     "BackgroundServer",
+    "BatchScheduler",
     "CacheStats",
     "DEFAULT_CACHE_CAPACITY",
     "DEFAULT_CHUNK_SIZE",
@@ -129,6 +139,7 @@ __all__ = [
     "Shard",
     "accumulate_stats",
     "chunked_scan",
+    "feed_session_batch",
     "iter_chunks",
     "make_shards",
     "merge_shard_reports",

@@ -1,0 +1,182 @@
+"""Cross-stream batch scheduling: coalesced kernel steps for sessions.
+
+The kernel layer amortizes per-symbol work across streams — one
+:meth:`~repro.sim.engine.Engine.step_batch` call advances a whole
+matrix of stream rows (mirroring how one CAMA search key evaluates
+every stored state row at once).  This module supplies the service-side
+glue that *finds* those batches:
+
+- :func:`feed_session_batch` — the synchronous core: take N (session,
+  chunk) pairs that share a dispatcher, run one
+  :meth:`~repro.service.sharding.Dispatcher.run_chunk_batch`, and
+  absorb each per-stream result into its session exactly as a solo
+  :meth:`~repro.service.session.Session.feed` would.
+- :class:`BatchScheduler` — the asyncio half used by the NDJSON
+  server: pending feeds accumulate per dispatcher and flush as one
+  batched executor job when the batch fills (``rows_full``), when the
+  oldest entry has waited ``max_delay_s`` (``max_delay``), or when the
+  server drains (``drain``).
+
+Batching never reorders a single stream (the server admits at most one
+in-flight chunk per session) and never changes results — every flush
+path is byte-identical to sequential per-session feeds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.sim.reports import Report
+from repro.telemetry.metrics import default_registry
+
+_REGISTRY = default_registry()
+_BATCH_ROWS = _REGISTRY.histogram(
+    "repro_batch_rows",
+    "Stream rows advanced per batched kernel flush (occupancy)",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+)
+_BATCH_FLUSHES = _REGISTRY.counter(
+    "repro_batch_flushes_total",
+    "Batched-feed flushes by trigger (rows_full / max_delay / drain)",
+    ("reason",),
+)
+
+FLUSH_REASONS = ("rows_full", "max_delay", "drain")
+
+
+def observe_flush(rows: int, reason: str) -> None:
+    """Record one batch flush in the telemetry registry."""
+    _BATCH_ROWS.labels().observe(rows)
+    _BATCH_FLUSHES.labels(reason).inc()
+
+
+def feed_session_batch(dispatcher, entries):
+    """Feed one chunk into each of several sessions in one batched step.
+
+    ``entries`` is a list of ``(session, chunk)`` pairs whose sessions
+    all run on ``dispatcher``.  Returns one ``(reports, exc)`` outcome
+    per entry: ``reports`` is the chunk's new reports (as
+    :meth:`Session.feed` would return) and ``exc`` is the exception the
+    equivalent solo feed would have raised (``on_truncation="error"``),
+    or None.  State bookkeeping happens even for erroring entries,
+    exactly as in the solo path.
+    """
+    chunks = [chunk for _, chunk in entries]
+    results = dispatcher.run_chunk_batch(
+        chunks,
+        [session.shard_states for session, _ in entries],
+        max_reports=[session.report_budget for session, _ in entries],
+    )
+    outcomes: list[tuple[list[Report], BaseException | None]] = []
+    for (session, chunk), result in zip(entries, results):
+        try:
+            outcomes.append((session.absorb(chunk, result), None))
+        except Exception as exc:  # e.g. on_truncation="error"
+            outcomes.append(([], exc))
+    return outcomes
+
+
+@dataclass
+class _Pending:
+    """Feeds queued against one dispatcher, awaiting a flush."""
+
+    entries: list = field(default_factory=list)
+    futures: list = field(default_factory=list)
+    timer: object = None
+
+
+class BatchScheduler:
+    """Coalesces concurrent session feeds into batched kernel steps.
+
+    Owned by the asyncio server; must be used from its event loop.
+    ``submit`` parks a feed until either ``max_rows`` feeds for the
+    same dispatcher are pending or ``max_delay_s`` has elapsed since
+    the group's first feed, then runs the whole group as one
+    :func:`feed_session_batch` job on ``executor``.  The trade-off is
+    explicit: a lone stream pays up to ``max_delay_s`` extra latency so
+    that N concurrent streams pay one kernel invocation instead of N.
+    """
+
+    def __init__(self, executor, *, max_rows: int, max_delay_s: float) -> None:
+        self._executor = executor
+        self._max_rows = max(1, int(max_rows))
+        self._max_delay_s = max(0.0, float(max_delay_s))
+        self._pending: dict[int, _Pending] = {}
+        self._keepalive: dict[int, object] = {}  # dispatcher refs
+        self.batches = 0
+        self.rows = 0
+        self.flush_reasons = {reason: 0 for reason in FLUSH_REASONS}
+
+    async def submit(self, dispatcher, session, chunk) -> list:
+        """Queue one feed; resolves with the chunk's new reports."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        key = id(dispatcher)
+        group = self._pending.get(key)
+        if group is None:
+            group = _Pending()
+            self._pending[key] = group
+            self._keepalive[key] = dispatcher
+            if self._max_delay_s > 0:
+                group.timer = loop.call_later(
+                    self._max_delay_s, self._flush, key, "max_delay"
+                )
+        group.entries.append((session, chunk))
+        group.futures.append(future)
+        if len(group.entries) >= self._max_rows:
+            self._flush(key, "rows_full")
+        elif self._max_delay_s == 0:
+            self._flush(key, "max_delay")
+        return await future
+
+    def flush_all(self, reason: str = "drain") -> None:
+        """Flush every pending group (server drain / shutdown)."""
+        for key in list(self._pending):
+            self._flush(key, reason)
+
+    def stats(self) -> dict:
+        """Plain-dict counters for the server's ``stats`` frame."""
+        return {
+            "enabled": True,
+            "batches": self.batches,
+            "rows": self.rows,
+            "avg_rows": round(self.rows / self.batches, 3)
+            if self.batches
+            else 0.0,
+            "flush_reasons": dict(self.flush_reasons),
+        }
+
+    def _flush(self, key: int, reason: str) -> None:
+        group = self._pending.pop(key, None)
+        dispatcher = self._keepalive.pop(key, None)
+        if group is None or not group.entries:
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+        self.batches += 1
+        self.rows += len(group.entries)
+        self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+        observe_flush(len(group.entries), reason)
+        loop = asyncio.get_running_loop()
+        job = loop.run_in_executor(
+            self._executor, feed_session_batch, dispatcher, group.entries
+        )
+        futures = group.futures
+
+        def _resolve(done: "asyncio.Future") -> None:
+            exc = done.exception()
+            if exc is not None:
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(exc)
+                return
+            for future, (reports, entry_exc) in zip(futures, done.result()):
+                if future.done():
+                    continue
+                if entry_exc is not None:
+                    future.set_exception(entry_exc)
+                else:
+                    future.set_result(reports)
+
+        job.add_done_callback(_resolve)

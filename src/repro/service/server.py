@@ -229,6 +229,9 @@ class MatchingServer:
         self._backend_stats: dict[str, _BackendStats] = {}
         # ops run on executor threads; guard their shared mutable state
         self._state_lock = threading.Lock()
+        # cross-connection feed coalescing (created in start(); None
+        # when ScanConfig.batch_max_rows disables batching)
+        self._batcher = None
 
     # -- lifecycle --------------------------------------------------------
     @property
@@ -247,6 +250,18 @@ class MatchingServer:
         if self._server is not None:
             raise SimulationError("server is already started")
         self._drain_event = asyncio.Event()
+        cfg = self.service.config
+        if cfg.batch_max_rows > 1:
+            from repro.service.batching import BatchScheduler
+
+            # feeds from concurrent connections against the same ruleset
+            # coalesce into batched kernel steps; per-connection ordering
+            # is untouched (one in-flight frame per connection)
+            self._batcher = BatchScheduler(
+                self._executor,
+                max_rows=cfg.batch_max_rows,
+                max_delay_s=cfg.batch_max_delay_ms / 1000.0,
+            )
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.host,
@@ -273,6 +288,8 @@ class MatchingServer:
             "server.draining", connections=self._connections_active
         )
         self._drain_event.set()
+        if self._batcher is not None:
+            self._batcher.flush_all("drain")
         self._server.close()
         await self._server.wait_closed()
         if self._conn_tasks:
@@ -426,7 +443,12 @@ class MatchingServer:
             handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
             if handler is None:
                 raise ProtocolError(f"unknown op {op!r}", code="unknown-op")
-            if op in _HEAVY_OPS:
+            if op == "feed" and self._batcher is not None:
+                # batched feeds park on the scheduler (event-loop side)
+                # until their group flushes to the executor as one
+                # batched kernel step
+                payload = await self._op_feed_batched(conn, frame)
+            elif op in _HEAVY_OPS:
                 loop = asyncio.get_running_loop()
                 payload = await loop.run_in_executor(
                     self._executor, handler, conn, frame
@@ -736,7 +758,23 @@ class MatchingServer:
         record = self._session_for(conn, frame)
         data = decode_data(frame.get("data", ""))
         session = self.service.sessions[record.internal]
-        reports = session.feed(data)
+        return self._feed_payload(record, session, session.feed(data))
+
+    async def _op_feed_batched(self, conn: _Connection, frame: dict) -> dict:
+        """The batched ``feed`` path: park the chunk on the scheduler.
+
+        Identical wire behaviour to :meth:`_op_feed` — same payload,
+        same truncation policy — but the kernel step may advance many
+        sessions at once when other connections feed concurrently.
+        """
+        record = self._session_for(conn, frame)
+        data = decode_data(frame.get("data", ""))
+        session = self.service.sessions[record.internal]
+        reports = await self._batcher.submit(session.dispatcher, session, data)
+        return self._feed_payload(record, session, reports)
+
+    def _feed_payload(self, record, session, reports) -> dict:
+        """Serialize one feed's outcome, applying the frame-level policy."""
         warnings_out: list[str] = []
         if session.truncated and not record.warned:
             record.warned = True
@@ -809,6 +847,9 @@ class MatchingServer:
                 "metrics_enabled": _REGISTRY.enabled,
                 "hardware_ledger": self.service.config.hardware_ledger,
             },
+            "batching": self._batcher.stats()
+            if self._batcher is not None
+            else {"enabled": False},
             "draining": self._drain_event.is_set()
             if self._drain_event
             else False,

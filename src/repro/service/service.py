@@ -448,21 +448,149 @@ class MatchingService:
         independent START_OF_DATA semantics, report offsets, and
         truncation handling (a truncating stream warns or errors per
         ``on_truncation`` without affecting its siblings).
+
+        With two or more streams (and ``ScanConfig.batch_max_rows >
+        1``), the streams advance *together*: groups of up to
+        ``batch_max_rows`` streams step through the input in batched
+        kernel calls (:meth:`Dispatcher.run_chunk_batch`), amortizing
+        per-chunk dispatch across the whole group.  Results are
+        byte-identical to the sequential path; per-stream
+        ``elapsed_s`` then reports the group's shared wall-clock.
+        Hardware-ledger and trace runs fall back to sequential scans
+        (both instruments are inherently per-stream).
         """
-        self.dispatcher(automaton)  # compile once, before the loop
-        return {
-            name: self.scan(
-                automaton,
-                data,
-                chunk_size=chunk_size,
-                max_reports=max_reports,
-                on_truncation=on_truncation,
-                hardware_ledger=hardware_ledger,
-                ledger_design=ledger_design,
-                trace=trace,
+        want_ledger = (
+            self.config.hardware_ledger
+            if hardware_ledger is None
+            else hardware_ledger
+        )
+        want_trace = self.config.trace if trace is None else trace
+        if (
+            len(streams) < 2
+            or self.config.batch_max_rows < 2
+            or want_ledger
+            or want_trace
+        ):
+            self.dispatcher(automaton)  # compile once, before the loop
+            return {
+                name: self.scan(
+                    automaton,
+                    data,
+                    chunk_size=chunk_size,
+                    max_reports=max_reports,
+                    on_truncation=on_truncation,
+                    hardware_ledger=hardware_ledger,
+                    ledger_design=ledger_design,
+                    trace=trace,
+                )
+                for name, data in streams.items()
+            }
+        return self._scan_many_batched(
+            automaton,
+            streams,
+            chunk_size=chunk_size,
+            max_reports=max_reports,
+            on_truncation=on_truncation,
+        )
+
+    def _scan_many_batched(
+        self,
+        automaton: Automaton,
+        streams: dict[str, bytes],
+        *,
+        chunk_size: int | None,
+        max_reports: int | None,
+        on_truncation: str | None,
+    ) -> dict[str, ServiceResult]:
+        """Batched core of :meth:`scan_many`: grouped lock-step scans."""
+        from repro.service.batching import observe_flush
+        from repro.service.merge import accumulate_stats
+
+        policy = (
+            self.on_truncation
+            if on_truncation is None
+            else check_truncation_policy(on_truncation)
+        )
+        explicit = max_reports is not None
+        cap = max_reports if explicit else self.default_max_reports
+        size = self.chunk_size if chunk_size is None else chunk_size
+        key = self.manager.fingerprint(automaton)
+        cached = key in self._dispatchers
+        dispatcher = self.dispatcher(automaton, key=key)
+        num_states = sum(len(s.global_ids) for s in dispatcher.shards)
+        batch_rows = self.config.batch_max_rows
+
+        names = list(streams)
+        reports: dict[str, list[Report]] = {name: [] for name in names}
+        stats = {name: TraceStats(num_states=num_states) for name in names}
+        truncated = {name: False for name in names}
+        elapsed: dict[str, float] = {}
+
+        for group_start in range(0, len(names), batch_rows):
+            group = names[group_start : group_start + batch_rows]
+            states = {name: dispatcher.initial_states() for name in group}
+            offsets = {name: 0 for name in group}
+            start = time.perf_counter()
+            while True:
+                # streams leave the batch as they run dry; the group's
+                # live prefix shrinks until everyone has finished
+                live = [
+                    name
+                    for name in group
+                    if offsets[name] < len(streams[name])
+                ]
+                if not live:
+                    break
+                chunks = [
+                    streams[name][offsets[name] : offsets[name] + size]
+                    for name in live
+                ]
+                # shrinking per-stream budgets keep the per-tick trim
+                # identical to Dispatcher.scan's end-of-stream trim
+                budgets = [
+                    max(0, cap - len(reports[name])) for name in live
+                ]
+                observe_flush(
+                    len(live),
+                    "rows_full" if len(live) == batch_rows else "drain",
+                )
+                results = dispatcher.run_chunk_batch(
+                    chunks,
+                    [states[name] for name in live],
+                    max_reports=budgets,
+                )
+                for name, chunk, result in zip(live, chunks, results):
+                    offsets[name] += len(chunk)
+                    reports[name].extend(result.reports)
+                    accumulate_stats(stats[name], result.stats)
+                    truncated[name] |= result.truncated
+            group_elapsed = time.perf_counter() - start
+            for name in group:
+                elapsed[name] = group_elapsed
+
+        out: dict[str, ServiceResult] = {}
+        for name in names:
+            _SERVICE_SCANS.labels("hit" if cached else "miss").inc()
+            _SERVICE_SCAN_BYTES.labels().inc(len(streams[name]))
+            _SERVICE_SCAN_SECONDS.labels().observe(elapsed[name])
+            if truncated[name] and not explicit:
+                handle_truncation(
+                    policy,
+                    f"scan of {automaton.name!r} (stream {name!r}) hit "
+                    f"the kept-reports cap ({cap}); further reports "
+                    f"were counted but not recorded",
+                )
+            out[name] = ServiceResult(
+                reports=reports[name],
+                stats=stats[name],
+                bytes_scanned=len(streams[name]),
+                elapsed_s=elapsed[name],
+                num_shards=dispatcher.num_shards,
+                cached=cached,
+                backends=dispatcher.backend_names,
+                truncated=truncated[name],
             )
-            for name, data in streams.items()
-        }
+        return out
 
     # -- streaming sessions ----------------------------------------------
     def open_session(

@@ -108,14 +108,34 @@ class Session:
     def stats(self) -> TraceStats:
         return self._stats
 
+    @property
+    def report_budget(self) -> int:
+        """Reports this stream may still record before hitting its cap."""
+        return max(0, self.max_reports - len(self._reports))
+
+    @property
+    def shard_states(self):
+        """The live per-shard engine states (advanced in place by feeds)."""
+        return self._states
+
     def feed(self, chunk: bytes) -> list[Report]:
         """Consume one chunk; return only the reports it produced."""
         if self.closed:
             raise SimulationError(f"session {self.name!r} is closed")
-        budget = max(0, self.max_reports - len(self._reports))
         result = self.dispatcher.run_chunk(
-            chunk, self._states, max_reports=budget
+            chunk, self._states, max_reports=self.report_budget
         )
+        return self.absorb(chunk, result)
+
+    def absorb(self, chunk: bytes, result: SimulationResult) -> list[Report]:
+        """Record one already-dispatched chunk's result into the session.
+
+        The bookkeeping half of :meth:`feed`, split out so a batch
+        scheduler can dispatch many sessions' chunks in one
+        :meth:`~repro.service.sharding.Dispatcher.run_chunk_batch` call
+        (against :attr:`shard_states`, capped at :attr:`report_budget`)
+        and still account each result exactly as a solo feed would.
+        """
         _SESSION_FEEDS.labels().inc()
         _SESSION_FEED_BYTES.labels().inc(len(chunk))
         if self._ledger_probe is not None:
@@ -129,7 +149,7 @@ class Session:
                 f"session {self.name!r} hit its kept-reports cap "
                 f"({self.max_reports}); further reports are counted "
                 f"but not recorded",
-                stacklevel=2,
+                stacklevel=3,
             )
         return result.reports
 

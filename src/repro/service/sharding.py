@@ -67,6 +67,10 @@ _CHUNK_RUNS = _REGISTRY.counter(
     "repro_dispatcher_chunk_runs_total",
     "Session chunks fanned across every shard via Dispatcher.run_chunk",
 )
+_BATCH_CHUNK_RUNS = _REGISTRY.counter(
+    "repro_dispatcher_batch_runs_total",
+    "Batched multi-stream steps fanned across every shard",
+)
 
 
 @dataclass(frozen=True)
@@ -310,6 +314,58 @@ class Dispatcher:
             for engine, state in zip(self.engines, states)
         ]
         return self._merge_capped(per_shard, max_reports)
+
+    def run_chunk_batch(
+        self,
+        chunks: list[bytes],
+        states_per_stream: "list[list[EngineState]]",
+        *,
+        max_reports=DEFAULT_MAX_KEPT_REPORTS,
+    ) -> list[SimulationResult]:
+        """Feed one chunk per stream to every shard in batched steps.
+
+        The multi-stream analogue of :meth:`run_chunk`:
+        ``states_per_stream[r]`` is stream ``r``'s per-shard snapshot
+        list (advanced in place) and ``chunks[r]`` its next chunk.
+        Each shard engine advances *all* streams in one
+        :meth:`Engine.step_batch` call, so per-stream Python overhead
+        is paid once per shard instead of once per (stream, shard).
+        ``max_reports`` is one shared cap or a per-stream budget
+        sequence; returns one merged global-view result per stream,
+        byte-identical to per-stream :meth:`run_chunk` calls.
+        """
+        num_streams = len(chunks)
+        if len(states_per_stream) != num_streams:
+            raise SimulationError(
+                f"got {len(states_per_stream)} state snapshots for "
+                f"{num_streams} chunks"
+            )
+        for snapshot in states_per_stream:
+            if len(snapshot) != len(self.shards):
+                raise SimulationError(
+                    "state snapshot does not match shard count"
+                )
+        if isinstance(max_reports, int):
+            caps = [max_reports] * num_streams
+        else:
+            caps = list(max_reports)
+        _BATCH_CHUNK_RUNS.labels().inc()
+        _SHARD_RUNS.labels("serial").inc(len(self.shards))
+        per_stream: list[list[SimulationResult]] = [
+            [] for _ in range(num_streams)
+        ]
+        for shard_index, engine in enumerate(self.engines):
+            shard_results = engine.step_batch(
+                chunks,
+                [snapshot[shard_index] for snapshot in states_per_stream],
+                max_reports=caps,
+            )
+            for stream, result in enumerate(shard_results):
+                per_stream[stream].append(result)
+        return [
+            self._merge_capped(results, caps[stream])
+            for stream, results in enumerate(per_stream)
+        ]
 
     # -- one-shot scans -------------------------------------------------
     def scan(

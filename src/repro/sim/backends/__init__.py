@@ -35,6 +35,8 @@ from repro.sim.backends.auto import (
 )
 from repro.sim.backends.base import (
     DEFAULT_MAX_KEPT_REPORTS,
+    STATE_FORMAT_VERSION,
+    BatchEngineState,
     CompiledKernel,
     EngineState,
     ExecutionBackend,
@@ -46,6 +48,7 @@ from repro.sim.backends.base import (
     cached_successor_csr,
     clear_csr_cache,
     gather_successors,
+    normalize_batch_caps,
     successor_csr,
 )
 from repro.sim.backends.bitparallel import (

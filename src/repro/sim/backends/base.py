@@ -55,6 +55,11 @@ _TRUNCATIONS = default_registry().counter(
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
 
+#: serialization format version of :meth:`EngineState.to_dict` (and of
+#: the batch SoA snapshots derived from it); bump on layout changes so
+#: persisted snapshots fail loudly instead of resuming corrupt
+STATE_FORMAT_VERSION = 1
+
 
 class ReportTruncationWarning(UserWarning):
     """A run hit its kept-reports cap and silently stopped recording."""
@@ -112,6 +117,150 @@ class EngineState:
     def at_start(self) -> bool:
         """True before any symbol was consumed (START_OF_DATA pending)."""
         return self.position == 0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot, stamped with the format version.
+
+        The persistence form behind checkpoint/resume: chaos-resumable
+        streams and batch SoA snapshots both go through it, so the
+        layout can only evolve behind a :data:`STATE_FORMAT_VERSION`
+        bump (:meth:`from_dict` rejects skew instead of resuming a
+        stream from a misread layout).
+        """
+        return {
+            "format_version": STATE_FORMAT_VERSION,
+            "active": [int(s) for s in self.active],
+            "position": int(self.position),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineState":
+        """Rebuild a snapshot, refusing version skew."""
+        version = data.get("format_version")
+        if version != STATE_FORMAT_VERSION:
+            raise SimulationError(
+                f"engine-state snapshot has format version {version!r}; "
+                f"this build reads version {STATE_FORMAT_VERSION} — "
+                f"re-snapshot under the current build"
+            )
+        return cls(
+            active=np.asarray(data["active"], dtype=np.int64),
+            position=int(data["position"]),
+        )
+
+
+@dataclass
+class BatchEngineState:
+    """Struct-of-arrays state of many streams sharing one automaton.
+
+    Row ``r`` is one stream: ``active_words[r]`` is its packed active
+    bitmap (``num_words(num_states)`` uint64 words), ``positions[r]``
+    its absolute stream position, ``reports_recorded[r]`` a running
+    count of reports recorded for it across batch steps (the scheduler
+    uses it for per-row budget bookkeeping).  This is the software CAMA
+    array: one ``step_batch`` call advances every row with 2-D word
+    operations, amortizing per-call overhead the way one CAM search
+    amortizes over all stored state rows.
+
+    :meth:`attach` / :meth:`detach` convert losslessly to and from the
+    per-stream :class:`EngineState` interchange form, so snapshots,
+    resume and the sharded dispatcher keep working unchanged — a batch
+    is a view a kernel holds for the duration of one step, not a new
+    persistence format.
+    """
+
+    #: packed active bitmaps, shape ``(rows, num_words(num_states))``
+    active_words: np.ndarray
+    #: absolute stream positions, shape ``(rows,)``
+    positions: np.ndarray
+    #: the shared automaton's state count (bit width of each row)
+    num_states: int
+    #: reports recorded per row across batch steps, shape ``(rows,)``
+    reports_recorded: np.ndarray
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.active_words.shape[0])
+
+    @classmethod
+    def attach(
+        cls, states: "list[EngineState]", num_states: int
+    ) -> "BatchEngineState":
+        """Stack per-stream states into one SoA batch (lossless)."""
+        from repro.sim.backends import bitwords
+
+        return cls(
+            active_words=bitwords.pack_rows(
+                [s.active for s in states], num_states
+            ),
+            positions=np.fromiter(
+                (s.position for s in states),
+                dtype=np.int64,
+                count=len(states),
+            ),
+            num_states=num_states,
+            reports_recorded=np.zeros(len(states), dtype=np.int64),
+        )
+
+    def detach(self) -> "list[EngineState]":
+        """Fresh per-stream :class:`EngineState`\\ s, one per row."""
+        from repro.sim.backends import bitwords
+
+        return [
+            EngineState(active=active, position=int(position))
+            for active, position in zip(
+                bitwords.unpack_rows(self.active_words, self.num_states),
+                self.positions,
+            )
+        ]
+
+    def detach_into(self, states: "list[EngineState]") -> None:
+        """Write the rows back into existing states, in place.
+
+        The round-trip half of :meth:`attach`: callers that own
+        long-lived :class:`EngineState` objects (sessions, snapshots)
+        get them advanced without identity changes.
+        """
+        if len(states) != self.num_rows:
+            raise SimulationError(
+                f"batch has {self.num_rows} rows, cannot detach into "
+                f"{len(states)} states"
+            )
+        for state, fresh in zip(states, self.detach()):
+            state.active = fresh.active
+            state.position = fresh.position
+
+    def row_state(self, row: int) -> EngineState:
+        """One row as a standalone :class:`EngineState` (a copy)."""
+        from repro.sim.backends import bitwords
+
+        return EngineState(
+            active=bitwords.unpack_indices(self.active_words[row]),
+            position=int(self.positions[row]),
+        )
+
+    def copy(self) -> "BatchEngineState":
+        return BatchEngineState(
+            active_words=self.active_words.copy(),
+            positions=self.positions.copy(),
+            num_states=self.num_states,
+            reports_recorded=self.reports_recorded.copy(),
+        )
+
+
+def normalize_batch_caps(max_reports, num_rows: int) -> list[int]:
+    """Per-row kept-reports budgets from an int-or-sequence argument."""
+    if isinstance(max_reports, int):
+        caps = [max_reports] * num_rows
+    else:
+        caps = [int(cap) for cap in max_reports]
+        if len(caps) != num_rows:
+            raise SimulationError(
+                f"got {len(caps)} report budgets for {num_rows} batch rows"
+            )
+    if any(cap < 0 for cap in caps):
+        raise SimulationError("report budgets must be >= 0")
+    return caps
 
 
 @dataclass
@@ -493,6 +642,53 @@ class CompiledKernel(ABC):
             keep_per_cycle=keep_per_cycle,
             max_reports=max_reports,
         )
+
+    def initial_batch(self, num_rows: int) -> BatchEngineState:
+        """A fresh :class:`BatchEngineState` of ``num_rows`` streams."""
+        return BatchEngineState.attach(
+            [self.initial_state() for _ in range(num_rows)],
+            len(self.automaton),
+        )
+
+    def step_batch(
+        self,
+        chunks: "list[bytes]",
+        batch: BatchEngineState,
+        *,
+        max_reports=DEFAULT_MAX_KEPT_REPORTS,
+    ) -> "list[StepResult]":
+        """Consume one chunk per stream row, advancing ``batch`` in place.
+
+        Row ``r`` of ``batch`` consumes ``chunks[r]`` with exactly the
+        semantics of :meth:`run_chunk` on that row's detached
+        :class:`EngineState` — same reports (absolute cycles, tagged to
+        their row by list position), same stats, same final state; the
+        oracle-differential batch property tests assert byte equality.
+        ``max_reports`` is one shared cap or a per-row budget sequence.
+
+        This base implementation is the correct per-row loop (the
+        sparse backend's batch path); vectorized kernels override it
+        with a single 2-D pass over all rows.
+        """
+        if len(chunks) != batch.num_rows:
+            raise SimulationError(
+                f"got {len(chunks)} chunks for {batch.num_rows} batch rows"
+            )
+        caps = normalize_batch_caps(max_reports, batch.num_rows)
+        states = batch.detach()
+        results = [
+            self.run_chunk(bytes(chunk), state, max_reports=cap)
+            for chunk, state, cap in zip(chunks, states, caps)
+        ]
+        from repro.sim.backends import bitwords
+
+        batch.active_words = bitwords.pack_rows(
+            [s.active for s in states], batch.num_states
+        )
+        for row, (state, result) in enumerate(zip(states, results)):
+            batch.positions[row] = state.position
+            batch.reports_recorded[row] += len(result.reports)
+        return results
 
 
 @runtime_checkable

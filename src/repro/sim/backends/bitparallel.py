@@ -29,6 +29,7 @@ from repro.errors import SimulationError
 from repro.sim.backends import bitwords
 from repro.sim.backends.base import (
     DEFAULT_MAX_KEPT_REPORTS,
+    BatchEngineState,
     CompiledKernel,
     EngineState,
     KernelTables,
@@ -37,6 +38,7 @@ from repro.sim.backends.base import (
     append_reports,
     cached_successor_csr,
     match_table,
+    normalize_batch_caps,
     reporting_mask,
     start_ids,
 )
@@ -210,6 +212,150 @@ class BitParallelKernel(CompiledKernel):
         state.active = active_ids
         state.position = base + len(data)
         return StepResult(reports=reports, stats=stats, truncated=truncated)
+
+    # -- batched multi-stream execution ----------------------------------
+    def step_batch(
+        self,
+        chunks: list[bytes],
+        batch: BatchEngineState,
+        *,
+        max_reports=DEFAULT_MAX_KEPT_REPORTS,
+    ) -> list[StepResult]:
+        """Advance every stream row one chunk in a single 2-D pass.
+
+        The software CAMA array step: per cycle, all rows' enable/match
+        happen as whole-matrix uint64 operations —
+
+        * the (row, state) pairs of all active bits come from one
+          ``np.nonzero`` over the unpacked matrix;
+        * successor rows are OR-folded per stream row with one
+          ``np.bitwise_or.reduceat`` segment reduction;
+        * the match step is one fancy-index into the per-symbol masks
+          and one matrix AND —
+
+        so per-cycle Python overhead is constant in the number of rows,
+        instead of the per-stream loop's ``O(rows)`` interpreter work.
+        Rows are processed in descending chunk-length order so the live
+        rows of any cycle form a contiguous matrix prefix; shorter rows
+        simply stop being touched once their chunk is consumed.
+        Semantics per row are exactly :meth:`run_chunk`'s.
+        """
+        num_rows = batch.num_rows
+        if len(chunks) != num_rows:
+            raise SimulationError(
+                f"got {len(chunks)} chunks for {num_rows} batch rows"
+            )
+        caps = normalize_batch_caps(max_reports, num_rows)
+        lens = np.fromiter(
+            (len(c) for c in chunks), dtype=np.int64, count=num_rows
+        )
+        # live-prefix ordering: longest chunks first (stable, so equal
+        # lengths keep their relative order)
+        order = np.argsort(-lens, kind="stable")
+        inverse = np.empty(num_rows, dtype=np.int64)
+        inverse[order] = np.arange(num_rows, dtype=np.int64)
+        sorted_lens = lens[order]
+        longest = int(sorted_lens[0]) if num_rows else 0
+
+        words = batch.active_words[order]  # fancy index: a fresh matrix
+        positions = batch.positions[order].copy()
+        sorted_caps = [caps[int(row)] for row in order]
+
+        symbols = np.zeros((num_rows, longest), dtype=np.uint8)
+        for i, row in enumerate(order):
+            chunk = chunks[int(row)]
+            if len(chunk):
+                symbols[i, : len(chunk)] = np.frombuffer(chunk, dtype=np.uint8)
+
+        n, num_words = self._n, self._num_words
+        succ_rows = self._succ_rows
+        match_words = self._match_words
+        reporting = self._reporting
+        # rows live at cycle t are those with chunk length >= t + 1
+        live_counts = np.searchsorted(
+            -sorted_lens, -(np.arange(longest, dtype=np.int64) + 1), side="right"
+        )
+
+        per_row_reports: list[list[Report]] = [[] for _ in range(num_rows)]
+        truncated = np.zeros(num_rows, dtype=bool)
+        enabled_sums = np.zeros(num_rows, dtype=np.int64)
+        active_sums = np.zeros(num_rows, dtype=np.int64)
+        report_counts = np.zeros(num_rows, dtype=np.int64)
+
+        # the active set as (row, state) pairs, carried across cycles so
+        # each cycle expands only its *new* active matrix (cost follows
+        # the set words, not rows x states)
+        row_idx, state_idx = bitwords.expand_rows(words)
+        for t in range(longest):
+            live = int(live_counts[t])
+            if row_idx.size and int(row_idx[-1]) >= live:
+                # rows past the live prefix just finished their chunks;
+                # their pairs drop out, their words stay frozen
+                keep = row_idx < live
+                row_idx, state_idx = row_idx[keep], state_idx[keep]
+            enabled = np.zeros((live, num_words), dtype=np.uint64)
+            if state_idx.size:
+                counts = np.bincount(row_idx, minlength=live)
+                occupied = counts > 0
+                starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                enabled[occupied] = np.bitwise_or.reduceat(
+                    succ_rows[state_idx], starts[occupied], axis=0
+                )
+            enabled |= self._start_all_words
+            if t == 0:
+                fresh = positions[:live] == 0
+                if fresh.any():
+                    enabled[fresh] |= self._start_first_words
+            active = enabled & match_words[symbols[:live, t]]
+            words[:live] = active
+            row_idx, state_idx = bitwords.expand_rows(active)
+
+            enabled_sums[:live] += bitwords.popcount_rows(enabled)
+            if row_idx.size:
+                active_sums[:live] += np.bincount(row_idx, minlength=live)
+                firing_sel = reporting[state_idx]
+                if firing_sel.any():
+                    fire_rows = row_idx[firing_sel]
+                    fire_states = state_idx[firing_sel]
+                    # pairs are row-major, so per-row groups are slices
+                    bounds = np.nonzero(np.diff(fire_rows))[0] + 1
+                    group_rows = fire_rows[
+                        np.concatenate(([0], bounds))
+                    ]
+                    for i, firing in zip(
+                        group_rows, np.split(fire_states, bounds)
+                    ):
+                        i = int(i)
+                        report_counts[i] += firing.size
+                        truncated[i] |= append_reports(
+                            per_row_reports[i],
+                            firing,
+                            int(positions[i]) + t,
+                            self._report_codes,
+                            sorted_caps[i],
+                        )
+
+        positions += sorted_lens
+        batch.active_words = words[inverse]
+        batch.positions = positions[inverse]
+
+        results = []
+        for row in range(num_rows):
+            i = int(inverse[row])
+            stats = TraceStats(num_states=n)
+            stats.num_cycles = int(lens[row])
+            stats.enabled_states_sum = int(enabled_sums[i])
+            stats.active_states_sum = int(active_sums[i])
+            stats.num_reports = int(report_counts[i])
+            batch.reports_recorded[row] += len(per_row_reports[i])
+            results.append(
+                StepResult(
+                    reports=per_row_reports[i],
+                    stats=stats,
+                    truncated=bool(truncated[i]),
+                )
+            )
+        return results
 
 
 class BitParallelBackend:

@@ -57,6 +57,72 @@ def popcount(words: np.ndarray) -> int:
     return int(_POPCOUNT8[words.view(np.uint8)].sum())
 
 
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row set-bit counts of a ``(rows, words)`` packed matrix."""
+    if words.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0: hardware popcount
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+    return _POPCOUNT8[words.view(np.uint8)].reshape(words.shape[0], -1).sum(
+        axis=1
+    )
+
+
+def expand_rows(words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The (row, state) pairs of all set bits of a packed matrix.
+
+    Row-major and bit-ascending within a row — the order a per-row
+    :func:`unpack_indices` would produce.  Cost follows the number of
+    *nonzero words*, not the matrix size: only set words are expanded
+    to bit level, so a sparsely-active batch pays almost nothing.
+    """
+    word_rows, word_cols = np.nonzero(words)
+    if not word_rows.size:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    bits = np.unpackbits(
+        words[word_rows, word_cols].view(np.uint8).reshape(-1, 8),
+        axis=1,
+        bitorder="little",
+    )
+    pair_idx, bit_idx = np.nonzero(bits)
+    return (
+        word_rows[pair_idx].astype(np.int64),
+        word_cols[pair_idx].astype(np.int64) * WORD_BITS + bit_idx,
+    )
+
+
+def pack_rows(id_lists, n: int) -> np.ndarray:
+    """Pack per-row index arrays into a ``(rows, num_words(n))`` matrix.
+
+    The multi-stream analogue of :func:`pack_indices`: one scatter over
+    the concatenated ids instead of a per-row Python loop.
+    """
+    rows = np.zeros((len(id_lists), num_words(n) * 8), dtype=np.uint8)
+    counts = np.fromiter(
+        (len(ids) for ids in id_lists), dtype=np.int64, count=len(id_lists)
+    )
+    if counts.sum():
+        row_idx = np.repeat(np.arange(len(id_lists), dtype=np.int64), counts)
+        ids = np.concatenate(
+            [np.asarray(ids, dtype=np.int64) for ids in id_lists if len(ids)]
+        )
+        np.bitwise_or.at(
+            rows, (row_idx, ids >> 3), np.left_shift(1, ids & 7).astype(np.uint8)
+        )
+    return rows.view(np.uint64)
+
+
+def unpack_rows(words: np.ndarray, n: int) -> list[np.ndarray]:
+    """Per-row ascending set-bit indices of a ``(rows, words)`` matrix."""
+    if words.shape[0] == 0:
+        return []
+    bits = np.unpackbits(words.view(np.uint8), axis=1, bitorder="little")[:, :n]
+    row_idx, ids = np.nonzero(bits)
+    counts = np.bincount(row_idx, minlength=words.shape[0])
+    return np.split(ids.astype(np.int64), np.cumsum(counts)[:-1])
+
+
 def any_bits(words: np.ndarray) -> bool:
     """True when at least one bit is set."""
     return bool(words.any())

@@ -7,6 +7,11 @@ table.  Cost scales with the number of active states and their out
 degree — the right trade-off for the few-percent active fractions of
 the paper's benchmark regime, and the wrong one for dense activity,
 where :mod:`repro.sim.backends.bitparallel` takes over.
+
+Batched multi-stream execution (``step_batch``) uses the base class's
+per-row loop fallback: the sparse kernel has no 2-D vectorized form,
+but the batch API stays correct and backend-portable (the
+oracle-differential batch tests run it against the same oracle).
 """
 
 from __future__ import annotations

@@ -45,6 +45,7 @@ from repro.errors import SimulationError
 from repro.sim.backends import (
     DEFAULT_MAX_KEPT_REPORTS,
     BACKEND_NAMES,
+    BatchEngineState,
     CompiledKernel,
     EngineState,
     ExecutionBackend,
@@ -93,6 +94,11 @@ _KERNEL_REPORTS = _REGISTRY.counter(
 _KERNEL_SECONDS = _REGISTRY.histogram(
     "repro_kernel_chunk_seconds",
     "Wall-clock seconds per kernel chunk",
+    ("backend",),
+)
+_KERNEL_BATCHES = _REGISTRY.counter(
+    "repro_kernel_batches_total",
+    "Batched multi-stream kernel steps (one call, many stream rows)",
     ("backend",),
 )
 
@@ -270,6 +276,68 @@ class Engine:
                 ),
             )
         return result
+
+    def step_batch(
+        self,
+        chunks: list[bytes],
+        states: list[EngineState],
+        *,
+        max_reports=None,
+    ) -> list[SimulationResult]:
+        """Advance many streams one chunk each in a single kernel call.
+
+        Row ``r`` consumes ``chunks[r]`` against ``states[r]`` (advanced
+        in place), with exactly the per-stream :meth:`run_chunk`
+        semantics — the batch is an amortization of Python-level
+        overhead, not a semantic change; the oracle-differential batch
+        tests assert byte-identical results.  ``max_reports`` is one
+        shared cap or a per-row budget sequence; as with
+        :meth:`run_chunk`, an explicit cap is intentional and silent
+        while hitting the implicit engine cap triggers the
+        ``on_truncation`` policy.
+        """
+        if len(chunks) != len(states):
+            raise SimulationError(
+                f"got {len(chunks)} chunks for {len(states)} stream states"
+            )
+        explicit = max_reports is not None
+        cap = max_reports if explicit else self.max_kept_reports
+        batch = BatchEngineState.attach(states, len(self.automaton))
+        start = time.perf_counter()
+        results = self._kernel.step_batch(chunks, batch, max_reports=cap)
+        elapsed = time.perf_counter() - start
+        batch.detach_into(states)
+
+        chunk_count, cycles, reports, seconds = self._instruments
+        _KERNEL_BATCHES.labels(self._kernel.name).inc()
+        chunk_count.inc(len(chunks))
+        total_cycles = sum(r.stats.num_cycles for r in results)
+        total_reports = sum(r.stats.num_reports for r in results)
+        cycles.inc(total_cycles)
+        reports.inc(total_reports)
+        seconds.observe(elapsed)
+        trace = current_trace()
+        if trace is not None:
+            trace.add_span(
+                "kernel.batch",
+                elapsed,
+                backend=self._kernel.name,
+                rows=len(chunks),
+                bytes=sum(len(c) for c in chunks),
+                cycles=total_cycles,
+                reports=total_reports,
+            )
+        if not explicit:
+            hit = sum(1 for r in results if r.truncated)
+            if hit:
+                handle_truncation(
+                    self.on_truncation,
+                    f"batched step of Engine({self.automaton.name!r}) hit "
+                    f"the kept-reports cap on {hit} of {len(results)} "
+                    f"stream rows; raise max_kept_reports (or pass an "
+                    f"explicit max_reports) to silence",
+                )
+        return results
 
     # -- full run ---------------------------------------------------------
     def run(
@@ -502,6 +570,7 @@ class StridedEngine:
 
 __all__ = [
     "DEFAULT_MAX_KEPT_REPORTS",
+    "BatchEngineState",
     "Engine",
     "EngineState",
     "ReportTruncationWarning",

@@ -1,0 +1,460 @@
+"""Oracle-differential tests for batched multi-stream execution.
+
+Every batched path — kernel ``step_batch``, ``Dispatcher.run_chunk_
+batch``, ``MatchingService.scan_many``, the server's feed scheduler —
+must produce results byte-identical to per-stream sequential stepping,
+under adversarial interleavings: 1-byte chunks, report patterns split
+across chunk boundaries, streams joining and leaving the batch between
+ticks, and shrinking kept-reports budgets.
+"""
+
+import asyncio
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api.config import ScanConfig
+from repro.automata.glushkov import compile_regex_set
+from repro.errors import ConfigError, SimulationError
+from repro.service import Dispatcher, MatchingService
+from repro.service.batching import BatchScheduler, feed_session_batch
+from repro.sim.backends import STATE_FORMAT_VERSION, BatchEngineState
+from repro.sim.backends.base import EngineState
+from repro.sim.engine import Engine
+
+BACKENDS = ["sparse", "bitparallel", "auto"]
+
+#: overlapping rules with multi-byte matches, so chunk splits land
+#: mid-pattern and several states report on the same cycle
+RULES = {
+    "r0": "abc[a-f]{2}x",
+    "r1": "foo(bar|baz)+",
+    "r2": "[0-9]{3}z",
+    "r3": "q.*nd",
+    "r4": "(a|b)c*d",
+}
+
+ALPHABET = b"abcdfoobarbaz0123qndxz \n"
+
+
+def _automaton():
+    return compile_regex_set(RULES, name="batch-tests")
+
+
+def _random_streams(rng, count, max_len=240):
+    streams = [
+        bytes(rng.choice(ALPHABET) for _ in range(rng.randrange(0, max_len)))
+        for _ in range(count)
+    ]
+    streams[0] = b""  # always include an empty stream
+    return streams
+
+
+def _keys(reports):
+    return [(r.cycle, r.state_id, r.code) for r in reports]
+
+
+def _active(state):
+    return sorted(int(s) for s in state.active)
+
+
+def _tick_chunks(rng, data, one_byte=False):
+    """Split ``data`` into adversarial tick-sized chunks."""
+    chunks, start = [], 0
+    while start < len(data):
+        size = 1 if one_byte else rng.randrange(1, 6)
+        chunks.append(data[start : start + size])
+        start += size
+    return chunks
+
+
+# -- kernel level ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("one_byte", [False, True], ids=["ragged", "1byte"])
+def test_engine_step_batch_matches_per_stream(backend, one_byte):
+    """Batched stepping == sequential run_chunk under interleavings."""
+    rng = random.Random(11)
+    automaton = _automaton()
+    engine = Engine(automaton, backend=backend)
+    streams = _random_streams(rng, 9)
+    plans = [_tick_chunks(rng, data, one_byte=one_byte) for data in streams]
+
+    # oracle: each stream stepped alone through the same chunk sequence
+    oracle_states = [engine.initial_state() for _ in streams]
+    oracle = [[] for _ in streams]
+    for row, plan in enumerate(plans):
+        for chunk in plan:
+            result = engine.run_chunk(chunk, oracle_states[row])
+            oracle[row].extend(result.reports)
+
+    # batched: one step_batch per tick; dry rows feed empty chunks
+    # (streams "leave" the batch as their plans run out)
+    states = [engine.initial_state() for _ in streams]
+    got = [[] for _ in streams]
+    for tick in range(max(len(plan) for plan in plans)):
+        chunks = [
+            plan[tick] if tick < len(plan) else b"" for plan in plans
+        ]
+        for row, result in enumerate(engine.step_batch(chunks, states)):
+            got[row].extend(result.reports)
+
+    for row in range(len(streams)):
+        assert _keys(got[row]) == _keys(oracle[row]), f"row {row}"
+        assert _active(states[row]) == _active(oracle_states[row])
+        assert states[row].position == oracle_states[row].position
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_engine_step_batch_join_leave(backend):
+    """Streams joining/leaving the batch mid-run change nothing."""
+    rng = random.Random(23)
+    automaton = _automaton()
+    engine = Engine(automaton, backend=backend)
+    streams = _random_streams(rng, 7)
+    plans = [_tick_chunks(rng, data) for data in streams]
+
+    oracle_states = [engine.initial_state() for _ in streams]
+    oracle = [[] for _ in streams]
+    for row, plan in enumerate(plans):
+        for chunk in plan:
+            oracle[row].extend(
+                engine.run_chunk(chunk, oracle_states[row]).reports
+            )
+
+    states = [engine.initial_state() for _ in streams]
+    got = [[] for _ in streams]
+    cursors = [0] * len(streams)
+    while any(cursors[r] < len(plans[r]) for r in range(len(streams))):
+        pending = [r for r in range(len(streams)) if cursors[r] < len(plans[r])]
+        members = [r for r in pending if rng.random() < 0.7] or pending
+        chunks = [plans[r][cursors[r]] for r in members]
+        results = engine.step_batch(chunks, [states[r] for r in members])
+        for r, result in zip(members, results):
+            got[r].extend(result.reports)
+            cursors[r] += 1
+
+    for row in range(len(streams)):
+        assert _keys(got[row]) == _keys(oracle[row]), f"row {row}"
+        assert _active(states[row]) == _active(oracle_states[row])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_engine_step_batch_per_row_caps(backend):
+    """Per-row kept-reports budgets truncate exactly like solo runs."""
+    rng = random.Random(5)
+    automaton = _automaton()
+    engine = Engine(automaton, backend=backend)
+    streams = [
+        bytes(rng.choice(b"abcd0123z") for _ in range(300)) for _ in range(4)
+    ]
+    caps = [0, 2, 5, 10_000]
+
+    solo = []
+    for data, cap in zip(streams, caps):
+        state = engine.initial_state()
+        solo.append(engine.run_chunk(data, state, max_reports=cap))
+
+    states = [engine.initial_state() for _ in streams]
+    batched = engine.step_batch(streams, states, max_reports=caps)
+    for row in range(len(streams)):
+        assert _keys(batched[row].reports) == _keys(solo[row].reports)
+        assert batched[row].truncated == solo[row].truncated
+        assert len(batched[row].reports) <= caps[row]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_engine_step_batch_stats_match(backend):
+    """Per-row stats equal the sequential per-stream stats."""
+    rng = random.Random(31)
+    automaton = _automaton()
+    engine = Engine(automaton, backend=backend)
+    streams = _random_streams(rng, 5)
+
+    for row, data in enumerate(streams):
+        state = engine.initial_state()
+        solo = engine.run_chunk(data, state)
+        states = [engine.initial_state() for _ in streams]
+        batched = engine.step_batch(streams, states)[row]
+        assert batched.stats.num_cycles == solo.stats.num_cycles
+        assert batched.stats.num_reports == solo.stats.num_reports
+        assert batched.stats.enabled_states_sum == solo.stats.enabled_states_sum
+        assert batched.stats.active_states_sum == solo.stats.active_states_sum
+
+
+def test_engine_step_batch_validates_lengths():
+    engine = Engine(_automaton(), backend="sparse")
+    with pytest.raises(SimulationError):
+        engine.step_batch([b"ab"], [])
+
+
+# -- struct-of-arrays state ------------------------------------------------
+
+
+def test_batch_engine_state_round_trip():
+    """attach -> detach is lossless for arbitrary active sets."""
+    n = 131  # forces multi-word rows with a ragged top word
+    states = [
+        EngineState(active=[0, 63, 64, 65, 130], position=7),
+        EngineState(active=[], position=0),
+        EngineState(active=list(range(0, n, 3)), position=12345),
+    ]
+    batch = BatchEngineState.attach(states, n)
+    assert batch.num_rows == 3
+    out = batch.detach()
+    for before, after in zip(states, out):
+        assert _active(after) == sorted(before.active)
+        assert after.position == before.position
+    # detach_into writes the originals in place
+    batch.positions += 5
+    batch.detach_into(states)
+    assert [s.position for s in states] == [12, 5, 12350]
+    with pytest.raises(SimulationError):
+        batch.detach_into(states[:2])
+
+
+def test_engine_state_serialization_round_trip():
+    state = EngineState(active=[3, 1, 9], position=42)
+    snapshot = state.to_dict()
+    assert snapshot["format_version"] == STATE_FORMAT_VERSION
+    back = EngineState.from_dict(snapshot)
+    assert _active(back) == sorted(state.active)
+    assert back.position == 42
+
+
+def test_engine_state_version_skew_rejected():
+    snapshot = EngineState(active=[1], position=1).to_dict()
+    snapshot["format_version"] = STATE_FORMAT_VERSION + 1
+    with pytest.raises(SimulationError, match="format version"):
+        EngineState.from_dict(snapshot)
+
+
+# -- dispatcher level ------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dispatcher_run_chunk_batch_matches(backend):
+    rng = random.Random(47)
+    automaton = _automaton()
+    config = ScanConfig(backend=backend, num_shards=3)
+    dispatcher = Dispatcher(automaton, config)
+    streams = _random_streams(rng, 6)
+    plans = [_tick_chunks(rng, data) for data in streams]
+
+    solo_states = [dispatcher.initial_states() for _ in streams]
+    oracle = [[] for _ in streams]
+    for row, plan in enumerate(plans):
+        for chunk in plan:
+            oracle[row].extend(
+                dispatcher.run_chunk(chunk, solo_states[row]).reports
+            )
+
+    states = [dispatcher.initial_states() for _ in streams]
+    got = [[] for _ in streams]
+    for tick in range(max(len(plan) for plan in plans)):
+        chunks = [plan[tick] if tick < len(plan) else b"" for plan in plans]
+        for row, result in enumerate(
+            dispatcher.run_chunk_batch(chunks, states)
+        ):
+            got[row].extend(result.reports)
+
+    for row in range(len(streams)):
+        assert _keys(got[row]) == _keys(oracle[row]), f"row {row}"
+
+
+def test_dispatcher_run_chunk_batch_validates():
+    dispatcher = Dispatcher(_automaton(), ScanConfig(num_shards=2))
+    states = dispatcher.initial_states()
+    with pytest.raises(SimulationError):
+        dispatcher.run_chunk_batch([b"x"], [])
+    with pytest.raises(SimulationError):
+        dispatcher.run_chunk_batch([b"x"], [states[:1]])
+
+
+# -- service level ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_scan_many_batched_matches_sequential(backend):
+    rng = random.Random(61)
+    automaton = _automaton()
+    streams = {
+        f"s{i}": data for i, data in enumerate(_random_streams(rng, 7, 500))
+    }
+    with MatchingService(
+        ScanConfig(backend=backend, batch_max_rows=1)
+    ) as sequential, MatchingService(
+        ScanConfig(backend=backend, batch_max_rows=3, chunk_size=64)
+    ) as batched:
+        seq = sequential.scan_many(automaton, streams, chunk_size=64)
+        bat = batched.scan_many(automaton, streams, chunk_size=64)
+        for name in streams:
+            assert _keys(bat[name].reports) == _keys(seq[name].reports), name
+            assert bat[name].stats.num_cycles == seq[name].stats.num_cycles
+            assert bat[name].stats.num_reports == seq[name].stats.num_reports
+            assert bat[name].truncated == seq[name].truncated
+        # shrinking budgets: the global cap trims identically
+        seq = sequential.scan_many(
+            automaton, streams, chunk_size=64, max_reports=3
+        )
+        bat = batched.scan_many(
+            automaton, streams, chunk_size=64, max_reports=3
+        )
+        for name in streams:
+            assert _keys(bat[name].reports) == _keys(seq[name].reports), name
+            assert bat[name].truncated == seq[name].truncated
+
+
+# -- scheduler / server level ---------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_feed_session_batch_matches_solo_feeds(backend):
+    rng = random.Random(83)
+    automaton = _automaton()
+    streams = _random_streams(rng, 5, 400)
+    with MatchingService(ScanConfig(backend=backend)) as solo_svc:
+        solo = [
+            solo_svc.open_session(automaton, f"solo{i}")
+            for i in range(len(streams))
+        ]
+        with MatchingService(ScanConfig(backend=backend)) as batch_svc:
+            batched = [
+                batch_svc.open_session(automaton, f"batch{i}")
+                for i in range(len(streams))
+            ]
+            dispatcher = batched[0].dispatcher
+            cursors = [0] * len(streams)
+            while any(c < len(s) for c, s in zip(cursors, streams)):
+                entries, expect = [], []
+                for i, session in enumerate(batched):
+                    if cursors[i] >= len(streams[i]):
+                        continue
+                    size = rng.randrange(1, 40)
+                    chunk = streams[i][cursors[i] : cursors[i] + size]
+                    cursors[i] += len(chunk)
+                    entries.append((session, chunk))
+                    expect.append(solo[i].feed(chunk))
+                outcomes = feed_session_batch(dispatcher, entries)
+                for (reports, exc), solo_reports in zip(outcomes, expect):
+                    assert exc is None
+                    assert _keys(reports) == _keys(solo_reports)
+            for a, b in zip(solo, batched):
+                assert _keys(a.reports) == _keys(b.reports)
+                assert a.position == b.position
+
+
+def test_batch_scheduler_coalesces_and_matches():
+    """Concurrent submits resolve with the same reports as solo feeds."""
+    automaton = _automaton()
+    rng = random.Random(97)
+    streams = _random_streams(rng, 6, 300)
+    with MatchingService(ScanConfig()) as solo_svc:
+        expected = []
+        for i, data in enumerate(streams):
+            session = solo_svc.open_session(automaton, f"s{i}")
+            expected.append(_keys(session.feed(data)))
+
+    async def drive():
+        with ThreadPoolExecutor(max_workers=2) as executor:
+            scheduler = BatchScheduler(
+                executor, max_rows=4, max_delay_s=0.05
+            )
+            with MatchingService(ScanConfig()) as service:
+                sessions = [
+                    service.open_session(automaton, f"s{i}")
+                    for i in range(len(streams))
+                ]
+                dispatcher = sessions[0].dispatcher
+                jobs = [
+                    scheduler.submit(dispatcher, session, data)
+                    for session, data in zip(sessions, streams)
+                ]
+                reports = await asyncio.gather(*jobs)
+                return [_keys(r) for r in reports], scheduler.stats()
+
+    got, stats = asyncio.run(drive())
+    assert got == expected
+    assert stats["enabled"] is True
+    assert stats["rows"] == len(streams)
+    assert stats["batches"] < len(streams)  # something actually coalesced
+    assert stats["flush_reasons"]["rows_full"] >= 1
+    assert sum(stats["flush_reasons"].values()) == stats["batches"]
+
+
+def test_server_batched_feeds_match_unbatched():
+    """The full wire path: batched server == batching-disabled server."""
+    from repro.service import BackgroundServer, MatchingClient
+
+    rng = random.Random(3)
+    streams = {
+        f"c{i}": bytes(rng.choice(ALPHABET) for _ in range(240))
+        for i in range(4)
+    }
+
+    def run(batch_rows):
+        import threading
+
+        config = ScanConfig(
+            batch_max_rows=batch_rows, batch_max_delay_ms=2.0
+        )
+        out, errors = {}, []
+        with BackgroundServer(config=config, executor_workers=4) as bg:
+            def worker(name, data):
+                try:
+                    with MatchingClient(port=bg.port) as client:
+                        handle = client.register(RULES)
+                        session = client.open_session(handle, name)
+                        collected = []
+                        for start in range(0, len(data), 48):
+                            collected.extend(
+                                session.feed(data[start : start + 48])
+                            )
+                        session.close()
+                        out[name] = _keys(collected)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=item)
+                for item in streams.items()
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+            with MatchingClient(port=bg.port) as client:
+                stats = client.stats()
+        assert not errors, errors
+        return out, stats
+
+    batched, batched_stats = run(8)
+    solo, solo_stats = run(1)
+    assert batched == solo
+    assert batched_stats["batching"]["enabled"] is True
+    assert batched_stats["batching"]["rows"] >= len(streams)
+    assert solo_stats["batching"] == {"enabled": False}
+
+
+# -- config syntax ---------------------------------------------------------
+
+
+def test_scan_config_batch_fields_validate():
+    assert ScanConfig().batch_max_rows == 64
+    assert ScanConfig().batch_max_delay_ms == 2.0
+    ScanConfig(batch_max_rows=1, batch_max_delay_ms=0.0)  # legal bounds
+    with pytest.raises(ConfigError):
+        ScanConfig(batch_max_rows=0)
+    with pytest.raises(ConfigError):
+        ScanConfig(batch_max_rows=True)
+    with pytest.raises(ConfigError):
+        ScanConfig(batch_max_delay_ms=-1.0)
+    with pytest.raises(ConfigError):
+        ScanConfig(batch_max_delay_ms=True)
+    # round-trips through the serialized forms like any other field
+    cfg = ScanConfig(batch_max_rows=8, batch_max_delay_ms=1.5)
+    back = ScanConfig.from_dict(cfg.to_dict())
+    assert back.batch_max_rows == 8
+    assert back.batch_max_delay_ms == 1.5
