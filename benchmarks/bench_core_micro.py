@@ -9,11 +9,13 @@ regressions in the substrate are visible.
 import time
 
 import numpy as np
+import pytest
 
 from repro.core.compiler import CamaCompiler, compile_automaton
 from repro.core.encoding.compression import compress_class
 from repro.core.encoding.selection import select_encoding
 from repro.core.machine import CamaMachine
+from repro.sim.backends.native import native_available
 from repro.sim.engine import Engine
 from repro.workloads.generators import dense_activity_automaton
 
@@ -106,6 +108,20 @@ def test_bitparallel_backend_dense_workload(benchmark):
     assert result.stats.num_cycles == len(data)
 
 
+@pytest.mark.skipif(
+    not native_available(), reason="compiled kernel not loadable here"
+)
+def test_native_backend_dense_workload(benchmark):
+    """Compiled C loop on the dense-activity workload."""
+    automaton = dense_activity_automaton(
+        DENSE_STATES, match_width=DENSE_MATCH_WIDTH
+    )
+    engine = Engine(automaton, backend="native")
+    data = _dense_stream()
+    result = benchmark(engine.run, data, max_reports=0)
+    assert result.stats.num_cycles == len(data)
+
+
 def test_bitparallel_backend_sparse_workload(benchmark, ctx):
     """Bit-parallel kernel on Snort — the regime where sparse wins."""
     engine = Engine(ctx.benchmark("Snort").automaton, backend="bitparallel")
@@ -125,6 +141,7 @@ def test_backend_crossover():
     see the table.
     """
     data = _dense_stream(4000)
+    have_native = native_available()
     rows = []
     crossover = None
     for width in (2, 8, 32, 96, 160, 230):
@@ -138,15 +155,23 @@ def test_backend_crossover():
         t1 = time.perf_counter()
         bitp.run(data, max_reports=0)
         t2 = time.perf_counter()
+        tn = None
+        if have_native:
+            nat = Engine(automaton, backend="native")
+            nat.run(data[:64], max_reports=0)  # bind outside the timing
+            t3 = time.perf_counter()
+            nat.run(data, max_reports=0)
+            tn = time.perf_counter() - t3
         speedup = (t1 - t0) / (t2 - t1)
-        rows.append((width, fraction, t1 - t0, t2 - t1, speedup))
+        rows.append((width, fraction, t1 - t0, t2 - t1, tn, speedup))
         if crossover is None and speedup >= 1.0:
             crossover = fraction
-    print("\nwidth  active%  sparse_s  bitparallel_s  speedup")
-    for width, fraction, ts, tb, speedup in rows:
+    print("\nwidth  active%  sparse_s  bitparallel_s  native_s  speedup")
+    for width, fraction, ts, tb, tn, speedup in rows:
+        native_col = f"{tn:8.4f}" if tn is not None else "     n/a"
         print(
             f"{width:5d}  {100 * fraction:6.2f}  {ts:8.4f}  {tb:13.4f}  "
-            f"{speedup:6.2f}x"
+            f"{native_col}  {speedup:6.2f}x"
         )
     print(
         "crossover active fraction: "

@@ -154,8 +154,8 @@ class CompileConfig:
             StridedEngine`; the CAMA encoding/mapping passes apply only
             at stride 1.
         backend: execution-backend *hint* for the kernel-prebuild pass
-            ("sparse" / "bitparallel" / "auto"), or None to skip kernel
-            prebuild (program-only compilations).
+            ("sparse" / "bitparallel" / "native" / "auto"), or None to
+            skip kernel prebuild (program-only compilations).
         allow_negation: apply negation optimization per state.
         clustered: apply frequency-first symbol clustering.
         fixed_32bit: bypass selection and use the fixed 32-bit
@@ -222,7 +222,9 @@ class ScanConfig:
 
     Args:
         backend: execution backend policy — ``"sparse"``,
-            ``"bitparallel"``, ``"auto"`` (resolves per shard), or an
+            ``"bitparallel"``, ``"native"`` (compiled C loop, degrades
+            to bitparallel when no compiled library is loadable),
+            ``"auto"`` (resolves per shard), or an
             :class:`~repro.sim.backends.ExecutionBackend` instance
             (not serializable: :meth:`to_dict` rejects it).
         num_shards: shards per ruleset (whole connected components,

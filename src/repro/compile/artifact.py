@@ -169,6 +169,11 @@ class CompiledArtifact:
             "succ_targets": tables.succ_targets.astype(np.int64),
             "match_words": tables.match_words.astype("<u8"),
         }
+        if tables.succ_words is not None:
+            # packed successor rows from a bit-parallel/native kernel:
+            # optional (older artifacts lack it), lets warm loads skip
+            # the per-state derivation loop entirely
+            arrays["succ_words"] = tables.succ_words.astype("<u8")
         manifest: dict = {
             "format_version": ARTIFACT_FORMAT_VERSION,
             "key": compiled.key,
@@ -344,6 +349,13 @@ class CompiledArtifact:
             start_sod=np.nonzero(start == 2)[0].astype(np.int64),
             reporting=self.arrays["state_reporting"].astype(bool),
             report_codes=list(codes),
+            succ_words=(
+                np.ascontiguousarray(
+                    self.arrays["succ_words"], dtype=np.uint64
+                )
+                if "succ_words" in self.arrays
+                else None
+            ),
         )
 
     def engine(self, backend: str | None = None, **engine_kwargs):
@@ -356,6 +368,7 @@ class CompiledArtifact:
         """
         from repro.sim.backends import choose_backend_name
         from repro.sim.backends.bitparallel import BitParallelKernel
+        from repro.sim.backends.native import dense_backend
         from repro.sim.backends.sparse import SparseKernel
         from repro.sim.engine import Engine
 
@@ -363,8 +376,17 @@ class CompiledArtifact:
         name = backend or self.backend or self.options.backend or "sparse"
         if name == "auto":
             name = choose_backend_name(automaton)
+            if name == "bitparallel":
+                # dense family resolves to the compiled loop when this
+                # host can load it (same upgrade AutoBackend applies)
+                name = dense_backend().name
         tables = self.kernel_tables()
-        if name == "bitparallel":
+        if name == "native":
+            # degrades to a plain BitParallelKernel on hosts without
+            # the compiled library — artifacts recorded as "native"
+            # stay loadable anywhere
+            kernel = dense_backend().from_tables(automaton, tables)
+        elif name == "bitparallel":
             kernel = BitParallelKernel(automaton, tables=tables)
         elif name == "sparse":
             kernel = SparseKernel(automaton, tables=tables)
@@ -526,6 +548,11 @@ class CompiledArtifact:
             or self.arrays["state_reporting"].shape != (n,)
             or self.arrays["succ_offsets"].shape != (n + 1,)
             or self.arrays["match_words"].shape != (256, bitwords.num_words(n))
+            or (
+                "succ_words" in self.arrays
+                and self.arrays["succ_words"].shape
+                != (n, bitwords.num_words(n))
+            )
         ):
             raise ArtifactError("artifact arrays are inconsistent; recompile")
         offsets = self.arrays["succ_offsets"]

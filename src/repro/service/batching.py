@@ -14,8 +14,9 @@ glue that *finds* those batches:
 - :class:`BatchScheduler` — the asyncio half used by the NDJSON
   server: pending feeds accumulate per dispatcher and flush as one
   batched executor job when the batch fills (``rows_full``), when the
-  oldest entry has waited ``max_delay_s`` (``max_delay``), or when the
-  server drains (``drain``).
+  oldest entry has waited ``max_delay_s`` (``max_delay``), when the
+  scheduler runs with no delay window or has been closed
+  (``immediate``), or when the server drains (``drain``).
 
 Batching never reorders a single stream (the server admits at most one
 in-flight chunk per session) and never changes results — every flush
@@ -38,11 +39,12 @@ _BATCH_ROWS = _REGISTRY.histogram(
 )
 _BATCH_FLUSHES = _REGISTRY.counter(
     "repro_batch_flushes_total",
-    "Batched-feed flushes by trigger (rows_full / max_delay / drain)",
+    "Batched-feed flushes by trigger "
+    "(rows_full / max_delay / immediate / drain)",
     ("reason",),
 )
 
-FLUSH_REASONS = ("rows_full", "max_delay", "drain")
+FLUSH_REASONS = ("rows_full", "max_delay", "immediate", "drain")
 
 
 def observe_flush(rows: int, reason: str) -> None:
@@ -61,19 +63,38 @@ def feed_session_batch(dispatcher, entries):
     equivalent solo feed would have raised (``on_truncation="error"``),
     or None.  State bookkeeping happens even for erroring entries,
     exactly as in the solo path.
+
+    Closed sessions are filtered out *before* the batched dispatch —
+    running their rows would advance their shard states even though
+    :meth:`Session.absorb` refuses the result — and get the same
+    ``SimulationError`` outcome the solo feed raises.
     """
-    chunks = [chunk for _, chunk in entries]
-    results = dispatcher.run_chunk_batch(
-        chunks,
-        [session.shard_states for session, _ in entries],
-        max_reports=[session.report_budget for session, _ in entries],
-    )
-    outcomes: list[tuple[list[Report], BaseException | None]] = []
-    for (session, chunk), result in zip(entries, results):
-        try:
-            outcomes.append((session.absorb(chunk, result), None))
-        except Exception as exc:  # e.g. on_truncation="error"
-            outcomes.append(([], exc))
+    from repro.errors import SimulationError
+
+    outcomes: list[tuple[list[Report], BaseException | None] | None] = [
+        None
+    ] * len(entries)
+    live: list[int] = []
+    for i, (session, _) in enumerate(entries):
+        if session.closed:
+            outcomes[i] = (
+                [],
+                SimulationError(f"session {session.name!r} is closed"),
+            )
+        else:
+            live.append(i)
+    if live:
+        results = dispatcher.run_chunk_batch(
+            [entries[i][1] for i in live],
+            [entries[i][0].shard_states for i in live],
+            max_reports=[entries[i][0].report_budget for i in live],
+        )
+        for i, result in zip(live, results):
+            session, chunk = entries[i]
+            try:
+                outcomes[i] = (session.absorb(chunk, result), None)
+            except Exception as exc:  # e.g. on_truncation="error"
+                outcomes[i] = ([], exc)
     return outcomes
 
 
@@ -96,6 +117,13 @@ class BatchScheduler:
     :func:`feed_session_batch` job on ``executor``.  The trade-off is
     explicit: a lone stream pays up to ``max_delay_s`` extra latency so
     that N concurrent streams pay one kernel invocation instead of N.
+
+    With ``max_delay_s == 0`` every submit flushes its group at once —
+    those flushes count under the ``immediate`` reason (no timer ever
+    fired).  After :meth:`close` the scheduler keeps working but stops
+    parking: feeds that race in behind a drain (frames the server had
+    already read) flush immediately instead of waiting on a delay
+    timer that may never be serviced again.
     """
 
     def __init__(self, executor, *, max_rows: int, max_delay_s: float) -> None:
@@ -104,6 +132,7 @@ class BatchScheduler:
         self._max_delay_s = max(0.0, float(max_delay_s))
         self._pending: dict[int, _Pending] = {}
         self._keepalive: dict[int, object] = {}  # dispatcher refs
+        self.closed = False
         self.batches = 0
         self.rows = 0
         self.flush_reasons = {reason: 0 for reason in FLUSH_REASONS}
@@ -118,7 +147,7 @@ class BatchScheduler:
             group = _Pending()
             self._pending[key] = group
             self._keepalive[key] = dispatcher
-            if self._max_delay_s > 0:
+            if self._max_delay_s > 0 and not self.closed:
                 group.timer = loop.call_later(
                     self._max_delay_s, self._flush, key, "max_delay"
                 )
@@ -126,9 +155,20 @@ class BatchScheduler:
         group.futures.append(future)
         if len(group.entries) >= self._max_rows:
             self._flush(key, "rows_full")
-        elif self._max_delay_s == 0:
-            self._flush(key, "max_delay")
+        elif self.closed or self._max_delay_s == 0:
+            self._flush(key, "immediate")
         return await future
+
+    def close(self) -> None:
+        """Drain pending groups and switch to immediate-flush mode.
+
+        Called when the server drains.  Feeds submitted afterwards
+        still execute (the server finishes every frame it already
+        read), but each flushes at once — nothing can park behind a
+        ``max_delay_s`` window after the drain pass has run.
+        """
+        self.closed = True
+        self.flush_all("drain")
 
     def flush_all(self, reason: str = "drain") -> None:
         """Flush every pending group (server drain / shutdown)."""

@@ -289,7 +289,10 @@ class MatchingServer:
         )
         self._drain_event.set()
         if self._batcher is not None:
-            self._batcher.flush_all("drain")
+            # close, not just flush: feeds racing in behind the drain
+            # (frames already read off a socket) must flush immediately
+            # instead of parking on a delay timer nothing will service
+            self._batcher.close()
         self._server.close()
         await self._server.wait_closed()
         if self._conn_tasks:

@@ -135,7 +135,14 @@ class Session:
         :meth:`~repro.service.sharding.Dispatcher.run_chunk_batch` call
         (against :attr:`shard_states`, capped at :attr:`report_budget`)
         and still account each result exactly as a solo feed would.
+
+        Raises the same closed-session error :meth:`feed` does: the
+        batched path must never advance a closed stream's accounting
+        (batch dispatchers filter closed sessions out *before*
+        dispatch, so their shard states are never touched either).
         """
+        if self.closed:
+            raise SimulationError(f"session {self.name!r} is closed")
         _SESSION_FEEDS.labels().inc()
         _SESSION_FEED_BYTES.labels().inc(len(chunk))
         if self._ledger_probe is not None:

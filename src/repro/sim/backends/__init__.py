@@ -19,10 +19,16 @@ Shipped backends:
     Packed uint64 state bitmaps with precomputed per-symbol match masks
     and per-state successor rows — cost follows ``n/64`` words, with no
     sorting.  Best on dense-activity workloads.
+``native``
+    The bit-parallel step loop compiled to machine code (a C extension
+    built at install time, or compiled at runtime via ctypes) — same
+    tables, same semantics, no per-cycle interpreter cost.  Degrades
+    to ``bitparallel`` when no compiled library is loadable, so it is
+    always safe to request.
 ``auto``
-    Picks one of the above per automaton (per *shard*, under the
-    dispatcher) from the state count and the estimated or measured
-    active fraction.
+    Picks per automaton (per *shard*, under the dispatcher) from the
+    state count and the estimated or measured active fraction; dense
+    choices resolve to ``native`` whenever the compiled loop loads.
 """
 
 from __future__ import annotations
@@ -56,12 +62,18 @@ from repro.sim.backends.bitparallel import (
     BitParallelBackend,
     BitParallelKernel,
 )
+from repro.sim.backends.native import (
+    NativeBackend,
+    NativeKernel,
+    native_available,
+)
 from repro.sim.backends.sparse import SparseBackend, SparseKernel
 
 #: the selectable backends, by registry name
 BACKENDS: dict[str, ExecutionBackend] = {
     "sparse": SparseBackend(),
     "bitparallel": BitParallelBackend(),
+    "native": NativeBackend(),
     "auto": AutoBackend(),
 }
 
@@ -100,6 +112,8 @@ __all__ = [
     "ExecutionBackend",
     "KernelTables",
     "MAX_BITPARALLEL_STATES",
+    "NativeBackend",
+    "NativeKernel",
     "PlacementTracker",
     "ReportTruncationWarning",
     "SimulationResult",
@@ -111,5 +125,6 @@ __all__ = [
     "clear_csr_cache",
     "gather_successors",
     "get_backend",
+    "native_available",
     "successor_csr",
 ]

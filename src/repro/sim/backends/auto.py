@@ -23,10 +23,7 @@ from __future__ import annotations
 
 from repro.automata.analysis import estimate_active_fraction
 from repro.sim.backends.base import CompiledKernel
-from repro.sim.backends.bitparallel import (
-    MAX_BITPARALLEL_STATES,
-    BitParallelBackend,
-)
+from repro.sim.backends.bitparallel import MAX_BITPARALLEL_STATES
 from repro.sim.backends.sparse import SparseBackend
 from repro.telemetry.metrics import default_registry
 
@@ -46,6 +43,10 @@ def choose_backend_name(
     active_fraction: float | None = None,
 ) -> str:
     """Resolve the ``auto`` policy to ``"sparse"`` or ``"bitparallel"``.
+
+    The result names the kernel *family* (representation choice), not
+    the implementation: :class:`AutoBackend` compiles the dense family
+    through the native C loop whenever it is loadable on this host.
 
     ``active_fraction`` overrides the static estimate with a measured
     per-cycle active fraction (``TraceStats.avg_active_states() / n``
@@ -82,5 +83,9 @@ class AutoBackend:
             automaton, active_fraction=self.active_fraction
         )
         if choice == "bitparallel":
-            return BitParallelBackend().compile(automaton)
+            # dense family: the compiled C loop when loadable on this
+            # host, the pure-numpy kernel otherwise
+            from repro.sim.backends.native import dense_backend
+
+            return dense_backend().compile(automaton)
         return SparseBackend().compile(automaton)

@@ -433,6 +433,11 @@ class KernelTables:
     reporting: np.ndarray
     #: per-state report codes (None for non-reporting states)
     report_codes: list
+    #: optional packed per-state successor rows, shape (n, num_words(n))
+    #: — exported by the packed-bitmap kernels so artifact warm loads
+    #: skip the per-state Python derivation loop; None when the
+    #: producing kernel never built them (e.g. sparse)
+    succ_words: "np.ndarray | None" = None
 
     @classmethod
     def from_automaton(cls, automaton) -> "KernelTables":
@@ -468,6 +473,10 @@ class KernelTables:
             or self.succ_offsets.shape != (n + 1,)
             or self.reporting.shape != (n,)
             or len(self.report_codes) != n
+            or (
+                self.succ_words is not None
+                and self.succ_words.shape != (n, bitwords.num_words(n))
+            )
         ):
             raise SimulationError(
                 f"kernel tables do not match an automaton of {n} states"

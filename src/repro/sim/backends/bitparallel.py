@@ -98,9 +98,16 @@ class BitParallelKernel(CompiledKernel):
             start_all, start_sod = tables.start_all, tables.start_sod
             self._reporting = tables.reporting
             self._report_codes = list(tables.report_codes)
-        self._succ_rows = bitwords.successor_rows(
-            self._succ_offsets, self._succ_targets, n
-        )
+        if tables is not None and tables.succ_words is not None:
+            # artifact warm path: the packed successor matrix was
+            # exported at compile time, skip the per-state build loop
+            self._succ_rows = np.ascontiguousarray(
+                tables.succ_words, dtype=np.uint64
+            )
+        else:
+            self._succ_rows = bitwords.successor_rows(
+                self._succ_offsets, self._succ_targets, n
+            )
         self._start_all_words = bitwords.pack_indices(start_all, n)
         self._start_first_words = self._start_all_words | bitwords.pack_indices(
             start_sod, n
@@ -119,6 +126,7 @@ class BitParallelKernel(CompiledKernel):
             start_sod=self._start_sod,
             reporting=self._reporting,
             report_codes=list(self._report_codes),
+            succ_words=self._succ_rows,
         )
 
     # -- single-step API (parity with the sparse kernel) -----------------

@@ -1,0 +1,191 @@
+/* cama_kernel.c — the bit-parallel automata step loop, in C.
+ *
+ * This is the native half of `repro.sim.backends.native`: the exact
+ * packed-uint64 semantics of the pure-numpy BitParallelKernel
+ * (per-symbol match masks, successor-row OR-reduce, report
+ * extraction), with the per-cycle Python/numpy dispatch overhead
+ * removed.  The Python side owns all memory: every pointer passed in
+ * is a C-contiguous numpy array, and the function is pure compute —
+ * no allocation, no globals, no Python API — so ctypes can call it
+ * with the GIL released and rows of a batch can be stepped from the
+ * same tables concurrently.
+ *
+ * The file compiles two ways:
+ *
+ *   - at install time by setup.py as the extension module
+ *     `repro.sim.backends._cama_native` (CAMA_BUILD_PYEXT defined; a
+ *     stub PyInit_ is appended so setuptools can build it — the
+ *     symbol below is still read via ctypes.CDLL on the .so, never
+ *     through Python imports);
+ *
+ *   - at runtime by `cc -O3 -shared -fPIC` into a per-user cache when
+ *     the package was never installed with a compiler at hand.  This
+ *     path deliberately needs no Python headers.
+ *
+ * Report-buffer contract (resumability): the caller hands a bounded
+ * (cycle, state) scratch buffer.  Before every cycle the loop checks
+ * that a worst-case report burst — every reporting state firing at
+ * once, `nrep_total` — still fits; if not it returns early with the
+ * next unconsumed offset so Python can drain the buffer and resume.
+ * A capacity >= nrep_total therefore guarantees forward progress.
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CAMA_POPCOUNT64(x) ((int64_t)__builtin_popcountll(x))
+#define CAMA_CTZ64(x) ((int64_t)__builtin_ctzll(x))
+#else
+static int64_t cama_popcount_soft(uint64_t x) {
+    int64_t count = 0;
+    while (x) {
+        x &= x - 1;
+        count++;
+    }
+    return count;
+}
+static int64_t cama_ctz_soft(uint64_t x) {
+    int64_t idx = 0;
+    while (!(x & 1u)) {
+        x >>= 1;
+        idx++;
+    }
+    return idx;
+}
+#define CAMA_POPCOUNT64(x) cama_popcount_soft(x)
+#define CAMA_CTZ64(x) cama_ctz_soft(x)
+#endif
+
+/* counters layout (zeroed by the caller before each call) */
+enum {
+    CAMA_CTR_ENABLED_SUM = 0, /* sum of enabled-state counts per cycle   */
+    CAMA_CTR_ACTIVE_SUM = 1,  /* sum of active-state counts per cycle    */
+    CAMA_CTR_FIRED = 2,       /* reports fired (recorded or not)         */
+    CAMA_CTR_RECORDED = 3,    /* reports written to rep_cycles/rep_states */
+    CAMA_CTR_TRUNCATED = 4,   /* 1 if any firing report exceeded budget  */
+    CAMA_CTR_COUNT = 5
+};
+
+/* Step `active` through data[start_offset..length); returns the next
+ * unconsumed offset (== length when the chunk completed, less when the
+ * loop paused to let the caller drain the report buffer).
+ *
+ *   match_words  (256, words)  per-symbol match masks
+ *   succ_rows    (n, words)    successor bitmap per state
+ *   start_all / start_first / reporting   (words,) masks
+ *   words        words per bitmap row
+ *   nrep_total   popcount(reporting): worst-case reports in one cycle
+ *   data         input symbols, `length` of them
+ *   base_cycle   absolute cycle of data[0] (start_first applies only
+ *                at absolute cycle 0); report cycles are absolute
+ *   active       (words,) in/out current active bitmap
+ *   scratch      (words,) caller-provided enabled-bitmap workspace
+ *   budget       max reports still recordable (beyond it: counted,
+ *                truncated flag set, nothing written)
+ *   rep_cycles / rep_states  (rep_capacity,) report output buffer
+ *   counters     (CAMA_CTR_COUNT,) statistics, zeroed by the caller
+ */
+int64_t cama_run_chunk(
+    const uint64_t *match_words,
+    const uint64_t *succ_rows,
+    const uint64_t *start_all,
+    const uint64_t *start_first,
+    const uint64_t *reporting,
+    int64_t words,
+    int64_t nrep_total,
+    const uint8_t *data,
+    int64_t length,
+    int64_t start_offset,
+    int64_t base_cycle,
+    uint64_t *active,
+    uint64_t *scratch,
+    int64_t budget,
+    int64_t *rep_cycles,
+    int64_t *rep_states,
+    int64_t rep_capacity,
+    int64_t *counters)
+{
+    int64_t off;
+    for (off = start_offset; off < length; off++) {
+        int64_t budget_left = budget - counters[CAMA_CTR_RECORDED];
+        int64_t worst = nrep_total < budget_left ? nrep_total : budget_left;
+        if (rep_capacity - counters[CAMA_CTR_RECORDED] < worst) {
+            return off; /* pause: caller drains the report buffer */
+        }
+
+        /* enabled = OR(succ_rows[s] for s in active) | starts */
+        const uint64_t *starts =
+            (base_cycle + off == 0) ? start_first : start_all;
+        memcpy(scratch, starts, (size_t)words * sizeof(uint64_t));
+        for (int64_t w = 0; w < words; w++) {
+            uint64_t bits = active[w];
+            while (bits) {
+                int64_t state = w * 64 + CAMA_CTZ64(bits);
+                const uint64_t *row = succ_rows + state * words;
+                for (int64_t t = 0; t < words; t++) {
+                    scratch[t] |= row[t];
+                }
+                bits &= bits - 1;
+            }
+        }
+
+        /* active = enabled & match_words[symbol]; accumulate stats */
+        const uint64_t *match = match_words + (int64_t)data[off] * words;
+        int64_t enabled_count = 0;
+        int64_t active_count = 0;
+        uint64_t any_reporting = 0;
+        for (int64_t w = 0; w < words; w++) {
+            uint64_t enabled = scratch[w];
+            uint64_t next = enabled & match[w];
+            enabled_count += CAMA_POPCOUNT64(enabled);
+            active_count += CAMA_POPCOUNT64(next);
+            any_reporting |= next & reporting[w];
+            active[w] = next;
+        }
+        counters[CAMA_CTR_ENABLED_SUM] += enabled_count;
+        counters[CAMA_CTR_ACTIVE_SUM] += active_count;
+
+        /* report extraction: firing bits in ascending state order */
+        if (any_reporting) {
+            int64_t cycle = base_cycle + off;
+            for (int64_t w = 0; w < words; w++) {
+                uint64_t bits = active[w] & reporting[w];
+                while (bits) {
+                    int64_t state = w * 64 + CAMA_CTZ64(bits);
+                    counters[CAMA_CTR_FIRED]++;
+                    if (counters[CAMA_CTR_RECORDED] < budget) {
+                        int64_t slot = counters[CAMA_CTR_RECORDED]++;
+                        rep_cycles[slot] = cycle;
+                        rep_states[slot] = state;
+                    } else {
+                        counters[CAMA_CTR_TRUNCATED] = 1;
+                    }
+                    bits &= bits - 1;
+                }
+            }
+        }
+    }
+    return off;
+}
+
+#ifdef CAMA_BUILD_PYEXT
+/* Minimal module shell so setuptools can build/install this file as
+ * `repro.sim.backends._cama_native`.  Nothing imports it for its
+ * Python surface — the loader resolves the shared object's path and
+ * binds cama_run_chunk through ctypes. */
+#include <Python.h>
+
+static struct PyModuleDef cama_native_module = {
+    PyModuleDef_HEAD_INIT,
+    "_cama_native",
+    "Carrier for the native CAMA step loop; symbols are bound via "
+    "ctypes from the shared object, not through this module.",
+    -1,
+    NULL,
+};
+
+PyMODINIT_FUNC PyInit__cama_native(void) {
+    return PyModule_Create(&cama_native_module);
+}
+#endif

@@ -1,0 +1,490 @@
+"""The native compiled backend: the bit-parallel step loop in C.
+
+``cama_kernel.c`` (next to this module) implements the packed-uint64
+cycle — successor-row OR-reduce, per-symbol match mask AND, report
+extraction — as one plain-C function called through ctypes, removing
+the per-cycle numpy dispatch the pure-python :class:`BitParallelKernel`
+pays.  The shared object is found two ways, tried in order:
+
+1. the extension module ``repro.sim.backends._cama_native`` built at
+   install time by ``setup.py`` (its Python surface is an empty shell;
+   only the shared object's exported symbol matters);
+2. a runtime build — ``cc -O3 -shared -fPIC`` into a per-user cache
+   keyed by the source digest — for source checkouts that never ran
+   an install but do have a compiler.
+
+When neither works (no compiler, no prebuilt extension, or
+``REPRO_NATIVE=0``), everything degrades cleanly: ``NativeBackend``
+hands out plain :class:`BitParallelKernel` objects, so ``backend=
+"native"`` is always safe to request and artifacts compiled with the
+native kernel load anywhere.
+
+:class:`NativeKernel` subclasses the bit-parallel kernel: tables,
+state interchange and the observability surface are shared, and any
+feature the C loop doesn't implement (placement tracking, per-cycle
+statistics) transparently falls back to the numpy path.  Semantics
+are pinned byte-for-byte by the differential oracle suite.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.backends import bitwords
+from repro.sim.backends.base import (
+    DEFAULT_MAX_KEPT_REPORTS,
+    BatchEngineState,
+    EngineState,
+    KernelTables,
+    StepResult,
+    normalize_batch_caps,
+)
+from repro.sim.backends.bitparallel import BitParallelBackend, BitParallelKernel
+from repro.sim.reports import Report
+from repro.sim.trace import PartitionAssignment, TraceStats
+from repro.telemetry.metrics import default_registry
+
+#: set to ``0``/``off``/``false`` to force the pure-python fallback
+#: (also how CI simulates a compiler-less host)
+ENV_SWITCH = "REPRO_NATIVE"
+
+#: report-buffer floor: large enough that buffer drains are rare, small
+#: enough (64 KB of int64 pairs) to allocate per call without thought
+_REPORT_BUFFER_FLOOR = 4096
+
+_SOURCE_PATH = Path(__file__).with_name("cama_kernel.c")
+_EXT_MODULE = "repro.sim.backends._cama_native"
+
+_NATIVE_FALLBACKS = default_registry().counter(
+    "repro_native_fallbacks_total",
+    "Native-kernel requests served by the pure-numpy kernel instead",
+    ("cause",),
+)
+
+_load_lock = threading.Lock()
+_loaded: "ctypes.CDLL | None | bool" = False  # False = not probed yet
+_load_error: str | None = None
+
+
+def _disabled_by_env() -> bool:
+    return os.environ.get(ENV_SWITCH, "").strip().lower() in (
+        "0",
+        "off",
+        "no",
+        "false",
+    )
+
+
+def _prebuilt_path() -> Path | None:
+    """The install-time extension's shared object, if one was built."""
+    import importlib.util
+
+    try:
+        spec = importlib.util.find_spec(_EXT_MODULE)
+    except (ImportError, ValueError):
+        return None
+    if spec is None or not spec.origin:
+        return None
+    path = Path(spec.origin)
+    if path.suffix not in (".so", ".dylib", ".pyd"):
+        return None
+    return path if path.exists() else None
+
+
+def _runtime_build() -> Path | None:
+    """Compile the C source into a digest-keyed per-user cache."""
+    compiler = (
+        os.environ.get("CC")
+        or shutil.which("cc")
+        or shutil.which("gcc")
+        or shutil.which("clang")
+    )
+    if compiler is None or not _SOURCE_PATH.exists():
+        return None
+    digest = hashlib.sha256(_SOURCE_PATH.read_bytes()).hexdigest()[:16]
+    uid = getattr(os, "getuid", lambda: 0)()
+    cache_dir = Path(
+        os.environ.get("REPRO_NATIVE_CACHE")
+        or Path(tempfile.gettempdir()) / f"repro-native-{uid}"
+    )
+    lib_path = cache_dir / f"cama_kernel-{digest}.so"
+    if lib_path.exists():
+        return lib_path
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        # build to a pid-suffixed temp name, publish with an atomic
+        # rename: concurrent processes race harmlessly
+        tmp_path = lib_path.with_name(f"{lib_path.name}.tmp{os.getpid()}")
+        subprocess.run(
+            [
+                compiler,
+                "-O3",
+                "-shared",
+                "-fPIC",
+                "-o",
+                str(tmp_path),
+                str(_SOURCE_PATH),
+            ],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(tmp_path, lib_path)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return lib_path
+
+
+def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
+    fn = lib.cama_run_chunk
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [
+        ctypes.c_void_p,  # match_words
+        ctypes.c_void_p,  # succ_rows
+        ctypes.c_void_p,  # start_all
+        ctypes.c_void_p,  # start_first
+        ctypes.c_void_p,  # reporting
+        ctypes.c_int64,  # words
+        ctypes.c_int64,  # nrep_total
+        ctypes.c_void_p,  # data
+        ctypes.c_int64,  # length
+        ctypes.c_int64,  # start_offset
+        ctypes.c_int64,  # base_cycle
+        ctypes.c_void_p,  # active
+        ctypes.c_void_p,  # scratch
+        ctypes.c_int64,  # budget
+        ctypes.c_void_p,  # rep_cycles
+        ctypes.c_void_p,  # rep_states
+        ctypes.c_int64,  # rep_capacity
+        ctypes.c_void_p,  # counters
+    ]
+    return lib
+
+
+def load_native() -> "ctypes.CDLL | None":
+    """The bound native library, or None when unavailable.
+
+    Probed once per process (thread-safe) and cached; the probe order
+    is prebuilt extension, then runtime compile.
+    """
+    global _loaded, _load_error
+    if _loaded is not False:
+        return _loaded
+    with _load_lock:
+        if _loaded is not False:
+            return _loaded
+        if _disabled_by_env():
+            _loaded = None
+            _load_error = f"disabled via {ENV_SWITCH}"
+            return None
+        for locate in (_prebuilt_path, _runtime_build):
+            path = locate()
+            if path is None:
+                continue
+            try:
+                _loaded = _bind(ctypes.CDLL(str(path)))
+            except (OSError, AttributeError) as exc:
+                _load_error = f"{path}: {exc}"
+                continue
+            return _loaded
+        _loaded = None
+        if _load_error is None:
+            _load_error = "no prebuilt extension and no C compiler found"
+        return None
+
+
+def native_available() -> bool:
+    """True when the compiled step loop is loadable in this process."""
+    return load_native() is not None
+
+
+def native_status() -> str:
+    """One-line availability summary (for diagnostics and tests)."""
+    if native_available():
+        return "native kernel loaded"
+    return f"native kernel unavailable: {_load_error}"
+
+
+def _reset_probe_cache() -> None:
+    """Forget the load result (test hook: re-probe under a new env)."""
+    global _loaded, _load_error
+    with _load_lock:
+        _loaded = False
+        _load_error = None
+
+
+class NativeKernel(BitParallelKernel):
+    """The bit-parallel kernel with its cycle loop in compiled C.
+
+    Tables, interchange state and statistics are inherited; only the
+    hot loop differs.  Runs that need per-cycle visibility —
+    ``placement`` tracking or ``keep_per_cycle`` — use the inherited
+    numpy path, so the whole engine feature surface keeps working.
+    """
+
+    name = "native"
+
+    def __init__(self, automaton, *, tables: KernelTables | None = None) -> None:
+        super().__init__(automaton, tables=tables)
+        self._bind_native()
+
+    def _bind_native(self) -> None:
+        self._lib = load_native()
+        self._nrep_total = int(bitwords.popcount(self._reporting_words))
+        # the exact C-contiguous uint64 buffers the C loop reads; when
+        # the inherited tables are already contiguous these are views
+        self._c_match = np.ascontiguousarray(self._match_words, dtype=np.uint64)
+        self._c_succ = np.ascontiguousarray(self._succ_rows, dtype=np.uint64)
+        self._c_start_all = np.ascontiguousarray(
+            self._start_all_words, dtype=np.uint64
+        )
+        self._c_start_first = np.ascontiguousarray(
+            self._start_first_words, dtype=np.uint64
+        )
+        self._c_reporting = np.ascontiguousarray(
+            self._reporting_words, dtype=np.uint64
+        )
+
+    # ctypes handles don't pickle; drop them and re-probe on arrival.
+    # A kernel landing on a host without the native library keeps
+    # working: _lib stays None and run_chunk uses the numpy path.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for key in (
+            "_lib",
+            "_c_match",
+            "_c_succ",
+            "_c_start_all",
+            "_c_start_first",
+            "_c_reporting",
+        ):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._bind_native()
+
+    def _report_buffers(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        # capacity >= nrep_total guarantees the C loop always makes
+        # progress (see the pause contract in cama_kernel.c)
+        capacity = max(_REPORT_BUFFER_FLOOR, self._nrep_total)
+        return (
+            np.empty(self._num_words, dtype=np.uint64),
+            np.empty(capacity, dtype=np.int64),
+            np.empty(capacity, dtype=np.int64),
+        )
+
+    def _step_words(
+        self,
+        words: np.ndarray,
+        symbols: np.ndarray,
+        base: int,
+        budget: int,
+        reports: list[Report],
+        scratch: np.ndarray,
+        rep_cycles: np.ndarray,
+        rep_states: np.ndarray,
+    ) -> tuple[int, int, int, bool]:
+        """Drive the C loop over one stream's chunk, draining the
+        bounded report buffer whenever the C side pauses on it.
+
+        ``words`` is stepped in place; returns ``(enabled_states_sum,
+        active_states_sum, reports_fired, truncated)``.
+        """
+        lib = self._lib
+        length = int(symbols.size)
+        capacity = int(rep_cycles.size)
+        counters = np.zeros(5, dtype=np.int64)
+        codes = self._report_codes
+        enabled_sum = active_sum = fired = 0
+        truncated = False
+        offset = 0
+        while offset < length:
+            counters[:] = 0
+            next_offset = lib.cama_run_chunk(
+                self._c_match.ctypes.data,
+                self._c_succ.ctypes.data,
+                self._c_start_all.ctypes.data,
+                self._c_start_first.ctypes.data,
+                self._c_reporting.ctypes.data,
+                self._num_words,
+                self._nrep_total,
+                symbols.ctypes.data,
+                length,
+                offset,
+                base,
+                words.ctypes.data,
+                scratch.ctypes.data,
+                budget,
+                rep_cycles.ctypes.data,
+                rep_states.ctypes.data,
+                capacity,
+                counters.ctypes.data,
+            )
+            enabled_sum += int(counters[0])
+            active_sum += int(counters[1])
+            fired += int(counters[2])
+            recorded = int(counters[3])
+            truncated |= bool(counters[4])
+            if recorded:
+                budget -= recorded
+                reports.extend(
+                    Report(cycle=cycle, state_id=state, code=codes[state])
+                    for cycle, state in zip(
+                        rep_cycles[:recorded].tolist(),
+                        rep_states[:recorded].tolist(),
+                    )
+                )
+            if next_offset <= offset and not recorded:
+                raise SimulationError(
+                    "native kernel made no progress (corrupt build?)"
+                )
+            offset = int(next_offset)
+        return enabled_sum, active_sum, fired, truncated
+
+    def run_chunk(
+        self,
+        data: bytes,
+        state: EngineState,
+        *,
+        placement: PartitionAssignment | None = None,
+        keep_per_cycle: bool = False,
+        max_reports: int = DEFAULT_MAX_KEPT_REPORTS,
+    ) -> StepResult:
+        if self._lib is None or placement is not None or keep_per_cycle:
+            # per-cycle visibility isn't surfaced by the C loop
+            return super().run_chunk(
+                data,
+                state,
+                placement=placement,
+                keep_per_cycle=keep_per_cycle,
+                max_reports=max_reports,
+            )
+        stats = TraceStats(num_states=self._n)
+        reports: list[Report] = []
+        truncated = False
+        base = state.position
+        if len(data):
+            symbols = np.frombuffer(data, dtype=np.uint8)
+            words = bitwords.pack_indices(
+                np.asarray(state.active, dtype=np.int64), self._n
+            )
+            scratch, rep_cycles, rep_states = self._report_buffers()
+            enabled_sum, active_sum, fired, truncated = self._step_words(
+                words,
+                symbols,
+                base,
+                max_reports,
+                reports,
+                scratch,
+                rep_cycles,
+                rep_states,
+            )
+            stats.num_cycles = len(data)
+            stats.enabled_states_sum = enabled_sum
+            stats.active_states_sum = active_sum
+            stats.num_reports = fired
+            state.active = bitwords.unpack_indices(words)
+        else:
+            state.active = np.asarray(state.active, dtype=np.int64)
+        state.position = base + len(data)
+        return StepResult(reports=reports, stats=stats, truncated=truncated)
+
+    def step_batch(
+        self,
+        chunks: list[bytes],
+        batch: BatchEngineState,
+        *,
+        max_reports=DEFAULT_MAX_KEPT_REPORTS,
+    ) -> list[StepResult]:
+        """Advance every stream row one chunk, each row in native code.
+
+        Rows of a batch are independent streams, so the C chunk loop
+        runs row by row directly on the batch's packed matrix.  The
+        per-cycle interpreter overhead the numpy ``step_batch``
+        amortizes across rows is already gone in C, and per-row
+        semantics stay exactly :meth:`run_chunk`'s.
+        """
+        if self._lib is None:
+            return super().step_batch(chunks, batch, max_reports=max_reports)
+        num_rows = batch.num_rows
+        if len(chunks) != num_rows:
+            raise SimulationError(
+                f"got {len(chunks)} chunks for {num_rows} batch rows"
+            )
+        caps = normalize_batch_caps(max_reports, num_rows)
+        words = np.ascontiguousarray(batch.active_words, dtype=np.uint64)
+        scratch, rep_cycles, rep_states = self._report_buffers()
+        results = []
+        for row in range(num_rows):
+            chunk = chunks[row]
+            reports: list[Report] = []
+            stats = TraceStats(num_states=self._n)
+            truncated = False
+            if len(chunk):
+                symbols = np.frombuffer(chunk, dtype=np.uint8)
+                enabled_sum, active_sum, fired, truncated = self._step_words(
+                    words[row],
+                    symbols,
+                    int(batch.positions[row]),
+                    caps[row],
+                    reports,
+                    scratch,
+                    rep_cycles,
+                    rep_states,
+                )
+                stats.num_cycles = len(chunk)
+                stats.enabled_states_sum = enabled_sum
+                stats.active_states_sum = active_sum
+                stats.num_reports = fired
+                batch.positions[row] += len(chunk)
+            batch.reports_recorded[row] += len(reports)
+            results.append(
+                StepResult(reports=reports, stats=stats, truncated=truncated)
+            )
+        batch.active_words = words
+        return results
+
+
+class NativeBackend:
+    """Backend producing :class:`NativeKernel`\\ s when the compiled
+    library loads, plain :class:`BitParallelKernel`\\ s otherwise —
+    requesting ``backend="native"`` is always safe."""
+
+    name = "native"
+
+    def compile(self, automaton):
+        from repro.sim.backends.base import KERNEL_COMPILES
+
+        KERNEL_COMPILES.labels(self.name).inc()
+        if load_native() is None:
+            _NATIVE_FALLBACKS.labels("compile").inc()
+            return BitParallelKernel(automaton)
+        return NativeKernel(automaton)
+
+    def from_tables(self, automaton, tables: KernelTables):
+        """Rebuild a kernel from prebuilt (artifact) tables."""
+        if load_native() is None:
+            _NATIVE_FALLBACKS.labels("from_tables").inc()
+            return BitParallelKernel(automaton, tables=tables)
+        return NativeKernel(automaton, tables=tables)
+
+
+def dense_backend() -> "NativeBackend | BitParallelBackend":
+    """The packed-bitmap backend family's best member on this host:
+    native when the compiled loop loads, pure-numpy otherwise.  The
+    ``auto`` policy and artifact loading both resolve through this."""
+    if native_available():
+        return NativeBackend()
+    return BitParallelBackend()

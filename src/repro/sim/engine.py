@@ -147,8 +147,10 @@ class Engine:
     Args:
         automaton: the automaton to compile.
         backend: execution backend — ``"sparse"`` (default, the
-            reference kernel), ``"bitparallel"``, ``"auto"``, or an
-            :class:`ExecutionBackend` instance.
+            reference kernel), ``"bitparallel"``, ``"native"`` (the
+            compiled C step loop, degrading to bitparallel when
+            unavailable), ``"auto"``, or an :class:`ExecutionBackend`
+            instance.
         max_kept_reports: recording cap applied when a call does not
             pass its own ``max_reports``.
         on_truncation: what to do when the *implicit* cap truncates
@@ -216,7 +218,7 @@ class Engine:
 
     @property
     def backend_name(self) -> str:
-        """Resolved kernel name ("sparse" or "bitparallel")."""
+        """Resolved kernel name ("sparse", "bitparallel" or "native")."""
         return self._kernel.name
 
     # -- single-step API (used by the CAMA machine for lock-step checks) --
@@ -404,6 +406,10 @@ class StridedEngine:
         name = backend
         if name == "auto":
             name = choose_backend_name(strided)
+        if name == "native":
+            # the compiled loop has no strided product-class step;
+            # the request degrades to the same packed representation
+            name = "bitparallel"
         if name not in ("sparse", "bitparallel"):
             raise SimulationError(
                 f"unknown execution backend {name!r}; "

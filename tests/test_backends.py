@@ -31,12 +31,18 @@ from repro.sim.backends import (
     get_backend,
 )
 from repro.sim.backends import bitwords
+from repro.sim.backends.native import native_available
 from repro.sim.engine import Engine, StridedEngine, cached_successor_csr
 from repro.sim.trace import PartitionAssignment
 from repro.workloads import BENCHMARK_NAMES, get_benchmark
 from repro.workloads.generators import dense_activity_automaton
 
 TEST_SCALE = 1.0 / 64.0
+
+#: the kernel the dense family resolves to on this host — the auto
+#: policy upgrades "bitparallel" choices to the compiled C loop when
+#: it is loadable (see repro.sim.backends.native.dense_backend)
+DENSE_KERNEL = "native" if native_available() else "bitparallel"
 
 
 def report_keys(reports):
@@ -258,7 +264,7 @@ class TestAutoPolicy:
     def test_small_dense_automaton_takes_bitparallel(self):
         dense = dense_activity_automaton(48, chain_length=16, match_width=230)
         assert choose_backend_name(dense) == "bitparallel"
-        assert Engine(dense, backend="auto").backend_name == "bitparallel"
+        assert Engine(dense, backend="auto").backend_name == DENSE_KERNEL
 
     def test_sparse_regime_benchmark_takes_sparse(self):
         bench = get_benchmark("Snort", scale=TEST_SCALE)
@@ -305,7 +311,12 @@ class TestAutoPolicy:
             Engine(glushkov_nfa("a"), backend="nope")
 
     def test_backend_names_registry(self):
-        assert set(BACKEND_NAMES) == {"sparse", "bitparallel", "auto"}
+        assert set(BACKEND_NAMES) == {
+            "sparse",
+            "bitparallel",
+            "native",
+            "auto",
+        }
 
     def test_auto_dispatcher_resolves_per_shard(self):
         # a dense component and a narrow-literal component end up on
@@ -314,7 +325,9 @@ class TestAutoPolicy:
         mixed = dense_activity_automaton(48, chain_length=48, match_width=230)
         mixed.merge(compile_regex_set(["abc"]))
         dispatcher = Dispatcher(mixed, num_shards=2, backend="auto")
-        assert sorted(dispatcher.backend_names) == ["bitparallel", "sparse"]
+        assert sorted(dispatcher.backend_names) == sorted(
+            [DENSE_KERNEL, "sparse"]
+        )
 
     def test_service_reports_backends(self):
         service = MatchingService(backend="bitparallel")
@@ -437,3 +450,36 @@ class TestBitwords:
             bitwords.pack_bool(mask),
             bitwords.pack_indices(np.flatnonzero(mask), 100),
         )
+
+    def test_popcount_rows_table_fallback(self, monkeypatch):
+        """The _POPCOUNT8 path (numpy < 2, no np.bitwise_count) must
+        equal both ground truth and whatever this numpy ships."""
+        rng = np.random.default_rng(11)
+        matrices = [
+            rng.integers(
+                0,
+                np.iinfo(np.uint64).max,
+                size=shape,
+                dtype=np.uint64,
+                endpoint=True,
+            )
+            for shape in ((1, 1), (5, 3), (64, 7), (3, 16))
+        ]
+        matrices.append(np.zeros((4, 2), dtype=np.uint64))
+        matrices.append(np.empty((0, 3), dtype=np.uint64))
+        current = [bitwords.popcount_rows(m) for m in matrices]
+        # popcount_rows probes np.bitwise_count at call time, so
+        # removing the attribute exercises the table fallback
+        monkeypatch.delattr(np, "bitwise_count", raising=False)
+        for matrix, reference in zip(matrices, current):
+            truth = np.array(
+                [
+                    sum(bin(int(word)).count("1") for word in row)
+                    for row in matrix
+                ],
+                dtype=np.int64,
+            )
+            fallback = bitwords.popcount_rows(matrix)
+            assert np.array_equal(fallback, truth)
+            assert np.array_equal(fallback, reference)
+            assert fallback.dtype == np.int64

@@ -23,7 +23,7 @@ from repro.sim.backends import STATE_FORMAT_VERSION, BatchEngineState
 from repro.sim.backends.base import EngineState
 from repro.sim.engine import Engine
 
-BACKENDS = ["sparse", "bitparallel", "auto"]
+BACKENDS = ["sparse", "bitparallel", "native", "auto"]
 
 #: overlapping rules with multi-byte matches, so chunk splits land
 #: mid-pattern and several states report on the same cycle
@@ -344,6 +344,185 @@ def test_feed_session_batch_matches_solo_feeds(backend):
             for a, b in zip(solo, batched):
                 assert _keys(a.reports) == _keys(b.reports)
                 assert a.position == b.position
+
+
+def test_session_absorb_rejects_closed_session():
+    """absorb() enforces the same closed check feed() does — the
+    batched path must not sneak results into a closed stream."""
+    automaton = _automaton()
+    with MatchingService(ScanConfig()) as service:
+        session = service.open_session(automaton, "s")
+        dispatcher = session.dispatcher
+        result = dispatcher.run_chunk(b"abcddx", dispatcher.initial_states())
+        session.close()
+        before = len(session.reports)
+        with pytest.raises(SimulationError, match="closed"):
+            session.absorb(b"abcddx", result)
+        assert len(session.reports) == before
+
+
+def test_feed_session_batch_skips_closed_sessions():
+    """A closed session in a batch gets the solo-feed error and its
+    shard states stay untouched; live rows are unaffected."""
+    automaton = _automaton()
+    chunk = b"abcddx123zfoobar"
+    with MatchingService(ScanConfig()) as svc:
+        expected = _keys(svc.open_session(automaton, "ref").feed(chunk))
+    with MatchingService(ScanConfig()) as svc:
+        live = svc.open_session(automaton, "live")
+        dead = svc.open_session(automaton, "dead")
+        dead.feed(b"abcd")
+        dead.close()
+        position = dead.position
+        frozen = [_active(state) for state in dead.shard_states]
+        outcomes = feed_session_batch(
+            live.dispatcher, [(dead, chunk), (live, chunk)]
+        )
+        dead_reports, dead_exc = outcomes[0]
+        assert dead_reports == []
+        assert isinstance(dead_exc, SimulationError)
+        assert "closed" in str(dead_exc)
+        live_reports, live_exc = outcomes[1]
+        assert live_exc is None
+        assert _keys(live_reports) == expected
+        assert dead.position == position
+        assert [_active(state) for state in dead.shard_states] == frozen
+
+
+def test_batch_scheduler_propagates_closed_session_error():
+    """Submitting a closed session's feed resolves with the solo-feed
+    SimulationError instead of corrupting the batch."""
+    automaton = _automaton()
+    chunk = b"abcddx123z"
+    with MatchingService(ScanConfig()) as svc:
+        expected = _keys(svc.open_session(automaton, "ref").feed(chunk))
+
+    async def drive():
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            scheduler = BatchScheduler(executor, max_rows=2, max_delay_s=0.05)
+            with MatchingService(ScanConfig()) as service:
+                live = service.open_session(automaton, "live")
+                dead = service.open_session(automaton, "dead")
+                dead.close()
+                dispatcher = live.dispatcher
+                return await asyncio.gather(
+                    scheduler.submit(dispatcher, dead, chunk),
+                    scheduler.submit(dispatcher, live, chunk),
+                    return_exceptions=True,
+                )
+
+    dead_result, live_result = asyncio.run(drive())
+    assert isinstance(dead_result, SimulationError)
+    assert "closed" in str(dead_result)
+    assert _keys(live_result) == expected
+
+
+def test_batch_scheduler_zero_delay_counts_immediate():
+    """max_delay_s == 0 flushes are 'immediate', not 'max_delay' — no
+    timer ever fired."""
+    automaton = _automaton()
+    chunk = b"abcddx123z"
+    with MatchingService(ScanConfig()) as svc:
+        expected = _keys(svc.open_session(automaton, "ref").feed(chunk))
+
+    async def drive():
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            scheduler = BatchScheduler(executor, max_rows=64, max_delay_s=0.0)
+            with MatchingService(ScanConfig()) as service:
+                session = service.open_session(automaton, "s")
+                reports = await scheduler.submit(
+                    session.dispatcher, session, chunk
+                )
+                return _keys(reports), scheduler.stats()
+
+    got, stats = asyncio.run(drive())
+    assert got == expected
+    assert stats["flush_reasons"]["immediate"] == 1
+    assert stats["flush_reasons"]["max_delay"] == 0
+    assert stats["batches"] == 1
+    assert sum(stats["flush_reasons"].values()) == stats["batches"]
+
+
+def test_batch_scheduler_post_drain_submits_flush_immediately():
+    """Feeds racing in behind close() flush at once instead of parking
+    behind a max_delay timer that may never be serviced again."""
+    automaton = _automaton()
+    data = b"abcddx123zfoobar" * 3
+    with MatchingService(ScanConfig()) as svc:
+        expected = _keys(svc.open_session(automaton, "ref").feed(data))
+
+    async def drive():
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            scheduler = BatchScheduler(
+                executor, max_rows=64, max_delay_s=30.0
+            )
+            with MatchingService(ScanConfig()) as service:
+                early = service.open_session(automaton, "early")
+                late = service.open_session(automaton, "late")
+                dispatcher = early.dispatcher
+                parked = asyncio.ensure_future(
+                    scheduler.submit(dispatcher, early, data)
+                )
+                await asyncio.sleep(0)  # park behind the 30 s timer
+                assert not parked.done()
+                scheduler.close()
+                early_reports = await asyncio.wait_for(parked, timeout=5)
+                late_reports = await asyncio.wait_for(
+                    scheduler.submit(dispatcher, late, data), timeout=5
+                )
+                return (
+                    _keys(early_reports),
+                    _keys(late_reports),
+                    scheduler.stats(),
+                )
+
+    early, late, stats = asyncio.run(drive())
+    assert early == expected
+    assert late == expected
+    assert stats["flush_reasons"]["drain"] == 1
+    assert stats["flush_reasons"]["immediate"] == 1
+    assert stats["flush_reasons"]["max_delay"] == 0
+    assert sum(stats["flush_reasons"].values()) == stats["batches"]
+
+
+def test_server_drain_releases_parked_batched_feed():
+    """End-to-end drain race: a feed parked behind a huge batch delay
+    window resolves correctly when another client triggers shutdown."""
+    import threading
+    import time
+
+    from repro.service import BackgroundServer, MatchingClient
+
+    automaton = _automaton()
+    data = b"abcddx123zfoobarbaz" * 4
+    with MatchingService(ScanConfig()) as svc:
+        expected = _keys(svc.open_session(automaton, "ref").feed(data))
+
+    config = ScanConfig(batch_max_rows=64, batch_max_delay_ms=60_000.0)
+    got, errors = [], []
+    with BackgroundServer(config=config, executor_workers=2) as bg:
+        opened = threading.Event()
+
+        def worker():
+            try:
+                with MatchingClient(port=bg.port) as client:
+                    handle = client.register(RULES)
+                    session = client.open_session(handle, "parked")
+                    opened.set()
+                    got.extend(_keys(session.feed(data)))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert opened.wait(30)
+        time.sleep(0.3)  # let the feed frame park in the scheduler
+        with MatchingClient(port=bg.port) as client:
+            client.shutdown()
+        thread.join(30)
+        assert not thread.is_alive()
+    assert not errors, errors
+    assert got == expected
 
 
 def test_batch_scheduler_coalesces_and_matches():

@@ -26,9 +26,12 @@ from test_backends import random_automaton, random_chunks, random_input
 TEST_SCALE = 1.0 / 64.0
 
 #: every non-strided execution path under differential test, by name
+#: ("native" degrades to the pure-numpy kernel on compiler-less hosts,
+#: so it is always safe to include)
 ENGINE_FACTORIES = {
     "sparse": lambda nfa: Engine(nfa, backend="sparse"),
     "bitparallel": lambda nfa: Engine(nfa, backend="bitparallel"),
+    "native": lambda nfa: Engine(nfa, backend="native"),
     "auto": lambda nfa: Engine(nfa, backend="auto"),
 }
 
