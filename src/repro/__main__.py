@@ -3,6 +3,8 @@
     python -m repro compile rules.anml            # compile + summary
     python -m repro compile rules.mnrl --optimize --timings
     python -m repro compile rules.regex --out rules.npz  # save artifact
+    python -m repro compile rules.regex --incremental \
+        --artifact-cache ~/.cache/repro --compile-workers 4
     python -m repro inspect rules.npz             # artifact manifest
     python -m repro run rules.anml input.bin      # reports to stdout
     python -m repro scan rules.anml input.bin \
@@ -74,6 +76,8 @@ def scan_config_from_args(args: argparse.Namespace) -> ScanConfig:
 def cmd_compile(args: argparse.Namespace) -> int:
     from repro.compile import CompiledArtifact, compile_ruleset
 
+    if args.incremental:
+        return cmd_compile_incremental(args)
     compiled = compile_ruleset(args.automaton, compile_config_from_args(args))
     if compiled.optimization is not None:
         report = compiled.optimization
@@ -105,6 +109,41 @@ def cmd_compile(args: argparse.Namespace) -> int:
             f"artifact: {path} ({path.stat().st_size} bytes, "
             f"key {artifact.key[:16]}...)"
         )
+    return 0
+
+
+def cmd_compile_incremental(args: argparse.Namespace) -> int:
+    from repro.compile import IncrementalCompiler
+    from repro.compile.store import ArtifactStore
+
+    if args.out:
+        raise ReproError(
+            "--out writes a single monolithic artifact; an incremental "
+            "compile stores per-component artifacts in --artifact-cache "
+            "instead"
+        )
+    store = (
+        ArtifactStore(args.artifact_cache) if args.artifact_cache else None
+    )
+    compiler = IncrementalCompiler(
+        store=store, options=compile_config_from_args(args)
+    )
+    composed = compiler.compile(
+        load_automaton(args.automaton), workers=args.compile_workers
+    )
+    rows = [
+        ["states", len(composed.automaton)],
+        ["components", len(composed.components)],
+        ["reused", composed.reused_components],
+        ["compiled", composed.compiled_components],
+        ["ruleset key", composed.key[:16] + "..."],
+        ["composition key", composed.composition_key[:16] + "..."],
+    ]
+    if composed.num_dropped_states:
+        rows.insert(1, ["non-reporting states dropped", composed.num_dropped_states])
+    print(format_table(["property", "value"], rows, title="incremental compile"))
+    if store is not None:
+        print(f"artifact cache: {store.root} ({len(store.keys())} artifacts)")
     return 0
 
 
@@ -291,6 +330,24 @@ def main(argv: list[str] | None = None) -> int:
         "--timings",
         action="store_true",
         help="print per-pass pipeline timings",
+    )
+    p_compile.add_argument(
+        "--incremental",
+        action="store_true",
+        help="compile per connected component, reusing cached component "
+        "artifacts (requires stride 1, no --optimize)",
+    )
+    p_compile.add_argument(
+        "--artifact-cache",
+        default=None,
+        metavar="DIR",
+        help="persistent per-component artifact store for --incremental",
+    )
+    p_compile.add_argument(
+        "--compile-workers",
+        type=int,
+        default=1,
+        help="process-pool fan-out for missing components (--incremental)",
     )
     p_compile.set_defaults(fn=cmd_compile)
 

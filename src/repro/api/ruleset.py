@@ -152,6 +152,27 @@ class Ruleset:
             compiled.automaton, config, scan, compiled=compiled
         )
 
+    # -- editing -----------------------------------------------------------
+    def update(
+        self,
+        *,
+        add=None,
+        remove=None,
+        name: str | None = None,
+    ) -> "Ruleset":
+        """A new :class:`Ruleset` with ``add`` patterns merged in and
+        ``remove`` report codes dropped (whole connected components).
+
+        Pure: this ruleset is untouched.  Compiling the result through
+        the same artifact store reuses every unchanged component's
+        compiled artifact (see :mod:`repro.compile.incremental`).
+        """
+        from repro.compile.incremental import apply_update
+
+        return Ruleset(
+            apply_update(self.automaton, add=add, remove=remove, name=name)
+        )
+
 
 class RulesetHandle:
     """A compiled ruleset bound to its scan configuration.
@@ -260,6 +281,39 @@ class RulesetHandle:
             max_reports=max_reports,
             on_truncation=on_truncation,
         )
+
+    def update(
+        self,
+        *,
+        add=None,
+        remove=None,
+        name: str | None = None,
+    ):
+        """Hot-swap this handle's rules to a new *version* in place.
+
+        ``add`` merges new patterns (a ``{code: pattern}`` mapping or a
+        pattern list), ``remove`` drops whole report codes.  The edit
+        flows through the incremental compile path, so unchanged
+        connected components reuse their cached artifacts; streams
+        already open via :meth:`stream` finish on the version they
+        opened against, while subsequent :meth:`scan` / :meth:`stream`
+        calls bind the new one.  Returns the service's version record
+        (``.version``, ``.fingerprint``, ``.reused_components``,
+        ``.compiled_components``).
+        """
+        from repro.compile.incremental import apply_update
+
+        new_name = name if name is not None else self.automaton.name
+        updated = apply_update(
+            self.automaton, add=add, remove=remove, name=new_name
+        )
+        record = self.service.update_ruleset(
+            self.automaton, automaton=updated
+        )
+        self.automaton = record.automaton
+        self._compiled = None
+        self._artifact = None
+        return record
 
     def stream(
         self,

@@ -78,6 +78,38 @@ def balanced_shards(
     return [sorted(group) for group in groups if group]
 
 
+def balanced_component_groups(
+    components: list[list[int]], num_shards: int
+) -> list[list[int]]:
+    """Pack components into groups, keeping component identity.
+
+    The same greedy longest-processing-time packing as
+    :func:`balanced_shards` — identical tie-breaking, so the union of
+    each returned group equals the corresponding ``balanced_shards``
+    group — but returning *component indices* instead of flattened
+    state-id unions.  The incremental compiler needs the per-component
+    structure to compose cached component artifacts block-by-block
+    (:mod:`repro.compile.incremental`); flattening would erase which
+    states belong to which cached artifact.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    groups: list[list[int]] = [
+        [] for _ in range(min(num_shards, len(components)))
+    ]
+    if not groups:
+        return []
+    loads = [0] * len(groups)
+    order = sorted(
+        range(len(components)), key=lambda i: len(components[i]), reverse=True
+    )
+    for index in order:
+        lightest = loads.index(min(loads))
+        groups[lightest].append(index)
+        loads[lightest] += len(components[index])
+    return [group for group in groups if group]
+
+
 def bfs_order(automaton: Automaton, component: list[int]) -> list[int]:
     """Breadth-first ordering of one component from its start states.
 

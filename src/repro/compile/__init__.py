@@ -39,7 +39,17 @@ Quick use::
 """
 
 from repro.compile.artifact import ARTIFACT_FORMAT_VERSION, CompiledArtifact
-from repro.compile.fingerprint import ruleset_fingerprint
+from repro.compile.fingerprint import (
+    component_fingerprint,
+    composition_key,
+    ruleset_fingerprint,
+)
+from repro.compile.incremental import (
+    ComposedRuleset,
+    IncrementalCompiler,
+    apply_update,
+    incremental_compile,
+)
 from repro.compile.ir import (
     CompiledRuleset,
     PassTiming,
@@ -56,14 +66,20 @@ __all__ = [
     "CompilePass",
     "CompiledArtifact",
     "CompiledRuleset",
+    "ComposedRuleset",
     "DEFAULT_PASSES",
     "DEFAULT_STORE_BYTES",
+    "IncrementalCompiler",
     "PassTiming",
     "Pipeline",
     "PipelineOptions",
     "PipelineState",
     "StoreStats",
+    "apply_update",
+    "component_fingerprint",
     "compile_ruleset",
+    "composition_key",
+    "incremental_compile",
     "load_source",
     "ruleset_fingerprint",
 ]

@@ -17,6 +17,7 @@ counted in :attr:`StoreStats.invalid`.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
@@ -30,6 +31,7 @@ from repro.errors import ArtifactError, ReproError
 DEFAULT_STORE_BYTES = 512 * 1024 * 1024
 
 _SUFFIX = ".npz"
+_MANIFEST_SUFFIX = ".manifest.json"
 
 
 @dataclass
@@ -64,6 +66,11 @@ class ArtifactStore:
         self.max_bytes = max_bytes
         self.stats = StoreStats()
         self._lock = threading.Lock()
+        #: refcounted eviction pins (key -> count); pinned artifacts are
+        #: referenced by a live ruleset version and must survive byte
+        #: pressure — evicting one mid-hot-swap would force a recompile
+        #: (or worse, fail a spawn worker shipping artifacts)
+        self._pins: dict[str, int] = {}
 
     # -- paths ------------------------------------------------------------
     def path(self, key: str) -> Path:
@@ -128,12 +135,79 @@ class ArtifactStore:
         with self._lock:
             for path in self.root.glob(f"*{_SUFFIX}"):
                 path.unlink(missing_ok=True)
+            for path in self.root.glob(f"*{_MANIFEST_SUFFIX}"):
+                path.unlink(missing_ok=True)
+            self._pins.clear()
+
+    # -- eviction pins -----------------------------------------------------
+    def pin(self, keys) -> None:
+        """Exempt ``keys`` from LRU eviction (refcounted).
+
+        Live ruleset versions pin the component artifacts their
+        composition manifests reference; byte-budget pressure then falls
+        entirely on unpinned entries.
+        """
+        with self._lock:
+            for key in keys:
+                self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, keys) -> None:
+        """Drop one pin reference per key; fully unpinned artifacts
+        rejoin the LRU eviction pool."""
+        with self._lock:
+            for key in keys:
+                count = self._pins.get(key, 0) - 1
+                if count > 0:
+                    self._pins[key] = count
+                else:
+                    self._pins.pop(key, None)
+
+    def pinned_keys(self) -> set[str]:
+        with self._lock:
+            return set(self._pins)
+
+    # -- composition manifests ---------------------------------------------
+    def manifest_path(self, key: str) -> Path:
+        """Where ``key``'s composition manifest lives."""
+        if not key or any(c in key for c in "/\\."):
+            raise ReproError(f"bad manifest key: {key!r}")
+        return self.root / f"{key}{_MANIFEST_SUFFIX}"
+
+    def put_manifest(self, key: str, manifest: dict) -> Path:
+        """Atomically persist a composition manifest (JSON sidecar).
+
+        Manifests are tiny and sit outside the byte budget: the budget
+        protects against artifact bloat, and a manifest without its
+        component artifacts is harmlessly re-derived on the next
+        compile.
+        """
+        path = self.manifest_path(key)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(manifest, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def get_manifest(self, key: str) -> dict | None:
+        """Load a composition manifest, or None (missing or corrupt)."""
+        path = self.manifest_path(key)
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def manifest_keys(self) -> list[str]:
+        return sorted(
+            p.name[: -len(_MANIFEST_SUFFIX)]
+            for p in self.root.glob(f"*{_MANIFEST_SUFFIX}")
+        )
 
     def _evict_over_budget(self, keep: Path) -> None:
         """Delete least-recently-used artifacts past the byte budget.
 
         The just-written artifact is never evicted, even when it alone
-        exceeds the budget — the caller is about to use it.
+        exceeds the budget — the caller is about to use it.  Pinned
+        artifacts are skipped too (they still count toward the total,
+        so unpinned entries absorb the pressure).
         """
         entries = []
         total = 0
@@ -143,7 +217,7 @@ class ArtifactStore:
             except OSError:  # concurrently removed
                 continue
             total += stat.st_size
-            if path != keep:
+            if path != keep and path.stem not in self._pins:
                 entries.append((stat.st_mtime, stat.st_size, path))
         entries.sort()
         for _mtime, size, path in entries:

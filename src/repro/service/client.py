@@ -141,6 +141,21 @@ def _artifact_frame(artifact) -> dict:
     return {"op": "register_artifact", "data": encode_data(data)}
 
 
+def _update_frame(
+    handle: str, *, add: dict | list | None, remove: list | None
+) -> dict:
+    if add is None and remove is None:
+        raise ProtocolError(
+            "update needs add= and/or remove=", code="bad-request"
+        )
+    frame = {"op": "update", "handle": handle}
+    if add is not None:
+        frame["add"] = add
+    if remove is not None:
+        frame["remove"] = list(remove)
+    return frame
+
+
 def _scan_frame(op: str, handle: str, *, config=None, **options) -> dict:
     frame = {"op": op, "handle": handle}
     if config is not None:
@@ -334,6 +349,25 @@ class MatchingClient:
         ``.npz`` bytes, or a path.
         """
         return self._request(_artifact_frame(artifact))["handle"]
+
+    def update(
+        self,
+        handle: str,
+        *,
+        add: dict | list | None = None,
+        remove: list | None = None,
+    ) -> dict:
+        """Hot-swap a registered ruleset: add patterns and/or remove
+        report codes, producing a new version under the same handle.
+
+        Sessions already open finish on the version they opened with;
+        scans and sessions after this call see the new one.  Returns
+        the update payload — ``version``, ``fingerprint``, ``states``,
+        ``reused_components``, ``compiled_components``.
+        """
+        return self._request(
+            _update_frame(handle, add=add, remove=remove)
+        )
 
     def scan(
         self,
@@ -540,6 +574,18 @@ class AsyncMatchingClient:
         :meth:`MatchingClient.register_artifact`)."""
         payload = await self._request(_artifact_frame(artifact))
         return payload["handle"]
+
+    async def update(
+        self,
+        handle: str,
+        *,
+        add: dict | list | None = None,
+        remove: list | None = None,
+    ) -> dict:
+        """Async mirror of :meth:`MatchingClient.update`."""
+        return await self._request(
+            _update_frame(handle, add=add, remove=remove)
+        )
 
     async def scan(
         self,

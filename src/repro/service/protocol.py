@@ -23,8 +23,12 @@ scan       ``handle``, ``data`` (b64), ``chunk_size?``,  ``reports``, ``num_repo
            ``trace?``                                    ``cached``, ``warnings``,
                                                          ``ledger?``, ``trace_id?``
 scan_many  ``handle``, ``streams`` ({name: b64}), ...    ``results`` ({name: scan payload})
-open       ``handle``, ``session``, ``max_reports?``,    ``session``
+open       ``handle``, ``session``, ``max_reports?``,    ``session``, ``version?``
            ``on_truncation?``
+update     ``handle``, ``add?`` ({code: pattern} or      ``handle``, ``version``,
+           [pattern]), ``remove?`` ([code])              ``fingerprint``, ``states``,
+                                                         ``reused_components``,
+                                                         ``compiled_components``
 feed       ``session``, ``data`` (b64)                   ``reports``, ``position``,
                                                          ``truncated``, ``warnings``,
                                                          ``ledger?``
@@ -50,6 +54,15 @@ version-incompatible compiled artifact), ``unknown-op``,
 The ``register_artifact`` op (wire name; the table row is wrapped) was
 added in protocol version 2; version-1 servers answer it with
 ``unknown-op``, which clients can treat as "upload source instead".
+
+The ``update`` op hot-swaps a registered ruleset to a new *version*
+through the incremental compile path: the handle keeps naming the
+lineage (new scans and sessions bind the latest version), while
+sessions already open finish their streams on the version they opened
+against.  ``register`` and ``open`` responses gained ``version``
+fields alongside it.  A version-2 addition like the others: old
+servers answer ``update`` with ``unknown-op``, old clients ignore the
+extra fields.
 
 Scan-shaped requests (``scan``, ``scan_many``, ``open``) may carry a
 ``config`` object — a :meth:`repro.api.ScanConfig.to_dict` payload —
@@ -229,6 +242,49 @@ def scan_config_from_frame(
         return base.merged(**overrides), explicit_cap, digest
     except ConfigError as exc:
         raise ProtocolError(str(exc), code="bad-request") from exc
+
+
+def ruleset_update_from_frame(frame: dict) -> tuple:
+    """Validate an ``update`` frame's edit fields -> ``(add, remove)``.
+
+    ``add`` is a ``{code: pattern}`` mapping or a list of patterns;
+    ``remove`` is a list of report codes.  At least one must be
+    present.  Pattern/code values must be strings — the compile layer
+    re-validates the regexes themselves.
+    """
+    add = frame.get("add")
+    remove = frame.get("remove")
+    if add is None and remove is None:
+        raise ProtocolError(
+            "update needs 'add' and/or 'remove'", code="bad-request"
+        )
+    if add is not None:
+        if isinstance(add, dict):
+            ok = all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in add.items()
+            )
+        elif isinstance(add, list):
+            ok = all(isinstance(p, str) for p in add)
+        else:
+            ok = False
+        if not ok or not add:
+            raise ProtocolError(
+                "'add' must be a non-empty {code: pattern} object or "
+                "a non-empty list of pattern strings",
+                code="bad-request",
+            )
+    if remove is not None:
+        if (
+            not isinstance(remove, list)
+            or not remove
+            or not all(isinstance(c, str) for c in remove)
+        ):
+            raise ProtocolError(
+                "'remove' must be a non-empty list of report-code strings",
+                code="bad-request",
+            )
+    return add, remove
 
 
 def error_frame(request_id, message: str, code: str) -> dict:

@@ -53,6 +53,7 @@ from repro.service.protocol import (
     encode_reports,
     error_frame,
     ok_frame,
+    ruleset_update_from_frame,
     scan_config_from_frame,
 )
 from repro.service.service import MatchingService
@@ -62,7 +63,16 @@ from repro.telemetry.metrics import default_registry, render_prometheus
 #: ops that touch the service (payloads, compiles, or its lock) and so
 #: always run on the thread pool, never on the event loop
 _HEAVY_OPS = frozenset(
-    {"register", "register_artifact", "scan", "scan_many", "open", "feed", "close"}
+    {
+        "register",
+        "register_artifact",
+        "update",
+        "scan",
+        "scan_many",
+        "open",
+        "feed",
+        "close",
+    }
 )
 
 _log = get_logger("repro.service.server")
@@ -592,9 +602,17 @@ class MatchingServer:
         handle = self.service.manager.fingerprint(automaton)
         cached = self._remember_ruleset(handle, automaton)
         # compile (and cache) the shard engines now: registration is the
-        # expensive step, scans against the handle stay warm
-        self.service.dispatcher(automaton, key=handle)
-        return {"handle": handle, "states": len(automaton), "cached": cached}
+        # expensive step, scans against the handle stay warm.  Versioned
+        # registration also writes per-component artifacts, so a later
+        # ``update`` reuses every untouched component.
+        record = self.service.register_ruleset(automaton, key=handle)
+        return {
+            "handle": handle,
+            "states": len(automaton),
+            "cached": cached,
+            "version": record.version,
+            "fingerprint": record.fingerprint,
+        }
 
     def _remember_ruleset(self, handle: str, automaton) -> bool:
         """Insert into the LRU-bounded handle table; True when it was
@@ -618,7 +636,7 @@ class MatchingServer:
         """
         handle = self.service.manager.fingerprint(automaton)
         self._remember_ruleset(handle, automaton)
-        self.service.dispatcher(automaton, key=handle)
+        self.service.register_ruleset(automaton, key=handle)
         return handle
 
     def _op_register_artifact(self, conn: _Connection, frame: dict) -> dict:
@@ -649,6 +667,37 @@ class MatchingServer:
             "states": len(automaton),
             "cached": cached,
             "backend": artifact.backend,
+        }
+
+    def _op_update(self, conn: _Connection, frame: dict) -> dict:
+        """Hot-swap a registered ruleset to a new version, zero downtime.
+
+        The handle keeps naming the lineage: this op rebinds it to the
+        updated automaton, so scans and sessions opened afterwards see
+        the new version, while sessions already open keep streaming
+        against the version they opened with (the service retires it
+        when its last session closes).  Compilation goes through the
+        incremental path — only the added patterns' components compile;
+        everything untouched is reused from cache.
+        """
+        handle = frame.get("handle")
+        automaton = self._automaton_for(frame)
+        add, remove = ruleset_update_from_frame(frame)
+        record = self.service.update_ruleset(
+            automaton, add=add, remove=remove
+        )
+        with self._state_lock:
+            # rebind only if the handle still maps to what we updated
+            # from (a concurrent re-register may have replaced it)
+            if self._rulesets.get(handle) is automaton:
+                self._rulesets[handle] = record.automaton
+        return {
+            "handle": handle,
+            "version": record.version,
+            "fingerprint": record.fingerprint,
+            "states": len(record.automaton),
+            "reused_components": record.reused_components,
+            "compiled_components": record.compiled_components,
         }
 
     def _op_scan(self, conn: _Connection, frame: dict) -> dict:
@@ -741,6 +790,8 @@ class MatchingServer:
             max_reports=session.max_reports,
         )
         payload = {"session": name}
+        if session.ruleset_version is not None:
+            payload["version"] = session.ruleset_version
         if digest is not None:
             payload["config_digest"] = digest
         return payload
@@ -845,6 +896,7 @@ class MatchingServer:
             },
             "frames": self._frames_processed,
             "rulesets": num_rulesets,
+            "ruleset_versions": self.service.version_summary(),
             "backends": backend_stats,
             "telemetry": {
                 "metrics_enabled": _REGISTRY.enabled,

@@ -18,6 +18,11 @@ from dataclasses import dataclass, field
 
 from repro.api.config import ScanConfig, resolve_legacy_config
 from repro.automata.nfa import Automaton
+from repro.compile.incremental import (
+    ComposedRuleset,
+    IncrementalCompiler,
+    apply_update,
+)
 from repro.errors import SimulationError
 from repro.service.ruleset import CacheStats, RulesetManager
 from repro.service.session import Session
@@ -47,6 +52,43 @@ _SESSIONS_OPEN = _REGISTRY.gauge(
     "repro_service_sessions_open",
     "Streaming sessions currently open across MatchingService instances",
 )
+_RULESET_VERSIONS = _REGISTRY.gauge(
+    "repro_ruleset_versions",
+    "Live ruleset versions (including retiring ones still draining "
+    "sessions) across MatchingService instances",
+)
+_RULESET_UPDATES = _REGISTRY.counter(
+    "repro_ruleset_updates_total",
+    "Hot-swap ruleset updates applied (a new version compiled and bound)",
+)
+
+
+@dataclass
+class RulesetVersion:
+    """One live version of a hot-swappable ruleset lineage.
+
+    A *lineage* is identified by its first version's fingerprint (the
+    registration handle); each :meth:`MatchingService.update_ruleset`
+    appends a new version whose own fingerprint keys the engines.  A
+    version is *retired* when a newer one exists; it stays resident —
+    dispatcher, pinned component artifacts and all — until its last
+    open session closes, so in-flight streams always finish on the
+    engine they started on.
+    """
+
+    lineage: str
+    version: int
+    fingerprint: str
+    automaton: Automaton
+    #: component artifact keys pinned in the store while this version
+    #: is live (empty when the incremental path was unavailable)
+    component_keys: tuple[str, ...] = ()
+    reused_components: int = 0
+    compiled_components: int = 0
+    #: open sessions bound to this version
+    sessions: int = 0
+    #: a newer version exists; retire when sessions drain to zero
+    retired: bool = False
 
 
 @dataclass
@@ -169,6 +211,21 @@ class MatchingService:
         from repro.telemetry.ledger import LedgerAccumulator
 
         self.ledger_totals = LedgerAccumulator()
+        # versioned live rulesets: lineage handle -> version list
+        # (oldest first), plus fingerprint -> record and session-name ->
+        # record indexes; all guarded by _lock
+        self._lineages: OrderedDict[str, list[RulesetVersion]] = OrderedDict()
+        self._version_by_fp: dict[str, RulesetVersion] = {}
+        self._session_versions: dict[str, RulesetVersion] = {}
+        # the incremental compiler shares the manager's store and forced
+        # options; None when the backend is an ExecutionBackend instance
+        # (no stable artifact key exists for those)
+        options = self.manager.artifact_options(self.config.backend)
+        self._incremental = (
+            IncrementalCompiler(store=self.manager.store, options=options)
+            if options is not None
+            else None
+        )
         self.closed = False
 
     # -- config views (the pre-facade attribute surface) ------------------
@@ -226,21 +283,25 @@ class MatchingService:
                 automaton, self.config, manager=self.manager
             )
             dispatcher.engines  # compile (and cache) the shard engines now
-            with self._lock:
-                if self.closed:
-                    raise SimulationError("the matching service is closed")
-                self._dispatchers[key] = dispatcher
-                evicted = None
-                if len(self._dispatchers) > self.manager.capacity:
-                    _, evicted = self._dispatchers.popitem(last=False)
-                    if evicted._pool is not None:
-                        # another thread may be mid-scan on this pool;
-                        # retire it and close with the service instead
-                        self._retired.append(evicted)
-                        evicted = None
-            if evicted is not None:
-                evicted.close()
+            self._insert_dispatcher(key, dispatcher)
             return dispatcher
+
+    def _insert_dispatcher(self, key: str, dispatcher: Dispatcher) -> None:
+        """LRU-insert a freshly built dispatcher (evicting past capacity)."""
+        with self._lock:
+            if self.closed:
+                raise SimulationError("the matching service is closed")
+            self._dispatchers[key] = dispatcher
+            evicted = None
+            if len(self._dispatchers) > self.manager.capacity:
+                _, evicted = self._dispatchers.popitem(last=False)
+                if evicted._pool is not None:
+                    # another thread may be mid-scan on this pool;
+                    # retire it and close with the service instead
+                    self._retired.append(evicted)
+                    evicted = None
+        if evicted is not None:
+            evicted.close()
 
     def _cached_dispatcher(self, key: str) -> Dispatcher | None:
         with self._lock:
@@ -337,6 +398,233 @@ class MatchingService:
                 fingerprint=handle,
             )
         return handle, automaton
+
+    # -- versioned live rulesets ------------------------------------------
+    def register_ruleset(
+        self, automaton: Automaton, *, key: str | None = None
+    ) -> RulesetVersion:
+        """Register ``automaton`` as version 1 of a live lineage.
+
+        Idempotent: re-registering a fingerprint already tracked returns
+        its existing record.  When the incremental path is available
+        (string backend), the dispatcher is *composed* from per-component
+        artifacts — written to the store and pinned against eviction —
+        so a later :meth:`update_ruleset` reuses every untouched
+        component.
+        """
+        if key is None:
+            key = self.manager.fingerprint(automaton)
+        with self._lock:
+            if self.closed:
+                raise SimulationError("the matching service is closed")
+            record = self._version_by_fp.get(key)
+        if record is not None:
+            return record
+        composed = self._compile_incremental(automaton)
+        self._bind_dispatcher(automaton, key, composed)
+        with self._lock:
+            record = self._version_by_fp.get(key)
+            if record is not None:  # lost a registration race; defer
+                return record
+            record = self._make_record(
+                lineage=key, version=1, fingerprint=key,
+                automaton=automaton, composed=composed,
+            )
+            self._lineages[key] = [record]
+            self._version_by_fp[key] = record
+        self._pin(record)
+        _RULESET_VERSIONS.labels().inc()
+        return record
+
+    def update_ruleset(
+        self,
+        ruleset: "Automaton | str",
+        *,
+        add=None,
+        remove=None,
+        automaton: Automaton | None = None,
+        name: str | None = None,
+    ) -> RulesetVersion:
+        """Hot-swap a lineage to a new version without dropping streams.
+
+        ``ruleset`` names the lineage — a handle string, any live
+        version's fingerprint, or any live version's automaton (an
+        unregistered automaton is registered first, so the very first
+        update works too).  The new version is either ``automaton``
+        directly or the result of :func:`~repro.compile.incremental.
+        apply_update` over the latest version with ``add``/``remove``.
+
+        The new version compiles through the incremental path (cached
+        components reused, missing ones compiled — in parallel when
+        several are missing), then binds atomically: scans and sessions
+        opened after this call see the new engines, while sessions
+        already open keep feeding the old version's dispatcher and
+        retire it when the last one closes.
+        """
+        latest = self._resolve_lineage(ruleset)
+        if automaton is None:
+            automaton = apply_update(
+                latest.automaton, add=add, remove=remove, name=name
+            )
+        new_key = self.manager.fingerprint(automaton)
+        if new_key == latest.fingerprint:
+            return latest
+        composed = self._compile_incremental(automaton)
+        self._bind_dispatcher(automaton, new_key, composed)
+        with self._lock:
+            versions = self._lineages[latest.lineage]
+            current = versions[-1]
+            if current.fingerprint == new_key:  # concurrent identical update
+                return current
+            record = self._make_record(
+                lineage=latest.lineage,
+                version=current.version + 1,
+                fingerprint=new_key,
+                automaton=automaton,
+                composed=composed,
+            )
+            versions.append(record)
+            self._version_by_fp[new_key] = record
+            current.retired = True
+        self._pin(record)
+        _RULESET_VERSIONS.labels().inc()
+        _RULESET_UPDATES.labels().inc()
+        self._retire_if_idle(current)
+        return record
+
+    def ruleset_version(self, fingerprint: str) -> RulesetVersion | None:
+        """The live version record keyed by ``fingerprint`` (or None)."""
+        with self._lock:
+            return self._version_by_fp.get(fingerprint)
+
+    def lineage_versions(self, lineage: str) -> list[RulesetVersion]:
+        """All live versions of ``lineage``, oldest first."""
+        with self._lock:
+            return list(self._lineages.get(lineage, ()))
+
+    def version_summary(self) -> dict:
+        """Aggregate version counts for the stats surface."""
+        with self._lock:
+            records = [r for vs in self._lineages.values() for r in vs]
+            return {
+                "lineages": len(self._lineages),
+                "live": len(records),
+                "retiring": sum(1 for r in records if r.retired),
+            }
+
+    @staticmethod
+    def _make_record(
+        *,
+        lineage: str,
+        version: int,
+        fingerprint: str,
+        automaton: Automaton,
+        composed: ComposedRuleset | None,
+    ) -> RulesetVersion:
+        return RulesetVersion(
+            lineage=lineage,
+            version=version,
+            fingerprint=fingerprint,
+            automaton=automaton,
+            component_keys=composed.component_keys if composed else (),
+            reused_components=composed.reused_components if composed else 0,
+            compiled_components=composed.compiled_components if composed else 0,
+        )
+
+    def _compile_incremental(
+        self, automaton: Automaton
+    ) -> ComposedRuleset | None:
+        if self._incremental is None:
+            return None
+        with self._compile_lock:
+            return self._incremental.compile(
+                automaton,
+                workers=self.workers,
+                mp_start_method=self.mp_start_method,
+            )
+
+    def _bind_dispatcher(
+        self,
+        automaton: Automaton,
+        key: str,
+        composed: ComposedRuleset | None,
+    ) -> Dispatcher:
+        """The dispatcher for ``key`` — composed from cached component
+        artifacts when possible, classic compile otherwise."""
+        if composed is None:
+            return self.dispatcher(automaton, key=key)
+        cached = self._cached_dispatcher(key)
+        if cached is not None:
+            return cached
+        with self._compile_lock:
+            cached = self._cached_dispatcher(key)
+            if cached is not None:
+                return cached
+            shards, engines = composed.build_shards(
+                self.config.num_shards, self.config.backend
+            )
+            dispatcher = Dispatcher(
+                automaton,
+                self.config,
+                manager=self.manager,
+                prebuilt=(shards, engines),
+            )
+            self._insert_dispatcher(key, dispatcher)
+            return dispatcher
+
+    def _resolve_lineage(self, ruleset: "Automaton | str") -> RulesetVersion:
+        """The latest live version of the lineage ``ruleset`` names."""
+        if isinstance(ruleset, Automaton):
+            fingerprint = self.manager.fingerprint(ruleset)
+            with self._lock:
+                record = self._version_by_fp.get(fingerprint)
+            if record is None:
+                record = self.register_ruleset(ruleset, key=fingerprint)
+            with self._lock:
+                return self._lineages[record.lineage][-1]
+        with self._lock:
+            versions = self._lineages.get(ruleset)
+            if versions:
+                return versions[-1]
+            record = self._version_by_fp.get(ruleset)
+            if record is not None:
+                return self._lineages[record.lineage][-1]
+        raise SimulationError(f"unknown ruleset lineage: {ruleset!r}")
+
+    def _pin(self, record: RulesetVersion) -> None:
+        if record.component_keys and self.manager.store is not None:
+            self.manager.store.pin(record.component_keys)
+
+    def _unpin(self, record: RulesetVersion) -> None:
+        if record.component_keys and self.manager.store is not None:
+            self.manager.store.unpin(record.component_keys)
+
+    def _retire_if_idle(self, record: RulesetVersion) -> None:
+        """Release a retired version once its sessions have drained."""
+        evict = None
+        with self._lock:
+            if not record.retired or record.sessions > 0:
+                return
+            versions = self._lineages.get(record.lineage)
+            if not versions or record not in versions:
+                return  # already released
+            versions.remove(record)
+            if self._version_by_fp.get(record.fingerprint) is record:
+                del self._version_by_fp[record.fingerprint]
+            still_keyed = any(
+                r.fingerprint == record.fingerprint
+                for vs in self._lineages.values()
+                for r in vs
+            )
+            if not still_keyed:
+                evict = self._dispatchers.pop(record.fingerprint, None)
+                if evict is not None and evict._pool is not None:
+                    self._retired.append(evict)
+                    evict = None
+        if evict is not None:
+            evict.close()
+        self._unpin(record)
+        _RULESET_VERSIONS.labels().dec()
 
     # -- one-shot scans --------------------------------------------------
     def scan(
@@ -631,6 +919,14 @@ class MatchingService:
                 ),
                 ledger_probe=probe,
             )
+            # bind the session to the ruleset version it opened against:
+            # a later update_ruleset retires this version only after the
+            # session closes, so the stream finishes on these engines
+            record = self._version_by_fp.get(key)
+            if record is not None:
+                record.sessions += 1
+                self._session_versions[name] = record
+                session.ruleset_version = record.version
             self.sessions[name] = session
             _SESSIONS_OPEN.labels().inc()
             return session
@@ -642,9 +938,15 @@ class MatchingService:
                 session = self.sessions.pop(name)
             except KeyError:
                 raise SimulationError(f"no such session: {name!r}") from None
+            record = self._session_versions.pop(name, None)
+            if record is not None:
+                record.sessions -= 1
         _SESSIONS_OPEN.labels().dec()
         self._fold_ledger(session.ledger())
-        return session.close()
+        result = session.close()
+        if record is not None:
+            self._retire_if_idle(record)
+        return result
 
     def close(self) -> None:
         """Tear the service down: sessions, dispatchers, worker pools.
@@ -664,12 +966,19 @@ class MatchingService:
             dispatchers = list(self._dispatchers.values()) + self._retired
             self._dispatchers.clear()
             self._retired = []
+            records = [r for vs in self._lineages.values() for r in vs]
+            self._lineages.clear()
+            self._version_by_fp.clear()
+            self._session_versions.clear()
         for session in sessions:
             _SESSIONS_OPEN.labels().dec()
             if not session.closed:
                 session.close()
         for dispatcher in dispatchers:
             dispatcher.close()
+        for record in records:
+            self._unpin(record)
+            _RULESET_VERSIONS.labels().dec()
 
     def __enter__(self) -> "MatchingService":
         return self

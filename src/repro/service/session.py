@@ -76,6 +76,10 @@ class Session:
         self.dispatcher = dispatcher
         self.truncated = False
         self.closed = False
+        #: the ruleset version this stream opened against (set by
+        #: MatchingService when the ruleset is version-tracked); the
+        #: session keeps these engines through any later hot-swap
+        self.ruleset_version: int | None = None
         self._states = dispatcher.initial_states()
         self._reports: list[Report] = []
         self._stats = TraceStats(

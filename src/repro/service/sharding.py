@@ -217,6 +217,7 @@ class Dispatcher:
         config: ScanConfig | None = None,
         *,
         manager: RulesetManager | None = None,
+        prebuilt: "tuple[list[Shard], list[Engine]] | None" = None,
         num_shards: int | None = None,
         workers: int | None = None,
         backend: str | ExecutionBackend | None = None,
@@ -234,7 +235,21 @@ class Dispatcher:
         )
         self.config = config if config is not None else ScanConfig()
         self.automaton = automaton
-        self.shards = make_shards(automaton, self.config.num_shards)
+        if prebuilt is not None:
+            # composed shards + engines from the incremental compiler:
+            # the expensive work (tables, kernels) already happened
+            # against cached component artifacts, so nothing is derived
+            # here and the lazy .engines path never compiles.
+            shards, engines = prebuilt
+            if len(shards) != len(engines):
+                raise SimulationError(
+                    "prebuilt shards and engines must pair up"
+                )
+            self.shards = list(shards)
+            self._prebuilt_engines: list[Engine] | None = list(engines)
+        else:
+            self.shards = make_shards(automaton, self.config.num_shards)
+            self._prebuilt_engines = None
         self.workers = min(self.config.workers, len(self.shards))
         self._manager = manager
         self._engines: list[Engine] | None = None
@@ -267,7 +282,9 @@ class Dispatcher:
         if self._engines is None:
             with self._compile_lock:
                 if self._engines is None:
-                    if self._manager is not None:
+                    if self._prebuilt_engines is not None:
+                        self._engines = self._prebuilt_engines
+                    elif self._manager is not None:
                         self._engines = [
                             self._manager.engine(s.automaton, self.backend)
                             for s in self.shards

@@ -464,6 +464,83 @@ class KernelTables:
         )
         return bits[:, :n].astype(bool)
 
+    @classmethod
+    def concat(
+        cls, tables: "list[KernelTables]", sizes: list[int]
+    ) -> "KernelTables":
+        """Block-diagonal merge of per-component tables.
+
+        Transitions never cross connected components, so the tables of a
+        merged automaton are exactly the block-diagonal composition of
+        the per-component tables with state ids shifted by the running
+        offset.  This is what lets the incremental compiler rebuild a
+        shard engine from cached component artifacts without re-deriving
+        anything from the merged automaton.
+
+        ``sizes`` gives each block's state count (the packed-word arrays
+        alone do not reveal it).  ``succ_words`` is carried over only
+        when every block has it; a single sparse-produced block degrades
+        the merged tables to CSR-only, which every kernel can rebuild
+        from.
+        """
+        from repro.sim.backends import bitwords
+
+        if not tables or len(tables) != len(sizes):
+            raise SimulationError("concat needs one size per table block")
+        if len(tables) == 1:
+            return tables[0]
+        n = sum(sizes)
+        words = bitwords.num_words(n)
+        match_bool = np.zeros((256, words * 64), dtype=np.uint8)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        targets_parts: list[np.ndarray] = []
+        start_all_parts: list[np.ndarray] = []
+        start_sod_parts: list[np.ndarray] = []
+        reporting = np.zeros(n, dtype=bool)
+        report_codes: list = []
+        have_succ_words = all(t.succ_words is not None for t in tables)
+        succ_bool = (
+            np.zeros((n, words * 64), dtype=np.uint8) if have_succ_words else None
+        )
+        pos = 0
+        nnz = 0
+        for block, size in zip(tables, sizes):
+            block.check(size)
+            match_bool[:, pos : pos + size] = block.match_bool(size)
+            offsets[pos + 1 : pos + size + 1] = block.succ_offsets[1:] + nnz
+            targets_parts.append(block.succ_targets.astype(np.int64) + pos)
+            start_all_parts.append(block.start_all.astype(np.int64) + pos)
+            start_sod_parts.append(block.start_sod.astype(np.int64) + pos)
+            reporting[pos : pos + size] = block.reporting
+            report_codes.extend(block.report_codes)
+            if succ_bool is not None:
+                rows = np.unpackbits(
+                    block.succ_words.view(np.uint8), axis=1, bitorder="little"
+                )
+                succ_bool[pos : pos + size, pos : pos + size] = rows[:, :size]
+            nnz += int(block.succ_offsets[-1])
+            pos += size
+        return cls(
+            match_words=np.packbits(
+                match_bool, axis=1, bitorder="little"
+            ).view(np.uint64),
+            succ_offsets=offsets,
+            succ_targets=(
+                np.concatenate(targets_parts)
+                if targets_parts
+                else np.empty(0, dtype=np.int64)
+            ),
+            start_all=np.concatenate(start_all_parts),
+            start_sod=np.concatenate(start_sod_parts),
+            reporting=reporting,
+            report_codes=report_codes,
+            succ_words=(
+                np.packbits(succ_bool, axis=1, bitorder="little").view(np.uint64)
+                if succ_bool is not None
+                else None
+            ),
+        )
+
     def check(self, n: int) -> "KernelTables":
         """Cheap structural consistency check against a state count."""
         from repro.sim.backends import bitwords
