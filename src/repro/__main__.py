@@ -257,6 +257,54 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_route(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster.quotas import QuotaManager, TenantQuota
+    from repro.cluster.router import ClusterRouter
+    from repro.telemetry.log import configure as configure_logging
+    from repro.telemetry.metrics import enable as enable_metrics
+
+    configure_logging(args.log_level)
+    if args.metrics:
+        enable_metrics()
+    quota = TenantQuota(
+        bytes_per_s=args.tenant_bytes_per_s,
+        requests_per_s=args.tenant_requests_per_s,
+        max_open_sessions=args.tenant_max_sessions,
+        compile_cost_per_window=args.tenant_compile_cost,
+        window_s=args.quota_window,
+    )
+    router = ClusterRouter(
+        args.node,
+        replication=args.replication,
+        quotas=None if quota.unlimited else QuotaManager(quota),
+        host=args.host,
+        port=args.port,
+        max_frame_bytes=args.max_frame_bytes,
+        allow_shutdown=not args.no_remote_shutdown,
+        health_interval_s=args.health_interval,
+    )
+
+    async def _main() -> None:
+        await router.start()
+        host, port = router.address
+        print(
+            f"routing {len(router.pool)} node(s) on {host}:{port} "
+            f"(replication {router.replication})"
+        )
+        try:
+            await router.serve_forever()
+        finally:
+            await router.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     automaton = load_automaton(args.automaton)
     data = Path(args.input).read_bytes()
@@ -483,6 +531,82 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_scan_config_options(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_route = sub.add_parser(
+        "route",
+        help="run the cluster router in front of serve nodes",
+    )
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument(
+        "--port", type=int, default=8700, help="0 picks a free port"
+    )
+    p_route.add_argument(
+        "--node",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="fleet node address (repeatable); more can join at "
+        "runtime via the 'hello' op",
+    )
+    p_route.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="nodes per ruleset (>= 2 enables mid-stream failover)",
+    )
+    p_route.add_argument(
+        "--health-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="node liveness probe period",
+    )
+    p_route.add_argument(
+        "--tenant-bytes-per-s",
+        type=float,
+        default=None,
+        help="per-tenant sustained scan/feed byte rate (unset = no cap)",
+    )
+    p_route.add_argument(
+        "--tenant-requests-per-s",
+        type=float,
+        default=None,
+        help="per-tenant sustained scan/feed request rate",
+    )
+    p_route.add_argument(
+        "--tenant-max-sessions",
+        type=int,
+        default=None,
+        help="per-tenant cap on concurrently open sessions",
+    )
+    p_route.add_argument(
+        "--tenant-compile-cost",
+        type=int,
+        default=None,
+        help="per-tenant compile cost (pattern count) per quota window",
+    )
+    p_route.add_argument(
+        "--quota-window",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="burst window of the rate quotas",
+    )
+    p_route.add_argument(
+        "--max-frame-bytes", type=int, default=8 * 1024 * 1024
+    )
+    p_route.add_argument(
+        "--no-remote-shutdown",
+        action="store_true",
+        help="ignore client 'shutdown' frames",
+    )
+    p_route.add_argument("--log-level", default="info")
+    p_route.add_argument(
+        "--metrics",
+        action="store_true",
+        help="force-enable the metrics registry",
+    )
+    p_route.set_defaults(fn=cmd_route)
 
     p_eval = sub.add_parser("evaluate", help="compare designs on a workload")
     p_eval.add_argument("automaton")

@@ -36,6 +36,7 @@ from repro.api.config import (
     DEFAULT_CHUNK_SIZE,
     MP_START_METHODS,
     SUPPORTED_STRIDES,
+    ClusterConfig,
     CompileConfig,
     ScanConfig,
     warn_legacy_kwargs,
@@ -43,6 +44,7 @@ from repro.api.config import (
 from repro.errors import ConfigError
 
 __all__ = [
+    "ClusterConfig",
     "CompileConfig",
     "ConfigError",
     "DEFAULT_CACHE_CAPACITY",

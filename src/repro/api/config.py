@@ -404,3 +404,89 @@ class ScanConfig:
         protocol tests assert end to end.
         """
         return _canonical_digest(self.to_dict())
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Configuration of a cluster deployment: fleet shape + admission.
+
+    Consumed by :meth:`repro.api.RulesetHandle.serve_cluster` (which
+    spawns the node processes and the router) and by the ``repro
+    route`` CLI.  Node-level execution options still come from
+    :class:`ScanConfig` — this object only describes what sits *above*
+    the nodes: how many there are, how rulesets replicate across them,
+    how often the router probes liveness, and what each tenant may
+    consume.
+
+    Quota fields of ``None`` mean unlimited; any non-None one arms the
+    router's admission control (see :mod:`repro.cluster.quotas`).
+
+    Args:
+        num_nodes: matching-server processes in the fleet.
+        replication: nodes per ruleset; >= 2 enables mid-stream
+            failover.
+        health_interval_s: router liveness-probe period (dead nodes
+            rejoin automatically when they answer again).
+        tenant_bytes_per_s: sustained scan/feed bytes per tenant.
+        tenant_requests_per_s: sustained scan/feed requests per tenant.
+        tenant_max_sessions: concurrently open sessions per tenant.
+        tenant_compile_cost: compile cost (pattern count) admitted per
+            ``quota_window_s`` per tenant.
+        quota_window_s: burst window of the rate quotas.
+    """
+
+    num_nodes: int = 2
+    replication: int = 2
+    health_interval_s: float = 2.0
+    tenant_bytes_per_s: float | None = None
+    tenant_requests_per_s: float | None = None
+    tenant_max_sessions: int | None = None
+    tenant_compile_cost: int | None = None
+    quota_window_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        _require_int("num_nodes", self.num_nodes, minimum=1)
+        _require_int("replication", self.replication, minimum=1)
+        if self.replication > self.num_nodes:
+            raise ConfigError(
+                f"replication ({self.replication}) cannot exceed "
+                f"num_nodes ({self.num_nodes})"
+            )
+        if self.health_interval_s <= 0:
+            raise ConfigError("health_interval_s must be > 0")
+        if self.quota_window_s <= 0:
+            raise ConfigError("quota_window_s must be > 0")
+
+    def quotas(self):
+        """The :class:`~repro.cluster.quotas.QuotaManager` these limits
+        describe, or None when every quota field is unlimited."""
+        from repro.cluster.quotas import QuotaManager, TenantQuota
+
+        quota = TenantQuota(
+            bytes_per_s=self.tenant_bytes_per_s,
+            requests_per_s=self.tenant_requests_per_s,
+            max_open_sessions=self.tenant_max_sessions,
+            compile_cost_per_window=self.tenant_compile_cost,
+            window_s=self.quota_window_s,
+        )
+        return None if quota.unlimited else QuotaManager(quota)
+
+    def replace(self, **changes) -> "ClusterConfig":
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown cluster options: {', '.join(sorted(unknown))}"
+            )
+        return cls(**data)
+
+    def digest(self) -> str:
+        """Stable hex digest of the full option set."""
+        return _canonical_digest(self.to_dict())

@@ -390,6 +390,65 @@ class RulesetHandle:
         run_server(server)
         return None
 
+    def serve_cluster(
+        self,
+        config=None,
+        *,
+        artifact_cache=None,
+        router_port: int = 0,
+        **fleet_kwargs,
+    ):
+        """Serve this ruleset from a local fleet behind a cluster router.
+
+        Spawns ``config.num_nodes`` real server processes sharing
+        ``artifact_cache`` (or this handle's configured store
+        directory), fronts them with a
+        :class:`~repro.cluster.router.ClusterRouter` enforcing the
+        config's tenant quotas, and registers this ruleset fleet-wide —
+        one compile on the placement primary, artifact loads on the
+        replicas.  Returns the *started*
+        :class:`~repro.cluster.fleet.LocalFleet`; clients connect a
+        plain :class:`~repro.service.client.MatchingClient` to
+        ``fleet.port`` and scan against :attr:`fingerprint`::
+
+            fleet = handle.serve_cluster(ClusterConfig(num_nodes=2))
+            try:
+                client = MatchingClient(port=fleet.port)
+                client.register(rules)   # cache hit: already placed
+            finally:
+                fleet.stop()
+        """
+        from repro.api.config import ClusterConfig
+        from repro.cluster.fleet import LocalFleet
+        from repro.service.client import MatchingClient
+
+        if config is None:
+            config = ClusterConfig()
+        if artifact_cache is None:
+            store = self.scan_config.artifact_store
+            artifact_cache = getattr(store, "root", store)
+        fleet = LocalFleet(
+            num_nodes=config.num_nodes,
+            artifact_cache=artifact_cache,
+            replication=config.replication,
+            quotas=config.quotas(),
+            router_port=router_port,
+            health_interval_s=config.health_interval_s,
+            **fleet_kwargs,
+        )
+        fleet.start()
+        try:
+            # place the ruleset fleet-wide now, so clients can scan by
+            # fingerprint immediately (mirrors serve()'s preload)
+            from repro.automata.mnrl import dumps_mnrl
+
+            with MatchingClient(port=fleet.port) as client:
+                client.register(dumps_mnrl(self.automaton), kind="mnrl")
+        except BaseException:
+            fleet.stop()
+            raise
+        return fleet
+
     def close(self) -> None:
         """Release the underlying service (sessions, worker pools)."""
         if self._service is not None:

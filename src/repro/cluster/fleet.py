@@ -1,0 +1,266 @@
+"""Process-level fleet harness: real node processes behind one router.
+
+The chaos/failover guarantees of :mod:`repro.cluster.router` are only
+meaningful against *processes* that can actually die — an in-thread
+node cannot be SIGKILLed.  :class:`NodeProcess` spawns a genuine
+``python -m repro serve`` server, :class:`LocalFleet` wires N of them
+(sharing one artifact-cache directory, so fleet registration costs one
+compile) behind a :class:`~repro.cluster.router.BackgroundRouter`.
+This is the harness the cluster tests, ``benchmarks/bench_cluster.py``
+and :meth:`repro.api.RulesetHandle.serve_cluster` all stand on.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import SimulationError
+
+
+def free_port() -> int:
+    """A currently-free TCP port (racy by nature; fine for tests)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _repro_pythonpath() -> str:
+    """PYTHONPATH entry that makes ``-m repro`` importable in a child."""
+    import repro
+
+    src = str(Path(repro.__file__).parents[1])
+    existing = os.environ.get("PYTHONPATH")
+    return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+class NodeProcess:
+    """One matching-server node as a real child process."""
+
+    def __init__(
+        self,
+        port: int | None = None,
+        *,
+        host: str = "127.0.0.1",
+        artifact_cache: str | Path | None = None,
+        shards: int = 1,
+        backend: str | None = None,
+        metrics: bool = True,
+        log_level: str = "warning",
+        extra_args: tuple[str, ...] = (),
+    ) -> None:
+        self.host = host
+        self.port = port if port is not None else free_port()
+        self.artifact_cache = (
+            str(artifact_cache) if artifact_cache is not None else None
+        )
+        self.shards = shards
+        self.backend = backend
+        self.metrics = metrics
+        self.log_level = log_level
+        self.extra_args = tuple(extra_args)
+        self.process: subprocess.Popen | None = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def pid(self) -> int:
+        if self.process is None:
+            raise SimulationError("node process is not started")
+        return self.process.pid
+
+    @property
+    def running(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def _command(self) -> list[str]:
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            str(self.port),
+            "--shards",
+            str(self.shards),
+            "--log-level",
+            self.log_level,
+        ]
+        if self.backend is not None:
+            cmd += ["--backend", self.backend]
+        if self.artifact_cache is not None:
+            cmd += ["--artifact-cache", self.artifact_cache]
+        if self.metrics:
+            cmd += ["--metrics"]
+        cmd += list(self.extra_args)
+        return cmd
+
+    def start(self, timeout: float = 30.0) -> "NodeProcess":
+        if self.process is not None:
+            raise SimulationError(f"node {self.name} is already started")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _repro_pythonpath()
+        self.process = subprocess.Popen(
+            self._command(),
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        self.wait_ready(timeout)
+        return self
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until the node answers a ping (or die trying)."""
+        from repro.service.client import MatchingClient
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.process is not None and self.process.poll() is not None:
+                raise SimulationError(
+                    f"node {self.name} exited during startup "
+                    f"(code {self.process.returncode})"
+                )
+            try:
+                with MatchingClient(
+                    self.host, self.port, timeout=2.0
+                ) as client:
+                    client.ping()
+                return
+            except OSError:
+                time.sleep(0.05)
+        raise SimulationError(f"node {self.name} did not come up in time")
+
+    def kill(self) -> None:
+        """SIGKILL — the chaos path: no drain, no goodbye."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.send_signal(signal.SIGKILL)
+            self.process.wait(timeout=10)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful stop (remote shutdown, then escalate)."""
+        if self.process is None:
+            return
+        if self.process.poll() is None:
+            from repro.service.client import MatchingClient, RemoteError
+            from repro.service.protocol import ProtocolError
+
+            try:
+                with MatchingClient(
+                    self.host, self.port, timeout=2.0
+                ) as client:
+                    client.shutdown()
+            except (OSError, RemoteError, ProtocolError, SimulationError):
+                pass
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.process.terminate()
+                try:
+                    self.process.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    self.process.kill()
+                    self.process.wait(timeout=5)
+
+    def __enter__(self) -> "NodeProcess":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class LocalFleet:
+    """N node processes sharing one artifact store, behind one router.
+
+    ::
+
+        with LocalFleet(num_nodes=2, artifact_cache=shared_dir) as fleet:
+            client = MatchingClient(port=fleet.port)
+            handle = client.register(rules)      # 1 compile, fleet-wide
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 2,
+        *,
+        artifact_cache: str | Path | None = None,
+        replication: int | None = None,
+        quotas=None,
+        shards: int = 1,
+        backend: str | None = None,
+        router_port: int = 0,
+        health_interval_s: float = 1.0,
+        node_kwargs: dict | None = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise SimulationError("a fleet needs at least one node")
+        self.nodes = [
+            NodeProcess(
+                artifact_cache=artifact_cache,
+                shards=shards,
+                backend=backend,
+                **(node_kwargs or {}),
+            )
+            for _ in range(num_nodes)
+        ]
+        from repro.cluster.router import BackgroundRouter, ClusterRouter
+
+        self.router = ClusterRouter(
+            [(n.host, n.port) for n in self.nodes],
+            replication=(
+                replication
+                if replication is not None
+                else min(2, num_nodes)
+            ),
+            quotas=quotas,
+            port=router_port,
+            health_interval_s=health_interval_s,
+        )
+        self._background = BackgroundRouter(self.router)
+        self._started = False
+
+    @property
+    def port(self) -> int:
+        """The router's client-facing port."""
+        port = self._background.port
+        if port is None:
+            raise SimulationError("fleet is not started")
+        return port
+
+    def start(self) -> "LocalFleet":
+        if self._started:
+            raise SimulationError("fleet is already started")
+        started: list[NodeProcess] = []
+        try:
+            for node in self.nodes:
+                node.start()
+                started.append(node)
+            self._background.start()
+        except BaseException:
+            for node in started:
+                node.stop()
+            raise
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        self._background.stop()
+        for node in self.nodes:
+            node.stop()
+
+    def __enter__(self) -> "LocalFleet":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,209 @@
+"""Router-side node plumbing: raw frame channels and the fleet pool.
+
+:class:`NodeChannel` is deliberately *not* an
+:class:`~repro.service.client.AsyncMatchingClient`: the router is a
+proxy, and the client classes interpret responses (re-raise warning
+entries, translate error frames into exceptions) where the router must
+pass both through to its caller verbatim.  A channel speaks raw frames:
+send a dict, get the response dict back — error frames included — and
+raise :class:`NodeError` only for *transport* failures (connect, reset,
+EOF), the signal the failover path keys on.
+
+:class:`NodePool` is the router's fleet membership view: liveness
+flags, the health-probe channel per node, and the counters the fleet
+stats surface reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.errors import ReproError
+from repro.service.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+
+class NodeError(ReproError):
+    """Transport-level failure talking to a node (retry / failover)."""
+
+
+class NodeChannel:
+    """One raw NDJSON request/response connection to a node.
+
+    Requests are serialized by a lock (the node answers a connection's
+    frames in order); the channel assigns its own frame ids and strips
+    them from responses — the router re-stamps the client's id.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self._ids = itertools.count(1)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    async def connect(self) -> "NodeChannel":
+        if self._writer is None:
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port, limit=self.max_frame_bytes
+                )
+            except OSError as exc:
+                raise NodeError(
+                    f"cannot connect to node {self.host}:{self.port}: {exc}"
+                ) from exc
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            writer, self._reader, self._writer = self._writer, None, None
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def request(self, frame: dict) -> dict:
+        """Round-trip one frame; returns the raw response payload.
+
+        The response dict is returned as-is minus its ``id`` — error
+        frames (``ok: false``) included.  Transport failures close the
+        channel and raise :class:`NodeError`.
+        """
+        async with self._lock:
+            await self.connect()
+            request_id = next(self._ids)
+            wire = {**frame, "id": request_id}
+            try:
+                self._writer.write(encode_frame(wire))
+                await self._writer.drain()
+                line = await self._reader.readline()
+            except (
+                asyncio.LimitOverrunError,
+                ValueError,
+                ConnectionError,
+                OSError,
+            ) as exc:
+                await self.close()
+                raise NodeError(
+                    f"node {self.host}:{self.port} i/o failed: {exc}"
+                ) from exc
+            if not line:
+                await self.close()
+                raise NodeError(
+                    f"node {self.host}:{self.port} closed the connection"
+                )
+        response = decode_frame(line)
+        if response.get("ok") and response.get("id") != request_id:
+            raise ProtocolError(
+                f"node {self.host}:{self.port} answered out of order "
+                f"(expected id {request_id}, got {response.get('id')!r})"
+            )
+        response.pop("id", None)
+        return response
+
+
+class NodeHandle:
+    """The router's view of one fleet node."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = f"{host}:{port}"
+        self.max_frame_bytes = max_frame_bytes
+        self.alive = True
+        #: ruleset handles confirmed registered on this node
+        self.registered: set[str] = set()
+        self.requests = 0
+        self.failures = 0
+        self.last_health: dict | None = None
+        #: dedicated probe channel (never shared with proxied traffic,
+        #: so a wedged stream cannot block liveness checks)
+        self.probe = NodeChannel(host, port, max_frame_bytes=max_frame_bytes)
+
+    def new_channel(self) -> NodeChannel:
+        return NodeChannel(
+            self.host, self.port, max_frame_bytes=self.max_frame_bytes
+        )
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"NodeHandle({self.name}, {state})"
+
+
+class NodePool:
+    """Fleet membership: named handles plus liveness transitions."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, NodeHandle] = {}
+
+    def add(self, host: str, port: int, **kwargs) -> NodeHandle:
+        """Add (or return the existing) node for ``host:port``."""
+        name = f"{host}:{port}"
+        handle = self._nodes.get(name)
+        if handle is None:
+            handle = NodeHandle(host, port, **kwargs)
+            self._nodes[name] = handle
+        return handle
+
+    def get(self, name: str) -> NodeHandle | None:
+        return self._nodes.get(name)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes.values())
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def alive_names(self) -> list[str]:
+        return sorted(n.name for n in self._nodes.values() if n.alive)
+
+    def mark_dead(self, name: str) -> None:
+        handle = self._nodes.get(name)
+        if handle is not None:
+            handle.alive = False
+            # anything it held must be re-confirmed when it returns
+            handle.registered.clear()
+
+    def mark_alive(self, name: str) -> None:
+        handle = self._nodes.get(name)
+        if handle is not None:
+            handle.alive = True
+
+    async def health_check(self, handle: NodeHandle) -> dict | None:
+        """Probe one node; returns its health payload or None (dead)."""
+        try:
+            response = await handle.probe.request({"op": "health"})
+        except (NodeError, ProtocolError):
+            return None
+        if not response.get("ok"):
+            return None
+        handle.last_health = response
+        return response

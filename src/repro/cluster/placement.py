@@ -1,0 +1,98 @@
+"""Consistent-hash placement of rulesets onto fleet nodes.
+
+The router places each ruleset on ``replication`` nodes chosen by
+consistent hashing over its content fingerprint
+(:func:`~repro.service.ruleset.ruleset_fingerprint`) — the same
+decomposition move CAMA makes one level down, where a lookup activates
+only the clusters that can match it instead of the whole fabric.
+Consistent hashing keeps placement stable under membership churn:
+adding or losing a node remaps only the keys adjacent to its ring
+positions, so a fleet restart does not re-shuffle (and re-register)
+every ruleset everywhere.
+
+Each node projects to ``vnodes`` points on the ring (hashes of
+``"name#i"``), which evens out the arc lengths — with a handful of
+physical nodes and a single point each, one node routinely owns half
+the keyspace.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ConfigError
+
+#: ring points per node; 64 keeps the max/min arc ratio close to 1 for
+#: small fleets while the ring stays tiny (a few KB)
+DEFAULT_VNODES = 64
+
+
+def _ring_hash(value: str) -> int:
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping keys to an ordered replica set."""
+
+    def __init__(self, nodes=(), *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ConfigError("vnodes must be >= 1")
+        self._vnodes = vnodes
+        self._nodes: set[str] = set()
+        #: sorted (point, node) pairs — the ring itself
+        self._ring: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> set[str]:
+        return set(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        """Insert a node (idempotent)."""
+        if not node:
+            raise ConfigError("node name must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self._vnodes):
+            self._ring.append((_ring_hash(f"{node}#{i}"), node))
+        self._ring.sort()
+
+    def remove(self, node: str) -> None:
+        """Drop a node (idempotent); its keys flow to ring neighbours."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._ring = [entry for entry in self._ring if entry[1] != node]
+
+    def place(self, key: str, replicas: int = 1) -> list[str]:
+        """The ordered replica set for ``key``: the first ``replicas``
+        *distinct* nodes walking clockwise from the key's ring point.
+
+        The first entry is the primary.  Fewer nodes than requested
+        replicas returns all of them — placement degrades, it does not
+        fail.
+        """
+        if replicas < 1:
+            raise ConfigError("replicas must be >= 1")
+        if not self._ring:
+            return []
+        want = min(replicas, len(self._nodes))
+        start = bisect.bisect_left(self._ring, (_ring_hash(key), ""))
+        chosen: list[str] = []
+        for offset in range(len(self._ring)):
+            node = self._ring[(start + offset) % len(self._ring)][1]
+            if node not in chosen:
+                chosen.append(node)
+                if len(chosen) == want:
+                    break
+        return chosen

@@ -1,0 +1,248 @@
+"""Per-tenant admission control for the cluster router.
+
+One tenant's pathological workload (a regex bomb, a firehose of scan
+bytes, a session leak) must degrade *that tenant*, not the fleet.  The
+router therefore admits work **before** forwarding it to any node:
+over-quota requests are rejected with a typed ``over-quota`` error
+frame carrying the offending ``resource`` and a ``retry_after_s`` hint,
+and never consume node executor time at all — which is what keeps an
+in-quota tenant's throughput flat while a noisy neighbour is throttled.
+
+Rate resources (bytes scanned, scan/feed requests) use token buckets:
+capacity = one window's worth of rate, refilled continuously, so short
+bursts up to the window are fine and sustained overload is shaved to
+the configured rate.  Concurrency (open sessions) is a plain counter,
+and compile admission charges a per-window budget of compile *cost*
+(pattern count), the knob that stops registration storms.
+
+All clocks are injectable (``clock=``) so tests drive time directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ReproError
+
+
+class QuotaExceededError(ReproError):
+    """A tenant exceeded an admission limit (wire code ``over-quota``)."""
+
+    code = "over-quota"
+
+    def __init__(
+        self, tenant: str, resource: str, retry_after_s: float
+    ) -> None:
+        self.tenant = tenant
+        self.resource = resource
+        self.retry_after_s = max(0.0, round(retry_after_s, 3))
+        super().__init__(
+            f"tenant {tenant!r} is over its {resource} quota; "
+            f"retry in {self.retry_after_s:.3f}s"
+        )
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant (None = unlimited).
+
+    ``bytes_per_s`` / ``requests_per_s`` are sustained rates with a
+    burst of one ``window_s``'s worth; ``max_open_sessions`` bounds
+    concurrent streams; ``compile_cost_per_window`` bounds pattern
+    compilations (charged by pattern count) per ``window_s``.
+    """
+
+    bytes_per_s: float | None = None
+    requests_per_s: float | None = None
+    max_open_sessions: int | None = None
+    compile_cost_per_window: int | None = None
+    window_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ConfigError("window_s must be > 0")
+        for name in ("bytes_per_s", "requests_per_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigError(f"{name} must be > 0 (or None)")
+        for name in ("max_open_sessions", "compile_cost_per_window"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigError(f"{name} must be >= 1 (or None)")
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.bytes_per_s is None
+            and self.requests_per_s is None
+            and self.max_open_sessions is None
+            and self.compile_cost_per_window is None
+        )
+
+
+class _TokenBucket:
+    """Continuous-refill token bucket: ``rate`` tokens/s, ``burst`` cap."""
+
+    def __init__(self, rate: float, burst: float, clock) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def try_take(self, amount: float) -> float:
+        """Take ``amount`` tokens; returns 0.0 on success, else the
+        seconds until enough tokens exist (nothing is taken then).
+
+        An amount beyond the burst cap is clamped to it: one oversized
+        request drains (at most) a full window's budget instead of
+        blocking forever.
+        """
+        self._refill()
+        amount = min(amount, self.burst)
+        if amount <= self._tokens:
+            self._tokens -= amount
+            return 0.0
+        return (amount - self._tokens) / self.rate
+
+
+class _TenantAccount:
+    """One tenant's live admission state."""
+
+    def __init__(self, quota: TenantQuota, clock) -> None:
+        self.quota = quota
+        self.open_sessions = 0
+        self.bytes = (
+            _TokenBucket(
+                quota.bytes_per_s, quota.bytes_per_s * quota.window_s, clock
+            )
+            if quota.bytes_per_s is not None
+            else None
+        )
+        self.requests = (
+            _TokenBucket(
+                quota.requests_per_s,
+                quota.requests_per_s * quota.window_s,
+                clock,
+            )
+            if quota.requests_per_s is not None
+            else None
+        )
+        self.compile = (
+            _TokenBucket(
+                quota.compile_cost_per_window / quota.window_s,
+                float(quota.compile_cost_per_window),
+                clock,
+            )
+            if quota.compile_cost_per_window is not None
+            else None
+        )
+
+
+class QuotaManager:
+    """Admission control across tenants.
+
+    ``default`` applies to every tenant without an entry in
+    ``per_tenant``; frames carrying no tenant id are billed to
+    ``"default"`` (shared — anonymous traffic pools together, which is
+    exactly the incentive to send a tenant id).
+    """
+
+    def __init__(
+        self,
+        default: TenantQuota | None = None,
+        *,
+        per_tenant: dict[str, TenantQuota] | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.default = default
+        self.per_tenant = dict(per_tenant or {})
+        self._clock = clock
+        self._accounts: dict[str, _TenantAccount] = {}
+        #: rejections by (tenant, resource), for snapshots/telemetry
+        self.rejections: dict[tuple[str, str], int] = {}
+
+    def _account(self, tenant: str) -> _TenantAccount | None:
+        account = self._accounts.get(tenant)
+        if account is None:
+            quota = self.per_tenant.get(tenant, self.default)
+            if quota is None or quota.unlimited:
+                return None
+            account = _TenantAccount(quota, self._clock)
+            self._accounts[tenant] = account
+        return account
+
+    def _reject(
+        self, tenant: str, resource: str, retry_after_s: float
+    ) -> None:
+        key = (tenant, resource)
+        self.rejections[key] = self.rejections.get(key, 0) + 1
+        raise QuotaExceededError(tenant, resource, retry_after_s)
+
+    # -- admission points --------------------------------------------------
+    def admit_request(self, tenant: str) -> None:
+        """One scan/feed-class request (rate-limited by requests_per_s)."""
+        account = self._account(tenant)
+        if account is None or account.requests is None:
+            return
+        wait = account.requests.try_take(1.0)
+        if wait > 0:
+            self._reject(tenant, "requests", wait)
+
+    def admit_bytes(self, tenant: str, nbytes: int) -> None:
+        account = self._account(tenant)
+        if account is None or account.bytes is None or nbytes <= 0:
+            return
+        wait = account.bytes.try_take(float(nbytes))
+        if wait > 0:
+            self._reject(tenant, "bytes", wait)
+
+    def admit_session(self, tenant: str) -> None:
+        """Claim one open-session slot (release with
+        :meth:`release_session`)."""
+        account = self._account(tenant)
+        if account is None:
+            return
+        cap = account.quota.max_open_sessions
+        if cap is not None and account.open_sessions >= cap:
+            self._reject(tenant, "sessions", account.quota.window_s)
+        account.open_sessions += 1
+
+    def release_session(self, tenant: str) -> None:
+        account = self._accounts.get(tenant)
+        if account is not None and account.open_sessions > 0:
+            account.open_sessions -= 1
+
+    def admit_compile(self, tenant: str, cost: int) -> None:
+        """Charge one registration's compile cost (pattern count)."""
+        account = self._account(tenant)
+        if account is None or account.compile is None:
+            return
+        wait = account.compile.try_take(float(max(1, cost)))
+        if wait > 0:
+            self._reject(tenant, "compile", wait)
+
+    # -- observability -----------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "tenants": {
+                tenant: {
+                    "open_sessions": account.open_sessions,
+                }
+                for tenant, account in sorted(self._accounts.items())
+            },
+            "rejections": {
+                f"{tenant}/{resource}": count
+                for (tenant, resource), count in sorted(
+                    self.rejections.items()
+                )
+            },
+        }

@@ -1,0 +1,1036 @@
+"""The cluster router: one NDJSON endpoint fronting a fleet of nodes.
+
+Clients speak the ordinary service protocol
+(:mod:`repro.service.protocol`) to the router exactly as they would to
+a single :class:`~repro.service.server.MatchingServer`; the router
+places rulesets on nodes by consistent hashing over their content
+fingerprint (:mod:`repro.cluster.placement`), admits work per tenant
+(:mod:`repro.cluster.quotas`), and forwards frames to the owning nodes
+over raw :class:`~repro.cluster.nodes.NodeChannel` connections.
+
+Three fleet behaviours live here:
+
+* **single-compile registration** — ``register`` runs on the placement
+  primary first (paying the one compile and publishing component
+  artifacts to the shared store), then on the replicas, whose
+  registrations hit the store instead of compiling;
+* **failover** — every proxied session is opened with
+  ``checkpoint: true``, so each feed response carries the serialized
+  per-shard engine states.  When a node dies mid-stream the router
+  opens the session on a replica with ``state=`` (the last checkpoint),
+  re-sends the failed chunk, and the stream resumes byte-identically —
+  the checkpoint only ever advances when a feed *response* arrived, so
+  replaying the in-flight chunk is exactly-once;
+* **admission control** — over-quota tenants get typed ``over-quota``
+  error frames (with ``retry_after_s``) before any node sees the work.
+
+Frames of one client connection are processed strictly in order (feed
+ordering is what makes sessions streams); different connections proceed
+concurrently, each with its own channels to the nodes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, ReproError, SimulationError
+from repro.cluster.nodes import NodeChannel, NodeError, NodeHandle, NodePool
+from repro.cluster.placement import HashRing
+from repro.cluster.quotas import QuotaExceededError, QuotaManager
+from repro.service.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+)
+from repro.telemetry.log import get_logger
+from repro.telemetry.metrics import default_registry, render_prometheus
+
+_log = get_logger("repro.cluster.router")
+
+_REGISTRY = default_registry()
+_ROUTER_REQUESTS = _REGISTRY.counter(
+    "repro_router_requests_total",
+    "Frames the router forwarded, by node and outcome",
+    ("node", "outcome"),
+)
+_ROUTER_FAILOVERS = _REGISTRY.counter(
+    "repro_router_failovers_total",
+    "Session failovers executed, by (dead) source node",
+    ("node",),
+)
+_ROUTER_QUOTA_REJECTIONS = _REGISTRY.counter(
+    "repro_router_quota_rejections_total",
+    "Admissions rejected, by tenant and resource",
+    ("tenant", "resource"),
+)
+
+#: tenant frames without an explicit id are billed to this shared pool
+DEFAULT_TENANT = "default"
+
+
+def _approx_decoded_bytes(encoded: str) -> int:
+    """Size of a base64 payload once decoded (close enough for quota)."""
+    return (len(encoded) * 3) // 4
+
+
+@dataclass
+class _FleetRuleset:
+    """One ruleset the fleet serves: how to place it and re-create it."""
+
+    handle: str
+    #: the original (id-less) register frame — replayed to re-register
+    #: on recovered or newly targeted nodes
+    frame: dict
+    placement: list[str]
+
+
+@dataclass
+class _RoutedSession:
+    """Router-side bookkeeping of one proxied session."""
+
+    name: str
+    handle: str
+    tenant: str
+    node: str
+    #: the (id-less) open frame, with ``checkpoint: true`` forced — the
+    #: failover open replays it (plus ``state=``) on a replica
+    open_frame: dict
+    #: whether the *client* asked for checkpoint states; if not, the
+    #: router strips them from feed responses before relaying
+    client_checkpoint: bool = False
+    state: list | None = None
+    position: int = 0
+    num_reports: int = 0
+    truncated: bool = False
+    failed_over: bool = False
+
+
+@dataclass(eq=False)  # identity-hashed: it lives in the router's set
+class _ClientConn:
+    """Per-client-connection state."""
+
+    conn_id: int
+    channels: dict[str, NodeChannel] = field(default_factory=dict)
+    sessions: dict[str, _RoutedSession] = field(default_factory=dict)
+    rr: itertools.count = field(default_factory=lambda: itertools.count())
+    closing: bool = False
+
+
+class ClusterRouter:
+    """Route service-protocol frames across a fleet of matching nodes.
+
+    Args:
+        nodes: initial fleet members — ``(host, port)`` pairs or
+            ``"host:port"`` strings (more can join at runtime via the
+            ``hello`` op).
+        replication: nodes per ruleset (placement size); scans spread
+            round-robin across the alive replicas, failover needs >= 2.
+        quotas: optional :class:`~repro.cluster.quotas.QuotaManager`;
+            None admits everything.
+        host, port: bind address (``port=0`` picks a free port).
+        max_frame_bytes: request/response line limit, as on the server.
+        allow_shutdown: honour the ``shutdown`` frame.
+        health_interval_s: period of the background liveness probe
+            (dead nodes rejoin automatically once they answer again).
+    """
+
+    def __init__(
+        self,
+        nodes=(),
+        *,
+        replication: int = 2,
+        quotas: QuotaManager | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        allow_shutdown: bool = True,
+        health_interval_s: float = 2.0,
+    ) -> None:
+        if replication < 1:
+            raise ConfigError("replication must be >= 1")
+        if health_interval_s <= 0:
+            raise ConfigError("health_interval_s must be > 0")
+        self.replication = replication
+        self.quotas = quotas
+        self.host = host
+        self._requested_port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.allow_shutdown = allow_shutdown
+        self.health_interval_s = health_interval_s
+        self.pool = NodePool()
+        self.ring = HashRing()
+        for node in nodes:
+            self._add_node(*self._parse_node(node))
+        self._rulesets: dict[str, _FleetRuleset] = {}
+        self._conn_ids = itertools.count(1)
+        self._conns: set[_ClientConn] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._drain_event: asyncio.Event | None = None
+        self._stopped = asyncio.Event()
+        self._health_task: asyncio.Task | None = None
+        self._started_monotonic = time.monotonic()
+        self._frames_processed = 0
+        self._failovers = 0
+        # ruleset parsing (fingerprint-before-placement) is CPU-bound;
+        # keep it off the event loop
+        self._executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-route"
+        )
+
+    # -- membership --------------------------------------------------------
+    @staticmethod
+    def _parse_node(node) -> tuple[str, int]:
+        if isinstance(node, str):
+            host, _, port = node.rpartition(":")
+            if not host or not port.isdigit():
+                raise ConfigError(
+                    f"node {node!r} is not 'host:port' or (host, port)"
+                )
+            return host, int(port)
+        host, port = node
+        return str(host), int(port)
+
+    def _add_node(self, host: str, port: int) -> NodeHandle:
+        handle = self.pool.add(
+            host, port, max_frame_bytes=self.max_frame_bytes
+        )
+        self.ring.add(handle.name)
+        return handle
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise SimulationError("router is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    async def start(self) -> None:
+        if self._server is None:
+            self._drain_event = asyncio.Event()
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                self.host,
+                self._requested_port,
+                limit=self.max_frame_bytes,
+            )
+            self._health_task = asyncio.create_task(self._health_loop())
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight frames, close everything."""
+        if self._server is None:
+            return
+        _log.info("router.draining", connections=len(self._conns))
+        self._drain_event.set()
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        self._server.close()
+        await self._server.wait_closed()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        for handle in self.pool:
+            await handle.probe.close()
+        self._stopped.set()
+
+    async def stop(self) -> None:
+        await self.drain()
+        self._executor.shutdown(wait=True)
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        conn = _ClientConn(conn_id=next(self._conn_ids))
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._conns.add(conn)
+        _log.debug("connection.open", conn_id=conn.conn_id)
+        drain_wait = asyncio.ensure_future(self._drain_event.wait())
+        try:
+            while not conn.closing:
+                read = asyncio.ensure_future(reader.readline())
+                done, _ = await asyncio.wait(
+                    {read, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if read not in done:
+                    read.cancel()
+                    break
+                try:
+                    line = read.result()
+                except (asyncio.LimitOverrunError, ValueError):
+                    response = error_frame(
+                        None,
+                        f"frame exceeds max_frame_bytes "
+                        f"({self.max_frame_bytes})",
+                        "frame-too-large",
+                    )
+                    try:
+                        writer.write(encode_frame(response))
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._respond(conn, line)
+                self._frames_processed += 1
+                try:
+                    writer.write(encode_frame(response))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    break
+        finally:
+            drain_wait.cancel()
+            await self._release_connection(conn)
+            self._conns.discard(conn)
+            _log.debug("connection.close", conn_id=conn.conn_id)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._conn_tasks.discard(task)
+
+    async def _release_connection(self, conn: _ClientConn) -> None:
+        """Release a dropped client's sessions, quota slots, channels."""
+        for record in conn.sessions.values():
+            if self.quotas is not None:
+                self.quotas.release_session(record.tenant)
+        conn.sessions.clear()
+        for channel in conn.channels.values():
+            await channel.close()
+        conn.channels.clear()
+
+    async def _respond(self, conn: _ClientConn, line: bytes) -> dict:
+        request_id = None
+        op = "unknown"
+        try:
+            frame = decode_frame(line)
+            request_id = frame.get("id")
+            raw_op = frame.get("op")
+            if not isinstance(raw_op, str):
+                raise ProtocolError(
+                    "frame has no 'op' field", code="bad-request"
+                )
+            op = raw_op
+            handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+            if handler is None:
+                raise ProtocolError(f"unknown op {op!r}", code="unknown-op")
+            payload = await handler(conn, frame)
+            # node responses arrive id-less (error frames included) and
+            # local payloads carry neither id nor ok — stamp both here
+            # with the *client's* id
+            return {"ok": True, **payload, "id": request_id}
+        except QuotaExceededError as exc:
+            _ROUTER_QUOTA_REJECTIONS.labels(exc.tenant, exc.resource).inc()
+            _log.info(
+                "request.over_quota",
+                conn_id=conn.conn_id,
+                op=op,
+                tenant=exc.tenant,
+                resource=exc.resource,
+            )
+            response = error_frame(request_id, str(exc), exc.code)
+            response["retry_after_s"] = exc.retry_after_s
+            response["resource"] = exc.resource
+            return response
+        except ProtocolError as exc:
+            _log.info(
+                "request.rejected",
+                conn_id=conn.conn_id,
+                op=op,
+                code=exc.code,
+                error=str(exc),
+            )
+            return error_frame(request_id, str(exc), exc.code)
+        except NodeError as exc:
+            _log.warning(
+                "request.unavailable",
+                conn_id=conn.conn_id,
+                op=op,
+                error=str(exc),
+            )
+            return error_frame(request_id, str(exc), "unavailable")
+        except ReproError as exc:
+            return error_frame(request_id, str(exc), "bad-request")
+        except Exception as exc:  # noqa: BLE001 — a handler bug must
+            # not kill the client connection
+            _log.error(
+                "request.internal_error",
+                conn_id=conn.conn_id,
+                op=op,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return error_frame(
+                request_id, f"{type(exc).__name__}: {exc}", "internal"
+            )
+
+    # -- node forwarding ---------------------------------------------------
+    def _channel(self, conn: _ClientConn, node: str) -> NodeChannel:
+        channel = conn.channels.get(node)
+        if channel is None:
+            handle = self.pool.get(node)
+            if handle is None:
+                raise ProtocolError(
+                    f"unknown node {node!r}", code="unavailable"
+                )
+            channel = handle.new_channel()
+            conn.channels[node] = channel
+        return channel
+
+    async def _forward(
+        self, conn: _ClientConn, node: str, frame: dict
+    ) -> dict:
+        """Round-trip one id-less frame to a node; transport failures
+        mark the node dead and propagate as :class:`NodeError`."""
+        handle = self.pool.get(node)
+        channel = self._channel(conn, node)
+        wire = {k: v for k, v in frame.items() if k != "id"}
+        try:
+            response = await channel.request(wire)
+        except NodeError:
+            self._node_failed(node)
+            _ROUTER_REQUESTS.labels(node, "transport-error").inc()
+            raise
+        handle.requests += 1
+        outcome = (
+            "ok"
+            if response.get("ok")
+            else str(response.get("code", "error"))
+        )
+        _ROUTER_REQUESTS.labels(node, outcome).inc()
+        return response
+
+    def _node_failed(self, node: str) -> None:
+        handle = self.pool.get(node)
+        if handle is not None and handle.alive:
+            handle.failures += 1
+            _log.warning("node.dead", node=node)
+            self.pool.mark_dead(node)
+
+    def _tenant(self, frame: dict) -> str:
+        tenant = frame.get("tenant")
+        return tenant if isinstance(tenant, str) and tenant else DEFAULT_TENANT
+
+    def _fleet_ruleset(self, frame: dict) -> _FleetRuleset:
+        handle = frame.get("handle")
+        if not isinstance(handle, str):
+            raise ProtocolError("request has no 'handle'", code="bad-request")
+        fleet = self._rulesets.get(handle)
+        if fleet is None:
+            raise ProtocolError(
+                f"unknown ruleset handle {handle!r}; register it through "
+                f"the router first",
+                code="unknown-handle",
+            )
+        return fleet
+
+    def _alive_placement(self, fleet: _FleetRuleset) -> list[str]:
+        alive = [
+            name
+            for name in fleet.placement
+            if (node := self.pool.get(name)) is not None and node.alive
+        ]
+        if not alive:
+            raise ProtocolError(
+                f"no alive replica for ruleset {fleet.handle!r}",
+                code="unavailable",
+            )
+        return alive
+
+    async def _ensure_registered(
+        self, conn: _ClientConn, node: str, fleet: _FleetRuleset
+    ) -> None:
+        """Make sure ``node`` serves ``fleet`` (replays the register
+        frame; a store-backed replay is an artifact load, not a
+        compile)."""
+        handle = self.pool.get(node)
+        if handle is None or fleet.handle in handle.registered:
+            return
+        response = await self._forward(conn, node, fleet.frame)
+        if response.get("ok"):
+            handle.registered.add(fleet.handle)
+
+    # -- local ops ---------------------------------------------------------
+    async def _op_ping(self, conn: _ClientConn, frame: dict) -> dict:
+        return {"pong": True, "version": PROTOCOL_VERSION, "router": True}
+
+    async def _op_health(self, conn: _ClientConn, frame: dict) -> dict:
+        draining = self._drain_event.is_set() if self._drain_event else False
+        return {
+            "status": "draining" if draining else "ok",
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "version": PROTOCOL_VERSION,
+            "router": True,
+            "replication": self.replication,
+            "rulesets": len(self._rulesets),
+            "open_sessions": sum(len(c.sessions) for c in self._conns),
+            "nodes": {
+                node.name: {
+                    "alive": node.alive,
+                    "requests": node.requests,
+                    "failures": node.failures,
+                    "health": node.last_health,
+                }
+                for node in self.pool
+            },
+        }
+
+    async def _op_stats(self, conn: _ClientConn, frame: dict) -> dict:
+        payload = {
+            "stats_version": 2,
+            "router": True,
+            "frames": self._frames_processed,
+            "failovers": self._failovers,
+            "rulesets": {
+                fleet.handle: list(fleet.placement)
+                for fleet in self._rulesets.values()
+            },
+            "nodes": {
+                node.name: {
+                    "alive": node.alive,
+                    "requests": node.requests,
+                    "failures": node.failures,
+                    "registered": sorted(node.registered),
+                }
+                for node in self.pool
+            },
+            "connections": {"active": len(self._conns)},
+            "active_sessions": sum(len(c.sessions) for c in self._conns),
+        }
+        if self.quotas is not None:
+            payload["quotas"] = self.quotas.snapshot()
+        return payload
+
+    async def _op_metrics(self, conn: _ClientConn, frame: dict) -> dict:
+        return {
+            "content_type": "text/plain; version=0.0.4",
+            "metrics": render_prometheus(),
+        }
+
+    async def _op_shutdown(self, conn: _ClientConn, frame: dict) -> dict:
+        if not self.allow_shutdown:
+            raise ProtocolError(
+                "remote shutdown is disabled on this router",
+                code="bad-request",
+            )
+        asyncio.create_task(self.drain())
+        return {"draining": True}
+
+    async def _op_hello(self, conn: _ClientConn, frame: dict) -> dict:
+        """A node announcing itself (runtime fleet growth)."""
+        host = frame.get("host")
+        port = frame.get("port")
+        if not isinstance(host, str) or not isinstance(port, int):
+            raise ProtocolError(
+                "hello needs 'host' (str) and 'port' (int)",
+                code="bad-request",
+            )
+        handle = self._add_node(host, port)
+        health = await self.pool.health_check(handle)
+        if health is None:
+            self.pool.mark_dead(handle.name)
+            raise ProtocolError(
+                f"node {handle.name} did not answer a health probe",
+                code="unavailable",
+            )
+        return {"node": handle.name, "fleet": self.pool.names}
+
+    # -- fleet registration ------------------------------------------------
+    def _register_cost(self, frame: dict) -> int:
+        rules = frame.get("rules")
+        if isinstance(rules, (dict, list)):
+            return len(rules)
+        return 1
+
+    def _placement_key(self, frame: dict) -> str:
+        """Fingerprint the ruleset locally, before any node is chosen."""
+        from repro.automata.glushkov import compile_regex_set
+        from repro.automata.mnrl import loads_mnrl
+        from repro.service.ruleset import ruleset_fingerprint
+
+        kind = frame.get("kind", "regex")
+        if kind == "regex":
+            rules = frame.get("rules")
+            if not isinstance(rules, (dict, list)) or not rules:
+                raise ProtocolError(
+                    "register kind 'regex' needs a non-empty 'rules' "
+                    "dict or list",
+                    code="bad-request",
+                )
+            automaton = compile_regex_set(
+                rules, name=str(frame.get("name", "remote"))
+            )
+        elif kind == "mnrl":
+            text = frame.get("text")
+            if not isinstance(text, str):
+                raise ProtocolError(
+                    "register kind 'mnrl' needs a 'text' document",
+                    code="bad-request",
+                )
+            automaton = loads_mnrl(
+                text, name=str(frame.get("name", "remote"))
+            )
+        else:
+            raise ProtocolError(
+                f"unknown ruleset kind {kind!r} (expected 'regex' or "
+                f"'mnrl')",
+                code="bad-request",
+            )
+        return ruleset_fingerprint(automaton)
+
+    def _artifact_key(self, frame: dict) -> str:
+        from repro.compile.artifact import CompiledArtifact
+        from repro.errors import ArtifactError
+        from repro.service.protocol import decode_data
+
+        data = decode_data(frame.get("data", ""))
+        if not data:
+            raise ProtocolError(
+                "register_artifact needs 'data' (base64 .npz artifact)",
+                code="bad-request",
+            )
+        try:
+            return CompiledArtifact.from_bytes(data).key
+        except ArtifactError as exc:
+            raise ProtocolError(str(exc), code="bad-artifact") from exc
+
+    async def _register_fleet(
+        self, conn: _ClientConn, frame: dict, key: str
+    ) -> dict:
+        placement = self.ring.place(key, self.replication)
+        alive = [
+            name
+            for name in placement
+            if (node := self.pool.get(name)) is not None and node.alive
+        ]
+        if not alive:
+            raise ProtocolError(
+                "no alive node to place the ruleset on", code="unavailable"
+            )
+        clean = {k: v for k, v in frame.items() if k != "id"}
+        # primary first, sequentially: its registration pays the single
+        # compile and publishes component artifacts to the shared
+        # store; the replicas' registrations then load, not compile
+        response = await self._forward(conn, alive[0], clean)
+        if not response.get("ok"):
+            return response
+        handle = str(response.get("handle", key))
+        self.pool.get(alive[0]).registered.add(handle)
+        fleet = _FleetRuleset(handle=handle, frame=clean, placement=placement)
+        self._rulesets[handle] = fleet
+        for replica in alive[1:]:
+            try:
+                rep = await self._forward(conn, replica, clean)
+            except NodeError:
+                continue  # health loop re-registers it on recovery
+            if rep.get("ok"):
+                self.pool.get(replica).registered.add(handle)
+        response["nodes"] = alive
+        return response
+
+    async def _op_register(self, conn: _ClientConn, frame: dict) -> dict:
+        if self.quotas is not None:
+            self.quotas.admit_compile(
+                self._tenant(frame), self._register_cost(frame)
+            )
+        loop = asyncio.get_running_loop()
+        key = await loop.run_in_executor(
+            self._executor, self._placement_key, frame
+        )
+        return await self._register_fleet(conn, frame, key)
+
+    async def _op_register_artifact(
+        self, conn: _ClientConn, frame: dict
+    ) -> dict:
+        if self.quotas is not None:
+            self.quotas.admit_compile(self._tenant(frame), 1)
+        loop = asyncio.get_running_loop()
+        key = await loop.run_in_executor(
+            self._executor, self._artifact_key, frame
+        )
+        return await self._register_fleet(conn, frame, key)
+
+    async def _op_update(self, conn: _ClientConn, frame: dict) -> dict:
+        """Hot-swap on every replica; the primary's response is the
+        client's (update is incremental: replicas reuse the components
+        the primary's update published)."""
+        tenant = self._tenant(frame)
+        if self.quotas is not None:
+            self.quotas.admit_compile(
+                tenant, self._register_cost({"rules": frame.get("add")})
+            )
+        fleet = self._fleet_ruleset(frame)
+        alive = self._alive_placement(fleet)
+        clean = {k: v for k, v in frame.items() if k != "id"}
+        response = await self._forward(conn, alive[0], clean)
+        if not response.get("ok"):
+            return response
+        for replica in alive[1:]:
+            try:
+                await self._forward(conn, replica, clean)
+            except NodeError:
+                continue
+        return response
+
+    # -- routed scans ------------------------------------------------------
+    def _pick(self, conn: _ClientConn, candidates: list[str]) -> str:
+        return candidates[next(conn.rr) % len(candidates)]
+
+    async def _op_scan(self, conn: _ClientConn, frame: dict) -> dict:
+        tenant = self._tenant(frame)
+        if self.quotas is not None:
+            self.quotas.admit_request(tenant)
+            self.quotas.admit_bytes(
+                tenant, _approx_decoded_bytes(str(frame.get("data", "")))
+            )
+        return await self._forward_scan(conn, frame)
+
+    async def _op_scan_many(self, conn: _ClientConn, frame: dict) -> dict:
+        tenant = self._tenant(frame)
+        if self.quotas is not None:
+            self.quotas.admit_request(tenant)
+            streams = frame.get("streams")
+            if isinstance(streams, dict):
+                total = sum(
+                    _approx_decoded_bytes(str(data))
+                    for data in streams.values()
+                )
+                self.quotas.admit_bytes(tenant, total)
+        return await self._forward_scan(conn, frame)
+
+    async def _forward_scan(self, conn: _ClientConn, frame: dict) -> dict:
+        """Forward an idempotent scan, retrying across alive replicas."""
+        fleet = self._fleet_ruleset(frame)
+        candidates = self._alive_placement(fleet)
+        start = next(conn.rr)
+        last_error: NodeError | None = None
+        for offset in range(len(candidates)):
+            node = candidates[(start + offset) % len(candidates)]
+            try:
+                await self._ensure_registered(conn, node, fleet)
+                return await self._forward(conn, node, frame)
+            except NodeError as exc:
+                last_error = exc
+                continue
+        raise ProtocolError(
+            f"no alive replica answered for ruleset {fleet.handle!r}: "
+            f"{last_error}",
+            code="unavailable",
+        )
+
+    # -- routed sessions ---------------------------------------------------
+    async def _op_open(self, conn: _ClientConn, frame: dict) -> dict:
+        tenant = self._tenant(frame)
+        name = frame.get("session")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError(
+                "open needs a non-empty 'session' name", code="bad-request"
+            )
+        if name in conn.sessions:
+            raise ProtocolError(
+                f"session {name!r} is already open on this connection",
+                code="bad-request",
+            )
+        fleet = self._fleet_ruleset(frame)
+        candidates = self._alive_placement(fleet)
+        if self.quotas is not None:
+            self.quotas.admit_session(tenant)
+        # the node always checkpoints router sessions — feed responses
+        # carry the engine states the failover path resumes from
+        open_frame = {k: v for k, v in frame.items() if k != "id"}
+        client_checkpoint = bool(open_frame.get("checkpoint"))
+        open_frame["checkpoint"] = True
+        start = next(conn.rr)
+        response = None
+        node = None
+        for offset in range(len(candidates)):
+            node = candidates[(start + offset) % len(candidates)]
+            try:
+                await self._ensure_registered(conn, node, fleet)
+                response = await self._forward(conn, node, open_frame)
+                break
+            except NodeError:
+                continue
+        if response is None:
+            if self.quotas is not None:
+                self.quotas.release_session(tenant)
+            raise ProtocolError(
+                f"no alive replica to open session {name!r} on",
+                code="unavailable",
+            )
+        if not response.get("ok"):
+            if self.quotas is not None:
+                self.quotas.release_session(tenant)
+            return response
+        conn.sessions[name] = _RoutedSession(
+            name=name,
+            handle=fleet.handle,
+            tenant=tenant,
+            node=node,
+            open_frame=open_frame,
+            client_checkpoint=client_checkpoint,
+            state=open_frame.get("state"),
+            position=int(response.get("position", 0) or 0),
+        )
+        return response
+
+    def _routed_session(
+        self, conn: _ClientConn, frame: dict
+    ) -> _RoutedSession:
+        name = frame.get("session")
+        if not isinstance(name, str):
+            raise ProtocolError(
+                "request has no 'session'", code="bad-request"
+            )
+        record = conn.sessions.get(name)
+        if record is None:
+            raise ProtocolError(
+                f"unknown session {name!r} on this connection",
+                code="unknown-session",
+            )
+        return record
+
+    async def _op_feed(self, conn: _ClientConn, frame: dict) -> dict:
+        record = self._routed_session(conn, frame)
+        if self.quotas is not None:
+            self.quotas.admit_request(record.tenant)
+            self.quotas.admit_bytes(
+                record.tenant,
+                _approx_decoded_bytes(str(frame.get("data", ""))),
+            )
+        try:
+            response = await self._forward(conn, record.node, frame)
+        except NodeError:
+            response = await self._failover_feed(conn, record, frame)
+        if response.get("ok"):
+            # the checkpoint advances only on a received response, so a
+            # replayed chunk after failover is exactly-once
+            state = response.get("state")
+            if state is not None:
+                record.state = state
+            record.position = int(response.get("position", record.position))
+            record.num_reports += len(response.get("reports", ()))
+            record.truncated = bool(response.get("truncated", False))
+            if not record.client_checkpoint:
+                response.pop("state", None)
+        return response
+
+    async def _failover_feed(
+        self, conn: _ClientConn, record: _RoutedSession, frame: dict
+    ) -> dict:
+        """Resume a session on a replica and replay the failed chunk.
+
+        The dead node never answered this chunk's feed, so the saved
+        checkpoint predates it; replaying the chunk onto the restored
+        state yields exactly the reports the dead node would have
+        produced, at the same absolute stream offsets.
+        """
+        dead = record.node
+        self._failovers += 1
+        _ROUTER_FAILOVERS.labels(dead).inc()
+        _log.warning(
+            "session.failover",
+            session=record.name,
+            dead_node=dead,
+            position=record.position,
+        )
+        fleet = self._rulesets.get(record.handle)
+        if fleet is None:
+            raise ProtocolError(
+                f"ruleset {record.handle!r} is no longer registered",
+                code="unknown-handle",
+            )
+        candidates = [
+            name
+            for name in fleet.placement
+            if name != dead
+            and (node := self.pool.get(name)) is not None
+            and node.alive
+        ]
+        for node in candidates:
+            try:
+                await self._ensure_registered(conn, node, fleet)
+                open_frame = dict(record.open_frame)
+                if record.state is not None:
+                    open_frame["state"] = record.state
+                opened = await self._forward(conn, node, open_frame)
+                if not opened.get("ok"):
+                    _log.warning(
+                        "session.failover_open_rejected",
+                        session=record.name,
+                        node=node,
+                        code=opened.get("code"),
+                    )
+                    continue
+                response = await self._forward(conn, node, frame)
+            except NodeError:
+                continue
+            record.node = node
+            record.failed_over = True
+            return response
+        raise ProtocolError(
+            f"no replica available to resume session {record.name!r} "
+            f"(lost node {dead})",
+            code="unavailable",
+        )
+
+    async def _op_close(self, conn: _ClientConn, frame: dict) -> dict:
+        record = self._routed_session(conn, frame)
+        response: dict | None = None
+        node = self.pool.get(record.node)
+        if node is not None and node.alive:
+            try:
+                response = await self._forward(conn, record.node, frame)
+            except NodeError:
+                response = None
+        del conn.sessions[record.name]
+        if self.quotas is not None:
+            self.quotas.release_session(record.tenant)
+        if response is None or not response.get("ok"):
+            # the node is gone: answer from router bookkeeping (cycles
+            # == bytes consumed — the stream advanced one byte/cycle)
+            return {
+                "num_reports": record.num_reports,
+                "cycles": record.position,
+                "truncated": record.truncated,
+                "synthesized": True,
+            }
+        if record.failed_over:
+            # the final node only saw the post-failover tail; the
+            # router watched the whole stream
+            response["num_reports"] = record.num_reports
+            response["cycles"] = record.position
+        return response
+
+    # -- health loop -------------------------------------------------------
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval_s)
+            for handle in list(self.pool):
+                health = await self.pool.health_check(handle)
+                if health is None:
+                    if handle.alive:
+                        _log.warning("node.health_failed", node=handle.name)
+                        self.pool.mark_dead(handle.name)
+                elif not handle.alive:
+                    _log.info("node.recovered", node=handle.name)
+                    self.pool.mark_alive(handle.name)
+                    await self._reregister_node(handle)
+
+    async def _reregister_node(self, handle: NodeHandle) -> None:
+        """Replay registrations onto a recovered node (store-backed:
+        these are artifact loads, not compiles)."""
+        for fleet in self._rulesets.values():
+            if handle.name not in fleet.placement:
+                continue
+            try:
+                response = await handle.probe.request(fleet.frame)
+            except NodeError:
+                self.pool.mark_dead(handle.name)
+                return
+            if response.get("ok"):
+                handle.registered.add(fleet.handle)
+
+
+class BackgroundRouter:
+    """A :class:`ClusterRouter` on a daemon thread with its own loop.
+
+    Mirrors :class:`~repro.service.server.BackgroundServer` — the
+    harness tests, benchmarks and :meth:`Ruleset.serve_cluster` use::
+
+        with BackgroundRouter(router) as bg:
+            client = MatchingClient(port=bg.port)
+    """
+
+    def __init__(
+        self, router: ClusterRouter | None = None, **kwargs
+    ) -> None:
+        self.router = router if router is not None else ClusterRouter(**kwargs)
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.router.start()
+                self.loop = asyncio.get_running_loop()
+                self.port = self.router.port
+            except BaseException as exc:
+                self._startup_error = exc
+                return
+            finally:
+                self._ready.set()
+            try:
+                await self.router.serve_forever()
+            finally:
+                await self.router.stop()
+
+        asyncio.run(main())
+
+    def start(self) -> "BackgroundRouter":
+        if self._thread is not None:
+            raise SimulationError("background router is already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-router", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise SimulationError("background router did not start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        if self.loop is not None and self._thread.is_alive():
+            try:
+                future = asyncio.run_coroutine_threadsafe(
+                    self.router.stop(), self.loop
+                )
+                future.result(timeout)
+            except (
+                RuntimeError,
+                asyncio.CancelledError,
+                concurrent.futures.CancelledError,
+                concurrent.futures.TimeoutError,
+            ):
+                pass
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise SimulationError("background router did not stop in time")
+
+    def __enter__(self) -> "BackgroundRouter":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

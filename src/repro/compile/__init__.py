@@ -58,7 +58,12 @@ from repro.compile.ir import (
 )
 from repro.compile.passes import DEFAULT_PASSES, CompilePass, load_source
 from repro.compile.pipeline import Pipeline, compile_ruleset
-from repro.compile.store import DEFAULT_STORE_BYTES, ArtifactStore, StoreStats
+from repro.compile.store import (
+    DEFAULT_STORE_BYTES,
+    ArtifactStore,
+    StoreStats,
+    remote_fetcher,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
@@ -81,5 +86,6 @@ __all__ = [
     "composition_key",
     "incremental_compile",
     "load_source",
+    "remote_fetcher",
     "ruleset_fingerprint",
 ]

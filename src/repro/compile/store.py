@@ -13,6 +13,18 @@ Eviction is LRU by *bytes*, not entries: when the directory exceeds
 :meth:`get` refreshes on every hit) are deleted until the budget holds
 again.  Corrupt or version-mismatched files are deleted on sight and
 counted in :attr:`StoreStats.invalid`.
+
+Two cluster-facing extensions:
+
+* **remote fetch seam** — construct with ``fetch=callable``; a local
+  miss asks the callable for the artifact bytes by key and publishes
+  them atomically before returning.  :func:`remote_fetcher` builds such
+  a callable from another store (or plain directory): how fleet nodes
+  pull compiled components from a shared store instead of recompiling.
+* **cross-process pins** — :meth:`pin` also drops a per-process token
+  file under ``<root>/.pins/<key>/``, so byte-pressure eviction in *any*
+  process sharing the directory skips artifacts a sibling process still
+  references.  Tokens of dead processes are swept opportunistically.
 """
 
 from __future__ import annotations
@@ -32,6 +44,53 @@ DEFAULT_STORE_BYTES = 512 * 1024 * 1024
 
 _SUFFIX = ".npz"
 _MANIFEST_SUFFIX = ".manifest.json"
+#: cross-process pin tokens live here (invisible to keys()/total_bytes,
+#: whose globs are non-recursive)
+_PINS_DIR = ".pins"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid exists (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def _rmdir_quiet(path: Path) -> None:
+    """Remove a directory if (still) empty; races are fine."""
+    try:
+        path.rmdir()
+    except OSError:
+        pass
+
+
+def remote_fetcher(source):
+    """Build a ``fetch`` callable pulling artifact bytes from ``source``.
+
+    ``source`` may be another :class:`ArtifactStore` or a directory path
+    (the shared fleet store).  The returned callable maps a key to the
+    raw ``.npz`` bytes, or None when the source does not have it —
+    exactly the seam :class:`ArtifactStore(fetch=...)` consumes, so a
+    node's local store becomes a read-through cache over the shared one::
+
+        local = ArtifactStore(node_dir, fetch=remote_fetcher(shared_dir))
+    """
+    root = source.root if isinstance(source, ArtifactStore) else Path(source)
+
+    def fetch(key: str) -> bytes | None:
+        path = root / f"{key}{_SUFFIX}"
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    return fetch
 
 
 @dataclass
@@ -43,6 +102,9 @@ class StoreStats:
     evictions: int = 0
     #: corrupt / version-mismatched files discarded
     invalid: int = 0
+    #: local misses satisfied by the remote ``fetch`` seam (these count
+    #: as neither hit nor miss: the request was served, but not locally)
+    fetched: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -58,14 +120,20 @@ class ArtifactStore:
         root: str | Path,
         *,
         max_bytes: int = DEFAULT_STORE_BYTES,
+        fetch=None,
     ) -> None:
         if max_bytes < 1:
             raise ReproError("artifact store byte budget must be >= 1")
+        if fetch is not None and not callable(fetch):
+            raise ReproError("fetch must be a callable(key) -> bytes | None")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
         self.stats = StoreStats()
         self._lock = threading.Lock()
+        #: remote fill: called with a key on local miss, returns the
+        #: artifact's ``.npz`` bytes or None (see :func:`remote_fetcher`)
+        self._fetch = fetch
         #: refcounted eviction pins (key -> count); pinned artifacts are
         #: referenced by a live ruleset version and must survive byte
         #: pressure — evicting one mid-hot-swap would force a recompile
@@ -106,8 +174,10 @@ class ArtifactStore:
         path = self.path(key)
         with self._lock:
             if not path.exists():
-                self.stats.misses += 1
-                return None
+                fetched = self._fetch_remote(key, path)
+                if fetched is None:
+                    self.stats.misses += 1
+                return fetched
             try:
                 artifact = CompiledArtifact.load(path)
             except ArtifactError:
@@ -124,6 +194,39 @@ class ArtifactStore:
                 pass
             return artifact
 
+    def _fetch_remote(self, key: str, path: Path) -> CompiledArtifact | None:
+        """Fill a local miss from the remote seam (lock held).
+
+        The bytes are validated *before* publication and the publish is
+        atomic (``save`` writes a tmp file then ``os.replace``), so a
+        reader in another process never observes a partial or corrupt
+        artifact.  Any fetcher failure is just a miss — the caller
+        falls back to compiling.
+        """
+        if self._fetch is None:
+            return None
+        try:
+            data = self._fetch(key)
+        except Exception:  # noqa: BLE001 — a flaky remote must degrade
+            # to a compile, never poison the compile pipeline
+            return None
+        if data is None:
+            return None
+        try:
+            artifact = CompiledArtifact.from_bytes(bytes(data))
+        except (ArtifactError, TypeError, ValueError):
+            self.stats.invalid += 1
+            return None
+        if artifact.key != key:
+            # the remote answered with *something*, but not this key's
+            # content — publishing it would poison the address space
+            self.stats.invalid += 1
+            return None
+        artifact.save(path)
+        self._evict_over_budget(keep=path)
+        self.stats.fetched += 1
+        return artifact
+
     def put(self, artifact: CompiledArtifact) -> Path:
         """Write an artifact under its own content-addressed key."""
         with self._lock:
@@ -137,6 +240,13 @@ class ArtifactStore:
                 path.unlink(missing_ok=True)
             for path in self.root.glob(f"*{_MANIFEST_SUFFIX}"):
                 path.unlink(missing_ok=True)
+            pins_dir = self.root / _PINS_DIR
+            if pins_dir.is_dir():
+                for key_dir in pins_dir.iterdir():
+                    if key_dir.is_dir():
+                        for token in key_dir.iterdir():
+                            token.unlink(missing_ok=True)
+                        _rmdir_quiet(key_dir)
             self._pins.clear()
 
     # -- eviction pins -----------------------------------------------------
@@ -145,15 +255,21 @@ class ArtifactStore:
 
         Live ruleset versions pin the component artifacts their
         composition manifests reference; byte-budget pressure then falls
-        entirely on unpinned entries.
+        entirely on unpinned entries.  The first pin of a key in this
+        process also drops a pid token file under ``.pins/<key>/``, so
+        *other* processes sharing the directory honour the pin too.
         """
         with self._lock:
             for key in keys:
-                self._pins[key] = self._pins.get(key, 0) + 1
+                count = self._pins.get(key, 0)
+                self._pins[key] = count + 1
+                if count == 0:
+                    self._write_pin_token(key)
 
     def unpin(self, keys) -> None:
         """Drop one pin reference per key; fully unpinned artifacts
-        rejoin the LRU eviction pool."""
+        rejoin the LRU eviction pool (in every sharing process, once
+        this process's pid token is removed)."""
         with self._lock:
             for key in keys:
                 count = self._pins.get(key, 0) - 1
@@ -161,10 +277,65 @@ class ArtifactStore:
                     self._pins[key] = count
                 else:
                     self._pins.pop(key, None)
+                    self._remove_pin_token(key)
 
     def pinned_keys(self) -> set[str]:
+        """Keys pinned by this process *or* any live sibling process."""
         with self._lock:
-            return set(self._pins)
+            return set(self._pins) | self._disk_pinned_stems()
+
+    # -- cross-process pin tokens ------------------------------------------
+    def _pin_token_path(self, key: str) -> Path:
+        return self.root / _PINS_DIR / key / f"{os.getpid()}.pin"
+
+    def _write_pin_token(self, key: str) -> None:
+        token = self._pin_token_path(key)
+        try:
+            token.parent.mkdir(parents=True, exist_ok=True)
+            token.touch()
+        except OSError:
+            # a read-only shared store still gets in-process pins; the
+            # cross-process guarantee just doesn't extend to it
+            pass
+
+    def _remove_pin_token(self, key: str) -> None:
+        token = self._pin_token_path(key)
+        try:
+            token.unlink(missing_ok=True)
+            _rmdir_quiet(token.parent)
+        except OSError:
+            pass
+
+    def _disk_pinned_stems(self) -> set[str]:
+        """Keys with a live pid token on disk; dead tokens are swept.
+
+        A token whose pid no longer exists belongs to a crashed (or
+        SIGKILLed) process — its pins die with it, otherwise one dead
+        node would exempt its artifacts from eviction forever.
+        """
+        pins_dir = self.root / _PINS_DIR
+        pinned: set[str] = set()
+        if not pins_dir.is_dir():
+            return pinned
+        for key_dir in pins_dir.iterdir():
+            if not key_dir.is_dir():
+                continue
+            alive = False
+            for token in key_dir.glob("*.pin"):
+                try:
+                    pid = int(token.stem)
+                except ValueError:
+                    token.unlink(missing_ok=True)
+                    continue
+                if _pid_alive(pid):
+                    alive = True
+                else:
+                    token.unlink(missing_ok=True)
+            if alive:
+                pinned.add(key_dir.name)
+            else:
+                _rmdir_quiet(key_dir)
+        return pinned
 
     # -- composition manifests ---------------------------------------------
     def manifest_path(self, key: str) -> Path:
@@ -211,13 +382,18 @@ class ArtifactStore:
         """
         entries = []
         total = 0
+        disk_pinned = self._disk_pinned_stems()
         for path in self.root.glob(f"*{_SUFFIX}"):
             try:
                 stat = path.stat()
             except OSError:  # concurrently removed
                 continue
             total += stat.st_size
-            if path != keep and path.stem not in self._pins:
+            if (
+                path != keep
+                and path.stem not in self._pins
+                and path.stem not in disk_pinned
+            ):
                 entries.append((stat.st_mtime, stat.st_size, path))
         entries.sort()
         for _mtime, size, path in entries:

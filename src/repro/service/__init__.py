@@ -85,6 +85,7 @@ from repro.service.client import (
     MatchingClient,
     RemoteError,
     RemoteScanResult,
+    RetryPolicy,
 )
 from repro.service.merge import (
     accumulate_stats,
@@ -133,6 +134,7 @@ __all__ = [
     "ProtocolError",
     "RemoteError",
     "RemoteScanResult",
+    "RetryPolicy",
     "RulesetManager",
     "ServiceResult",
     "Session",

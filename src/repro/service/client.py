@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
+import time
 import warnings
 from dataclasses import dataclass, field
 
@@ -42,6 +44,7 @@ from repro.automata.nfa import Automaton
 from repro.errors import ConfigError, ReproError, SimulationError
 from repro.service.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
+    IDEMPOTENT_OPS,
     ProtocolError,
     decode_frame,
     decode_reports,
@@ -58,6 +61,67 @@ class RemoteError(ReproError):
     def __init__(self, message: str, code: str = "internal") -> None:
         self.code = code
         super().__init__(message)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff + jitter for transient I/O.
+
+    Applies to connect failures and to broken-connection errors on
+    requests whose op is idempotent
+    (:data:`~repro.service.protocol.IDEMPOTENT_OPS`).  Non-idempotent
+    frames (``feed``, ``update``, ``open``, ``close``) are *never*
+    retried once the request may have reached the server — a replayed
+    ``feed`` would double-scan a chunk, a replayed ``update`` would
+    re-apply a ruleset delta.  Server error frames are answers, not
+    failures, and are never retried either.
+
+    Off by default: pass ``retry=RetryPolicy()`` to a client to opt in.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    #: +/- fraction of the computed backoff added as uniform jitter
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ConfigError("RetryPolicy.attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigError("RetryPolicy backoffs must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigError("RetryPolicy.jitter must be in [0, 1]")
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        base = min(self.backoff_s * (2**attempt), self.max_backoff_s)
+        if self.jitter <= 0:
+            return base
+        return base * (1.0 + random.uniform(-self.jitter, self.jitter))
+
+
+class _ConnectionClosed(Exception):
+    """Internal marker: the server hung up before answering (EOF).
+
+    Distinct from :class:`RemoteError` so the retry loop can treat it
+    as transient I/O (retryable for idempotent ops) while real error
+    frames — answers — pass through untouched.  Surfaces to callers as
+    ``RemoteError(code="closed")`` when retries are exhausted or off.
+    """
+
+    def __init__(self, message: str, code: str = "closed") -> None:
+        self.code = code
+        super().__init__(message)
+
+
+def _may_retry(policy, op, attempt, sent) -> bool:
+    """Whether one failed attempt should be repeated."""
+    if policy is None or attempt + 1 >= policy.attempts:
+        return False
+    # a frame that may have reached the server is only safe to replay
+    # when its op is idempotent
+    return (not sent) or op in IDEMPOTENT_OPS
 
 
 @dataclass
@@ -266,6 +330,10 @@ class MatchingClient:
     One client holds one connection; requests on it execute in order
     (which is what gives sessions their chunk ordering).  Use one client
     per thread for concurrent load.
+
+    ``retry`` opts into bounded reconnect-and-retry on transient I/O
+    (see :class:`RetryPolicy`); ``tenant`` stamps every frame with a
+    tenant id (how a cluster router attributes quota).
     """
 
     def __init__(
@@ -275,11 +343,15 @@ class MatchingClient:
         *,
         timeout: float | None = 30.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        retry: RetryPolicy | None = None,
+        tenant: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.max_frame_bytes = max_frame_bytes
+        self.retry = retry
+        self.tenant = tenant
         self._ids = itertools.count(1)
         self._sock: socket.socket | None = None
         self._file = None
@@ -313,26 +385,52 @@ class MatchingClient:
 
     # -- request plumbing -------------------------------------------------
     def _request(self, frame: dict) -> dict:
-        self.connect()
-        request_id = next(self._ids)
-        frame = {"id": request_id, **frame}
-        self._sock.sendall(encode_frame(frame))
-        line = self._file.readline(self.max_frame_bytes + 1)
-        if not line:
-            raise RemoteError("connection closed by server", code="closed")
-        if len(line) > self.max_frame_bytes:
-            # a partial line was consumed; the stream can no longer be
-            # framed, so drop the connection rather than desync it
-            self.close()
-            raise ProtocolError(
-                f"response exceeds max_frame_bytes ({self.max_frame_bytes})",
-                code="frame-too-large",
-            )
-        return _checked(decode_frame(line), request_id)
+        op = frame.get("op")
+        attempt = 0
+        while True:
+            sent = False
+            try:
+                self.connect()
+                request_id = next(self._ids)
+                wire = {"id": request_id, **frame}
+                if self.tenant is not None:
+                    wire.setdefault("tenant", self.tenant)
+                sent = True  # from here the server may have seen it
+                self._sock.sendall(encode_frame(wire))
+                line = self._file.readline(self.max_frame_bytes + 1)
+                if not line:
+                    raise _ConnectionClosed(
+                        "connection closed by server", code="closed"
+                    )
+                if len(line) > self.max_frame_bytes:
+                    # a partial line was consumed; the stream can no
+                    # longer be framed, so drop the connection rather
+                    # than desync it
+                    self.close()
+                    raise ProtocolError(
+                        f"response exceeds max_frame_bytes "
+                        f"({self.max_frame_bytes})",
+                        code="frame-too-large",
+                    )
+                return _checked(decode_frame(line), request_id)
+            except (_ConnectionClosed, ConnectionError, OSError) as exc:
+                self.close()
+                if not _may_retry(self.retry, op, attempt, sent):
+                    if isinstance(exc, _ConnectionClosed):
+                        raise RemoteError(str(exc), code="closed") from None
+                    raise
+                time.sleep(self.retry.delay(attempt))
+                attempt += 1
 
     # -- the service surface ----------------------------------------------
     def ping(self) -> dict:
         return self._request({"op": "ping"})
+
+    def health(self) -> dict:
+        """The server's liveness/inventory frame: ``status``,
+        ``uptime_s``, ``ruleset_versions``, ``open_sessions``,
+        ``inflight``, ``connections``."""
+        return self._request({"op": "health"})
 
     def register(
         self, ruleset, *, kind: str | None = None, name: str | None = None
@@ -508,10 +606,14 @@ class AsyncMatchingClient:
         port: int = 0,
         *,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        retry: RetryPolicy | None = None,
+        tenant: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.max_frame_bytes = max_frame_bytes
+        self.retry = retry
+        self.tenant = tenant
         self._ids = itertools.count(1)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
@@ -540,28 +642,51 @@ class AsyncMatchingClient:
         await self.close()
 
     async def _request(self, frame: dict) -> dict:
-        await self.connect()
-        async with self._lock:
-            request_id = next(self._ids)
-            frame = {"id": request_id, **frame}
-            self._writer.write(encode_frame(frame))
-            await self._writer.drain()
+        op = frame.get("op")
+        attempt = 0
+        while True:
+            sent = False
             try:
-                line = await self._reader.readline()
-            except (asyncio.LimitOverrunError, ValueError):
-                # over-long response: the buffer is mid-frame, unframeable
+                async with self._lock:
+                    await self.connect()
+                    request_id = next(self._ids)
+                    wire = {"id": request_id, **frame}
+                    if self.tenant is not None:
+                        wire.setdefault("tenant", self.tenant)
+                    sent = True  # from here the server may have seen it
+                    self._writer.write(encode_frame(wire))
+                    await self._writer.drain()
+                    try:
+                        line = await self._reader.readline()
+                    except (asyncio.LimitOverrunError, ValueError):
+                        # over-long response: the buffer is mid-frame,
+                        # unframeable
+                        await self.close()
+                        raise ProtocolError(
+                            f"response exceeds max_frame_bytes "
+                            f"({self.max_frame_bytes})",
+                            code="frame-too-large",
+                        ) from None
+                if not line:
+                    raise _ConnectionClosed(
+                        "connection closed by server", code="closed"
+                    )
+                return _checked(decode_frame(line), request_id)
+            except (_ConnectionClosed, ConnectionError, OSError) as exc:
                 await self.close()
-                raise ProtocolError(
-                    f"response exceeds max_frame_bytes "
-                    f"({self.max_frame_bytes})",
-                    code="frame-too-large",
-                ) from None
-        if not line:
-            raise RemoteError("connection closed by server", code="closed")
-        return _checked(decode_frame(line), request_id)
+                if not _may_retry(self.retry, op, attempt, sent):
+                    if isinstance(exc, _ConnectionClosed):
+                        raise RemoteError(str(exc), code="closed") from None
+                    raise
+                await asyncio.sleep(self.retry.delay(attempt))
+                attempt += 1
 
     async def ping(self) -> dict:
         return await self._request({"op": "ping"})
+
+    async def health(self) -> dict:
+        """Async mirror of :meth:`MatchingClient.health`."""
+        return await self._request({"op": "health"})
 
     async def register(
         self, ruleset, *, kind: str | None = None, name: str | None = None

@@ -14,6 +14,11 @@ Frame reference (also in the README):
 op         request fields                                response fields
 ========== ============================================= ==============
 ping       --                                            ``pong``, ``version``
+health     --                                            ``status``, ``uptime_s``,
+                                                         ``version``, ``rulesets``,
+                                                         ``ruleset_versions``,
+                                                         ``open_sessions``,
+                                                         ``inflight``, ``connections``
 register   ``kind`` ("regex"|"mnrl"), ``rules``|``text`` ``handle``, ``states``, ``cached``
 register-  ``data`` (b64 ``.npz`` compiled artifact —    ``handle``, ``states``, ``cached``,
 artifact   see :mod:`repro.compile.artifact`)            ``backend``
@@ -24,14 +29,15 @@ scan       ``handle``, ``data`` (b64), ``chunk_size?``,  ``reports``, ``num_repo
                                                          ``ledger?``, ``trace_id?``
 scan_many  ``handle``, ``streams`` ({name: b64}), ...    ``results`` ({name: scan payload})
 open       ``handle``, ``session``, ``max_reports?``,    ``session``, ``version?``
-           ``on_truncation?``
+           ``on_truncation?``, ``checkpoint?``,
+           ``state?`` (handoff resume)
 update     ``handle``, ``add?`` ({code: pattern} or      ``handle``, ``version``,
            [pattern]), ``remove?`` ([code])              ``fingerprint``, ``states``,
                                                          ``reused_components``,
                                                          ``compiled_components``
 feed       ``session``, ``data`` (b64)                   ``reports``, ``position``,
                                                          ``truncated``, ``warnings``,
-                                                         ``ledger?``
+                                                         ``ledger?``, ``state?``
 close      ``session``                                   ``num_reports``, ``cycles``,
                                                          ``truncated``, ``ledger?``
 stats      --                                            ``stats_version``, ``cache``,
@@ -49,7 +55,31 @@ Error codes: ``bad-frame`` (not JSON / not an object), ``bad-request``
 version-incompatible compiled artifact), ``unknown-op``,
 ``unknown-handle``, ``unknown-session``, ``frame-too-large``
 (connection closes), ``truncated`` (strict report-cap policy),
-``internal``.
+``over-quota`` (tenant admission control rejected the request — see
+:mod:`repro.cluster.quotas`; the error frame carries ``retry_after_s``
+when the quota is a rate), ``unavailable`` (no live node can serve the
+request; cluster router only), ``internal``.
+
+Cluster-mode additions (all backwards-compatible within version 2; see
+:mod:`repro.cluster`):
+
+* ``health`` — a light liveness/inventory probe (uptime, ruleset
+  versions, open sessions, queued frames).  The cluster router polls it
+  per node; it is equally useful against a standalone server.  The
+  router answers its own ``health`` with a fleet view (``nodes`` map).
+* session handoff — ``open`` accepts ``checkpoint`` (every ``feed``
+  response then carries ``state``, the serialized per-shard
+  :class:`~repro.sim.backends.base.EngineState` list) and ``state`` (a
+  previously checkpointed snapshot to resume from, position included).
+  This is the failover mechanism: the router checkpoints after every
+  acknowledged chunk and replays the last snapshot onto a replica when
+  a node dies mid-stream, so the stream resumes byte-identically.
+* ``tenant`` — any request frame may carry a tenant id (a string).
+  Nodes ignore it; the cluster router uses it for per-tenant admission
+  control (token-bucket byte rates, session caps, compile budgets) and
+  answers over-quota requests with code ``over-quota``.
+* ``hello`` — router only: ``{"op": "hello", "node": "host:port"}``
+  adds a node to the fleet at runtime (new placements see it).
 
 The ``register_artifact`` op (wire name; the table row is wrapped) was
 added in protocol version 2; version-1 servers answer it with
@@ -107,6 +137,26 @@ SCAN_FRAME_FIELDS = (
     "hardware_ledger",
     "ledger_design",
     "trace",
+)
+
+#: ops a client may safely re-send after a transient failure mid-flight
+#: (the retry policy's send-retry whitelist): pure reads, plus
+#: registration ops that are idempotent by content addressing.  ``open``
+#: is *not* listed — a duplicate open answers "already open" — and
+#: ``update``/``feed``/``close`` mutate state, so a retry could apply an
+#: edit or a chunk twice.  Connect-phase failures (nothing sent yet) are
+#: retryable for every op.
+IDEMPOTENT_OPS = frozenset(
+    {
+        "ping",
+        "health",
+        "stats",
+        "metrics",
+        "register",
+        "register_artifact",
+        "scan",
+        "scan_many",
+    }
 )
 
 #: default cap on one frame's encoded size (request and response)

@@ -121,6 +121,9 @@ class _ServerSession:
     on_truncation: str
     max_reports: int
     warned: bool = False
+    #: when True, every feed response carries the serialized per-shard
+    #: engine states (the cluster router's failover checkpoint)
+    checkpoint: bool = False
 
 
 @dataclass
@@ -236,6 +239,8 @@ class MatchingServer:
         self._frames_processed = 0
         self._connections_total = 0
         self._connections_active = 0
+        self._inflight = 0
+        self._started_monotonic = time.monotonic()
         self._backend_stats: dict[str, _BackendStats] = {}
         # ops run on executor threads; guard their shared mutable state
         self._state_lock = threading.Lock()
@@ -367,6 +372,7 @@ class MatchingServer:
                     break  # EOF
                 if line.strip():
                     await conn.queue.put(line)
+                    self._inflight += 1
                     _INFLIGHT.labels().inc()
         finally:
             drain_wait.cancel()
@@ -403,6 +409,7 @@ class MatchingServer:
             if item is None:
                 return
             if item is not _OVERSIZED:
+                self._inflight -= 1
                 _INFLIGHT.labels().dec()
             if discarding:
                 continue
@@ -572,6 +579,29 @@ class MatchingServer:
     # -- ops ---------------------------------------------------------------
     def _op_ping(self, conn: _Connection, frame: dict) -> dict:
         return {"pong": True, "version": PROTOCOL_VERSION}
+
+    def _op_health(self, conn: _Connection, frame: dict) -> dict:
+        """Liveness + inventory in one light frame (no matching work).
+
+        What a router (or any load balancer / monitor) polls: whether
+        the server is draining, how long it has been up, what rulesets
+        and versions it holds, and how much work is in flight right
+        now.  Runs on the event loop — it must answer even when every
+        executor thread is busy scanning.
+        """
+        draining = self._drain_event.is_set() if self._drain_event else False
+        with self._state_lock:
+            num_rulesets = len(self._rulesets)
+        return {
+            "status": "draining" if draining else "ok",
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "version": PROTOCOL_VERSION,
+            "rulesets": num_rulesets,
+            "ruleset_versions": self.service.version_summary(),
+            "open_sessions": len(self.service.sessions),
+            "inflight": self._inflight,
+            "connections": self._connections_active,
+        }
 
     def _op_register(self, conn: _Connection, frame: dict) -> dict:
         kind = frame.get("kind", "regex")
@@ -783,13 +813,31 @@ class MatchingServer:
             hardware_ledger=cfg.hardware_ledger,
             ledger_design=cfg.ledger_design,
         )
+        state = frame.get("state")
+        if state is not None:
+            # failover handoff: adopt a checkpointed snapshot taken on
+            # another node, so this stream resumes at the snapshot's
+            # absolute position (only a fresh session may restore)
+            if not isinstance(state, list):
+                self.service.close_session(internal)
+                raise ProtocolError(
+                    "open 'state' must be a list of per-shard engine "
+                    "state objects",
+                    code="bad-request",
+                )
+            try:
+                session.restore(state)
+            except ReproError as exc:
+                self.service.close_session(internal)
+                raise ProtocolError(str(exc), code="bad-request") from exc
         conn.sessions[name] = _ServerSession(
             name=name,
             internal=internal,
             on_truncation=cfg.on_truncation,
             max_reports=session.max_reports,
+            checkpoint=bool(frame.get("checkpoint")),
         )
-        payload = {"session": name}
+        payload = {"session": name, "position": session.position}
         if session.ruleset_version is not None:
             payload["version"] = session.ruleset_version
         if digest is not None:
@@ -845,6 +893,11 @@ class MatchingServer:
             "truncated": session.truncated,
             "warnings": warnings_out,
         }
+        if record.checkpoint:
+            # the serialized per-shard engine states *after* this chunk:
+            # whoever holds this response can resume the stream from
+            # here on any node with the same ruleset (open with state=)
+            payload["state"] = [s.to_dict() for s in session.shard_states]
         ledger = session.ledger()
         if ledger is not None:
             payload["ledger"] = ledger.to_dict()

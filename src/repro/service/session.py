@@ -183,6 +183,44 @@ class Session:
         """Copies of the per-shard engine states (a resumable checkpoint)."""
         return [state.copy() for state in self._states]
 
+    def restore(self, states) -> None:
+        """Adopt a checkpointed snapshot: the failover handoff.
+
+        ``states`` is a per-shard list of
+        :class:`~repro.sim.backends.base.EngineState` objects or their
+        ``to_dict()`` wire form (what a checkpointing server ``feed``
+        returns).  Only a *fresh* session may restore — the stream then
+        resumes from the snapshot's position, so reports produced by
+        subsequent feeds carry the same absolute offsets the original
+        stream would have.  Shard count must match (same ruleset, same
+        sharding) and every shard must sit at the same position.
+        """
+        from repro.sim.backends.base import EngineState
+
+        if self.closed:
+            raise SimulationError(f"session {self.name!r} is closed")
+        if self.position != 0 or self._reports:
+            raise SimulationError(
+                f"session {self.name!r} has already consumed data; "
+                f"only a fresh session can restore a snapshot"
+            )
+        decoded = [
+            state if isinstance(state, EngineState) else EngineState.from_dict(state)
+            for state in states
+        ]
+        if len(decoded) != len(self._states):
+            raise SimulationError(
+                f"snapshot has {len(decoded)} shard states; this session "
+                f"runs {len(self._states)} shards (ruleset or sharding "
+                f"mismatch)"
+            )
+        positions = {state.position for state in decoded}
+        if len(positions) > 1:
+            raise SimulationError(
+                f"snapshot shard positions disagree: {sorted(positions)}"
+            )
+        self._states = decoded
+
     def close(self) -> SimulationResult:
         """Finish the stream and return the accumulated result."""
         self.closed = True
