@@ -284,6 +284,7 @@ def cmd_route(args: argparse.Namespace) -> int:
         max_frame_bytes=args.max_frame_bytes,
         allow_shutdown=not args.no_remote_shutdown,
         health_interval_s=args.health_interval,
+        node_timeout_s=args.node_timeout or None,
     )
 
     async def _main() -> None:
@@ -560,6 +561,14 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         metavar="SECONDS",
         help="node liveness probe period",
+    )
+    p_route.add_argument(
+        "--node-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-request node round-trip budget; a hung node fails "
+        "over like a dead one (0 = wait forever)",
     )
     p_route.add_argument(
         "--tenant-bytes-per-s",

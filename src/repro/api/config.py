@@ -427,6 +427,9 @@ class ClusterConfig:
             failover.
         health_interval_s: router liveness-probe period (dead nodes
             rejoin automatically when they answer again).
+        node_timeout_s: per-request router→node round-trip budget; a
+            node that is connected but hung exceeds it and fails over
+            like a dead one (None = wait forever).
         tenant_bytes_per_s: sustained scan/feed bytes per tenant.
         tenant_requests_per_s: sustained scan/feed requests per tenant.
         tenant_max_sessions: concurrently open sessions per tenant.
@@ -438,6 +441,7 @@ class ClusterConfig:
     num_nodes: int = 2
     replication: int = 2
     health_interval_s: float = 2.0
+    node_timeout_s: float | None = 60.0
     tenant_bytes_per_s: float | None = None
     tenant_requests_per_s: float | None = None
     tenant_max_sessions: int | None = None
@@ -454,6 +458,8 @@ class ClusterConfig:
             )
         if self.health_interval_s <= 0:
             raise ConfigError("health_interval_s must be > 0")
+        if self.node_timeout_s is not None and self.node_timeout_s <= 0:
+            raise ConfigError("node_timeout_s must be > 0 (or None)")
         if self.quota_window_s <= 0:
             raise ConfigError("quota_window_s must be > 0")
 

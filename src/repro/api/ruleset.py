@@ -434,6 +434,7 @@ class RulesetHandle:
             quotas=config.quotas(),
             router_port=router_port,
             health_interval_s=config.health_interval_s,
+            node_timeout_s=config.node_timeout_s,
             **fleet_kwargs,
         )
         fleet.start()

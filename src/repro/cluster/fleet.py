@@ -198,6 +198,7 @@ class LocalFleet:
         backend: str | None = None,
         router_port: int = 0,
         health_interval_s: float = 1.0,
+        node_timeout_s: float | None = 60.0,
         node_kwargs: dict | None = None,
     ) -> None:
         if num_nodes < 1:
@@ -223,6 +224,7 @@ class LocalFleet:
             quotas=quotas,
             port=router_port,
             health_interval_s=health_interval_s,
+            node_timeout_s=node_timeout_s,
         )
         self._background = BackgroundRouter(self.router)
         self._started = False

@@ -27,6 +27,13 @@ from repro.service.protocol import (
     encode_frame,
 )
 
+#: default per-request round-trip budget.  Generous, because a cold
+#: ``register`` compiles; the point is that it is *finite* — a node
+#: that is connected but hung (stuck process, network blackhole) must
+#: eventually surface as a :class:`NodeError` so the failover and
+#: dead-marking paths engage instead of wedging the caller forever.
+DEFAULT_REQUEST_TIMEOUT_S = 60.0
+
 
 class NodeError(ReproError):
     """Transport-level failure talking to a node (retry / failover)."""
@@ -46,10 +53,12 @@ class NodeChannel:
         port: int,
         *,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        timeout_s: float | None = DEFAULT_REQUEST_TIMEOUT_S,
     ) -> None:
         self.host = host
         self.port = port
         self.max_frame_bytes = max_frame_bytes
+        self.timeout_s = timeout_s
         self._ids = itertools.count(1)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
@@ -80,21 +89,40 @@ class NodeChannel:
             except (ConnectionError, OSError):
                 pass
 
-    async def request(self, frame: dict) -> dict:
+    async def _round_trip(self, wire: dict) -> bytes:
+        await self.connect()
+        self._writer.write(encode_frame(wire))
+        await self._writer.drain()
+        return await self._reader.readline()
+
+    async def request(
+        self, frame: dict, *, timeout_s: float | None = None
+    ) -> dict:
         """Round-trip one frame; returns the raw response payload.
 
         The response dict is returned as-is minus its ``id`` — error
-        frames (``ok: false``) included.  Transport failures close the
-        channel and raise :class:`NodeError`.
+        frames (``ok: false``) included.  Transport failures *and*
+        round-trips exceeding ``timeout_s`` (the channel's default when
+        None) close the channel and raise :class:`NodeError` — a hung
+        node must look exactly like a dead one to the failover path.
         """
+        timeout = self.timeout_s if timeout_s is None else timeout_s
         async with self._lock:
-            await self.connect()
             request_id = next(self._ids)
             wire = {**frame, "id": request_id}
             try:
-                self._writer.write(encode_frame(wire))
-                await self._writer.drain()
-                line = await self._reader.readline()
+                if timeout is not None:
+                    line = await asyncio.wait_for(
+                        self._round_trip(wire), timeout
+                    )
+                else:
+                    line = await self._round_trip(wire)
+            except asyncio.TimeoutError:
+                await self.close()
+                raise NodeError(
+                    f"node {self.host}:{self.port} did not answer "
+                    f"within {timeout:g}s"
+                ) from None
             except (
                 asyncio.LimitOverrunError,
                 ValueError,
@@ -129,11 +157,13 @@ class NodeHandle:
         port: int,
         *,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        timeout_s: float | None = DEFAULT_REQUEST_TIMEOUT_S,
     ) -> None:
         self.host = host
         self.port = port
         self.name = f"{host}:{port}"
         self.max_frame_bytes = max_frame_bytes
+        self.timeout_s = timeout_s
         self.alive = True
         #: ruleset handles confirmed registered on this node
         self.registered: set[str] = set()
@@ -142,11 +172,16 @@ class NodeHandle:
         self.last_health: dict | None = None
         #: dedicated probe channel (never shared with proxied traffic,
         #: so a wedged stream cannot block liveness checks)
-        self.probe = NodeChannel(host, port, max_frame_bytes=max_frame_bytes)
+        self.probe = NodeChannel(
+            host, port, max_frame_bytes=max_frame_bytes, timeout_s=timeout_s
+        )
 
     def new_channel(self) -> NodeChannel:
         return NodeChannel(
-            self.host, self.port, max_frame_bytes=self.max_frame_bytes
+            self.host,
+            self.port,
+            max_frame_bytes=self.max_frame_bytes,
+            timeout_s=self.timeout_s,
         )
 
     def __repr__(self) -> str:
@@ -197,10 +232,20 @@ class NodePool:
         if handle is not None:
             handle.alive = True
 
-    async def health_check(self, handle: NodeHandle) -> dict | None:
-        """Probe one node; returns its health payload or None (dead)."""
+    async def health_check(
+        self, handle: NodeHandle, *, timeout_s: float | None = None
+    ) -> dict | None:
+        """Probe one node; returns its health payload or None (dead).
+
+        ``timeout_s`` overrides the probe channel's default — liveness
+        probes can afford a much shorter budget than proxied work, so a
+        hung node stops answering health checks quickly instead of
+        wedging the health loop for a full request timeout.
+        """
         try:
-            response = await handle.probe.request({"op": "health"})
+            response = await handle.probe.request(
+                {"op": "health"}, timeout_s=timeout_s
+            )
         except (NodeError, ProtocolError):
             return None
         if not response.get("ok"):

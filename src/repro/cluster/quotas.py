@@ -98,20 +98,31 @@ class _TokenBucket:
         )
         self._stamp = now
 
-    def try_take(self, amount: float) -> float:
-        """Take ``amount`` tokens; returns 0.0 on success, else the
-        seconds until enough tokens exist (nothing is taken then).
+    def need(self, amount: float) -> float:
+        """Seconds until ``amount`` tokens exist (0.0 = available now).
 
-        An amount beyond the burst cap is clamped to it: one oversized
-        request drains (at most) a full window's budget instead of
-        blocking forever.
+        A pure check — nothing is taken.  An amount beyond the burst
+        cap is clamped to it: one oversized request drains (at most) a
+        full window's budget instead of blocking forever.
         """
         self._refill()
         amount = min(amount, self.burst)
         if amount <= self._tokens:
-            self._tokens -= amount
             return 0.0
         return (amount - self._tokens) / self.rate
+
+    def take(self, amount: float) -> None:
+        """Debit ``amount`` (burst-clamped) tokens unconditionally."""
+        self._refill()
+        self._tokens -= min(amount, self.burst)
+
+    def try_take(self, amount: float) -> float:
+        """Take ``amount`` tokens; returns 0.0 on success, else the
+        seconds until enough tokens exist (nothing is taken then)."""
+        wait = self.need(amount)
+        if wait == 0.0:
+            self.take(amount)
+        return wait
 
 
 class _TenantAccount:
@@ -154,31 +165,68 @@ class QuotaManager:
     ``per_tenant``; frames carrying no tenant id are billed to
     ``"default"`` (shared — anonymous traffic pools together, which is
     exactly the incentive to send a tenant id).
+
+    Clients control the tenant string, so tracked state per tenant is
+    attacker-controlled cardinality: at most ``max_accounts`` live
+    accounts are kept, evicted least-recently-seen first (accounts
+    holding open sessions are never evicted; an evicted tenant that
+    returns simply starts from a fresh burst).  Rejection counters of
+    evicted tenants fold into the ``"(evicted)"`` aggregate so totals
+    survive without per-tenant growth.
     """
+
+    #: tenant key the rejection counters of evicted accounts fold into
+    EVICTED = "(evicted)"
 
     def __init__(
         self,
         default: TenantQuota | None = None,
         *,
         per_tenant: dict[str, TenantQuota] | None = None,
+        max_accounts: int = 1024,
         clock=time.monotonic,
     ) -> None:
+        if max_accounts < 1:
+            raise ConfigError("max_accounts must be >= 1")
         self.default = default
         self.per_tenant = dict(per_tenant or {})
+        self.max_accounts = max_accounts
         self._clock = clock
+        #: insertion-ordered, oldest-seen first (dict as LRU)
         self._accounts: dict[str, _TenantAccount] = {}
         #: rejections by (tenant, resource), for snapshots/telemetry
         self.rejections: dict[tuple[str, str], int] = {}
 
     def _account(self, tenant: str) -> _TenantAccount | None:
-        account = self._accounts.get(tenant)
+        account = self._accounts.pop(tenant, None)
         if account is None:
             quota = self.per_tenant.get(tenant, self.default)
             if quota is None or quota.unlimited:
                 return None
             account = _TenantAccount(quota, self._clock)
-            self._accounts[tenant] = account
+        self._accounts[tenant] = account  # (re-)append: most recent last
+        self._evict_stale(keep=tenant)
         return account
+
+    def _evict_stale(self, *, keep: str) -> None:
+        while len(self._accounts) > self.max_accounts:
+            victim = next(
+                (
+                    tenant
+                    for tenant, account in self._accounts.items()
+                    if tenant != keep and account.open_sessions == 0
+                ),
+                None,
+            )
+            if victim is None:
+                return  # every other tracked tenant holds sessions
+            del self._accounts[victim]
+            for key in [k for k in self.rejections if k[0] == victim]:
+                count = self.rejections.pop(key)
+                folded = (self.EVICTED, key[1])
+                self.rejections[folded] = (
+                    self.rejections.get(folded, 0) + count
+                )
 
     def _reject(
         self, tenant: str, resource: str, retry_after_s: float
@@ -204,6 +252,32 @@ class QuotaManager:
         wait = account.bytes.try_take(float(nbytes))
         if wait > 0:
             self._reject(tenant, "bytes", wait)
+
+    def admit_request_bytes(self, tenant: str, nbytes: int) -> None:
+        """Admit one scan/feed request carrying ``nbytes`` of data.
+
+        The two buckets are charged atomically: every check runs before
+        any debit, so a byte-rejected request does not also burn a
+        request token (and vice versa) for work that is never
+        forwarded.
+        """
+        account = self._account(tenant)
+        if account is None:
+            return
+        charge_request = account.requests is not None
+        charge_bytes = account.bytes is not None and nbytes > 0
+        if charge_request:
+            wait = account.requests.need(1.0)
+            if wait > 0:
+                self._reject(tenant, "requests", wait)
+        if charge_bytes:
+            wait = account.bytes.need(float(nbytes))
+            if wait > 0:
+                self._reject(tenant, "bytes", wait)
+        if charge_request:
+            account.requests.take(1.0)
+        if charge_bytes:
+            account.bytes.take(float(nbytes))
 
     def admit_session(self, tenant: str) -> None:
         """Claim one open-session slot (release with

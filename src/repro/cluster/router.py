@@ -40,7 +40,13 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError, ReproError, SimulationError
-from repro.cluster.nodes import NodeChannel, NodeError, NodeHandle, NodePool
+from repro.cluster.nodes import (
+    DEFAULT_REQUEST_TIMEOUT_S as DEFAULT_NODE_TIMEOUT_S,
+    NodeChannel,
+    NodeError,
+    NodeHandle,
+    NodePool,
+)
 from repro.cluster.placement import HashRing
 from repro.cluster.quotas import QuotaExceededError, QuotaManager
 from repro.service.protocol import (
@@ -91,6 +97,13 @@ class _FleetRuleset:
     #: on recovered or newly targeted nodes
     frame: dict
     placement: list[str]
+    #: every (id-less) ``update`` frame applied since registration, in
+    #: order.  Re-creating the ruleset on a node is ``frame`` followed
+    #: by this whole sequence — replaying the register alone would
+    #: resurrect the *pre-update* rules on a node that was dead (or
+    #: dropped mid-fan-out) during an update, and scans routed to it
+    #: would silently answer from stale rules.
+    updates: list[dict] = field(default_factory=list)
 
 
 @dataclass
@@ -141,6 +154,10 @@ class ClusterRouter:
         allow_shutdown: honour the ``shutdown`` frame.
         health_interval_s: period of the background liveness probe
             (dead nodes rejoin automatically once they answer again).
+        node_timeout_s: per-request round-trip budget on node channels
+            (None = wait forever).  A node that is connected but hung
+            exceeds it, raises :class:`NodeError`, and takes the same
+            dead-marking/failover path as a crashed one.
     """
 
     def __init__(
@@ -154,12 +171,16 @@ class ClusterRouter:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         allow_shutdown: bool = True,
         health_interval_s: float = 2.0,
+        node_timeout_s: float | None = DEFAULT_NODE_TIMEOUT_S,
     ) -> None:
         if replication < 1:
             raise ConfigError("replication must be >= 1")
         if health_interval_s <= 0:
             raise ConfigError("health_interval_s must be > 0")
+        if node_timeout_s is not None and node_timeout_s <= 0:
+            raise ConfigError("node_timeout_s must be > 0 (or None)")
         self.replication = replication
+        self.node_timeout_s = node_timeout_s
         self.quotas = quotas
         self.host = host
         self._requested_port = port
@@ -202,7 +223,10 @@ class ClusterRouter:
 
     def _add_node(self, host: str, port: int) -> NodeHandle:
         handle = self.pool.add(
-            host, port, max_frame_bytes=self.max_frame_bytes
+            host,
+            port,
+            max_frame_bytes=self.max_frame_bytes,
+            timeout_s=self.node_timeout_s,
         )
         self.ring.add(handle.name)
         return handle
@@ -466,15 +490,24 @@ class ClusterRouter:
     async def _ensure_registered(
         self, conn: _ClientConn, node: str, fleet: _FleetRuleset
     ) -> None:
-        """Make sure ``node`` serves ``fleet`` (replays the register
-        frame; a store-backed replay is an artifact load, not a
-        compile)."""
+        """Make sure ``node`` serves ``fleet`` *at its current version*.
+
+        Replays the register frame (store-backed: an artifact load, not
+        a compile) followed by every update applied since — the node is
+        only marked as serving the handle once the full sequence
+        succeeded, so a partially synced node keeps being retried
+        instead of answering from stale rules.
+        """
         handle = self.pool.get(node)
         if handle is None or fleet.handle in handle.registered:
             return
         response = await self._forward(conn, node, fleet.frame)
-        if response.get("ok"):
-            handle.registered.add(fleet.handle)
+        if not response.get("ok"):
+            return
+        for update in list(fleet.updates):
+            if not (await self._forward(conn, node, update)).get("ok"):
+                return
+        handle.registered.add(fleet.handle)
 
     # -- local ops ---------------------------------------------------------
     async def _op_ping(self, conn: _ClientConn, frame: dict) -> dict:
@@ -543,12 +576,23 @@ class ClusterRouter:
         return {"draining": True}
 
     async def _op_hello(self, conn: _ClientConn, frame: dict) -> dict:
-        """A node announcing itself (runtime fleet growth)."""
+        """A node announcing itself (runtime fleet growth).
+
+        Accepts ``host`` (str) + ``port`` (int) fields, or the compact
+        ``node`` ("host:port") form.
+        """
         host = frame.get("host")
         port = frame.get("port")
+        node = frame.get("node")
+        if host is None and port is None and isinstance(node, str):
+            try:
+                host, port = self._parse_node(node)
+            except ConfigError as exc:
+                raise ProtocolError(str(exc), code="bad-request") from exc
         if not isinstance(host, str) or not isinstance(port, int):
             raise ProtocolError(
-                "hello needs 'host' (str) and 'port' (int)",
+                "hello needs 'host' (str) and 'port' (int), or "
+                "'node' ('host:port')",
                 code="bad-request",
             )
         handle = self._add_node(host, port)
@@ -679,7 +723,13 @@ class ClusterRouter:
     async def _op_update(self, conn: _ClientConn, frame: dict) -> dict:
         """Hot-swap on every replica; the primary's response is the
         client's (update is incremental: replicas reuse the components
-        the primary's update published)."""
+        the primary's update published).
+
+        The applied frame is recorded on the fleet ruleset so replicas
+        that miss the fan-out — dead during the update, or dropped
+        mid-loop — converge to the current version when they are next
+        (re-)registered, instead of rejoining with pre-update rules.
+        """
         tenant = self._tenant(frame)
         if self.quotas is not None:
             self.quotas.admit_compile(
@@ -691,11 +741,27 @@ class ClusterRouter:
         response = await self._forward(conn, alive[0], clean)
         if not response.get("ok"):
             return response
+        fleet.updates.append(clean)
         for replica in alive[1:]:
-            try:
-                await self._forward(conn, replica, clean)
-            except NodeError:
-                continue
+            node = self.pool.get(replica)
+            if node is not None and fleet.handle in node.registered:
+                try:
+                    rep = await self._forward(conn, replica, clean)
+                except NodeError:
+                    # marked dead; recovery replays register + updates
+                    continue
+                if not rep.get("ok"):
+                    # the delta was refused: force a full replay before
+                    # this replica serves the handle again
+                    node.registered.discard(fleet.handle)
+            else:
+                # not serving the handle yet — the full replay brings
+                # it straight to the latest version (current update
+                # included; forwarding the delta too would double-apply)
+                try:
+                    await self._ensure_registered(conn, replica, fleet)
+                except NodeError:
+                    continue
         return response
 
     # -- routed scans ------------------------------------------------------
@@ -705,8 +771,7 @@ class ClusterRouter:
     async def _op_scan(self, conn: _ClientConn, frame: dict) -> dict:
         tenant = self._tenant(frame)
         if self.quotas is not None:
-            self.quotas.admit_request(tenant)
-            self.quotas.admit_bytes(
+            self.quotas.admit_request_bytes(
                 tenant, _approx_decoded_bytes(str(frame.get("data", "")))
             )
         return await self._forward_scan(conn, frame)
@@ -714,14 +779,14 @@ class ClusterRouter:
     async def _op_scan_many(self, conn: _ClientConn, frame: dict) -> dict:
         tenant = self._tenant(frame)
         if self.quotas is not None:
-            self.quotas.admit_request(tenant)
+            total = 0
             streams = frame.get("streams")
             if isinstance(streams, dict):
                 total = sum(
                     _approx_decoded_bytes(str(data))
                     for data in streams.values()
                 )
-                self.quotas.admit_bytes(tenant, total)
+            self.quotas.admit_request_bytes(tenant, total)
         return await self._forward_scan(conn, frame)
 
     async def _forward_scan(self, conn: _ClientConn, frame: dict) -> dict:
@@ -819,8 +884,7 @@ class ClusterRouter:
     async def _op_feed(self, conn: _ClientConn, frame: dict) -> dict:
         record = self._routed_session(conn, frame)
         if self.quotas is not None:
-            self.quotas.admit_request(record.tenant)
-            self.quotas.admit_bytes(
+            self.quotas.admit_request_bytes(
                 record.tenant,
                 _approx_decoded_bytes(str(frame.get("data", ""))),
             )
@@ -930,10 +994,18 @@ class ClusterRouter:
 
     # -- health loop -------------------------------------------------------
     async def _health_loop(self) -> None:
+        # probes get a budget tied to the probe period, not the (much
+        # larger) request timeout: one hung node must not stall the
+        # whole loop for a minute per iteration
+        probe_timeout = max(1.0, 2 * self.health_interval_s)
+        if self.node_timeout_s is not None:
+            probe_timeout = min(probe_timeout, self.node_timeout_s)
         while True:
             await asyncio.sleep(self.health_interval_s)
             for handle in list(self.pool):
-                health = await self.pool.health_check(handle)
+                health = await self.pool.health_check(
+                    handle, timeout_s=probe_timeout
+                )
                 if health is None:
                     if handle.alive:
                         _log.warning("node.health_failed", node=handle.name)
@@ -945,16 +1017,23 @@ class ClusterRouter:
 
     async def _reregister_node(self, handle: NodeHandle) -> None:
         """Replay registrations onto a recovered node (store-backed:
-        these are artifact loads, not compiles)."""
+        these are artifact loads, not compiles), then every update the
+        node missed while it was dead — rejoining with the pre-update
+        ruleset would silently serve stale rules."""
         for fleet in self._rulesets.values():
             if handle.name not in fleet.placement:
                 continue
             try:
                 response = await handle.probe.request(fleet.frame)
+                synced = response.get("ok")
+                for update in list(fleet.updates):
+                    if not synced:
+                        break
+                    synced = (await handle.probe.request(update)).get("ok")
             except NodeError:
                 self.pool.mark_dead(handle.name)
                 return
-            if response.get("ok"):
+            if synced:
                 handle.registered.add(fleet.handle)
 
 

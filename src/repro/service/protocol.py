@@ -78,8 +78,9 @@ Cluster-mode additions (all backwards-compatible within version 2; see
   Nodes ignore it; the cluster router uses it for per-tenant admission
   control (token-bucket byte rates, session caps, compile budgets) and
   answers over-quota requests with code ``over-quota``.
-* ``hello`` — router only: ``{"op": "hello", "node": "host:port"}``
-  adds a node to the fleet at runtime (new placements see it).
+* ``hello`` — router only: ``{"op": "hello", "host": "10.0.0.5",
+  "port": 7100}`` (or the compact ``"node": "host:port"`` form) adds a
+  node to the fleet at runtime (new placements see it).
 
 The ``register_artifact`` op (wire name; the table row is wrapped) was
 added in protocol version 2; version-1 servers answer it with

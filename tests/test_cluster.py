@@ -17,6 +17,7 @@ Three harness tiers, cheapest first:
   sharing are physically real.
 """
 
+import asyncio
 import itertools
 import json
 import multiprocessing
@@ -34,6 +35,8 @@ from repro.cluster import (
     ClusterRouter,
     HashRing,
     LocalFleet,
+    NodeChannel,
+    NodeError,
     QuotaExceededError,
     QuotaManager,
     TenantQuota,
@@ -245,8 +248,63 @@ class TestQuotas:
             TenantQuota(max_open_sessions=0)
         with pytest.raises(ConfigError):
             TenantQuota(window_s=0)
+        with pytest.raises(ConfigError):
+            QuotaManager(TenantQuota(), max_accounts=0)
         assert TenantQuota().unlimited
         assert not TenantQuota(requests_per_s=1).unlimited
+
+    def test_byte_reject_does_not_burn_a_request_token(self):
+        # admission is atomic per request: checks run on every bucket
+        # before anything is debited
+        clock = FakeClock()
+        quotas = QuotaManager(
+            TenantQuota(requests_per_s=10, bytes_per_s=100, window_s=1.0),
+            clock=clock,
+        )
+        quotas.admit_request_bytes("t", 100)  # 1 request + full byte burst
+        with pytest.raises(QuotaExceededError) as err:
+            quotas.admit_request_bytes("t", 50)
+        assert err.value.resource == "bytes"
+        # the byte-rejected attempt consumed no request token: exactly
+        # 9 of the 10-token burst remain
+        for _ in range(9):
+            quotas.admit_request_bytes("t", 0)
+        with pytest.raises(QuotaExceededError) as err:
+            quotas.admit_request_bytes("t", 0)
+        assert err.value.resource == "requests"
+
+    def test_tenant_accounts_are_bounded(self):
+        # the tenant string is client-controlled: tracked accounts must
+        # not grow without bound under a churn of fresh ids
+        clock = FakeClock()
+        quotas = QuotaManager(
+            TenantQuota(requests_per_s=100, max_open_sessions=4),
+            max_accounts=8,
+            clock=clock,
+        )
+        quotas.admit_session("keeper")  # holds a session: never evicted
+        for i in range(100):
+            quotas.admit_request(f"drive-by-{i}")
+        tenants = quotas.snapshot()["tenants"]
+        assert len(tenants) <= 8
+        assert "keeper" in tenants
+        quotas.release_session("keeper")
+
+    def test_evicted_tenant_rejections_fold_into_aggregate(self):
+        clock = FakeClock()
+        quotas = QuotaManager(
+            TenantQuota(requests_per_s=1, window_s=1.0),
+            max_accounts=2,
+            clock=clock,
+        )
+        quotas.admit_request("noisy")
+        with pytest.raises(QuotaExceededError):
+            quotas.admit_request("noisy")
+        for i in range(5):
+            quotas.admit_request(f"flood-{i}")
+        snapshot = quotas.snapshot()
+        assert "noisy" not in snapshot["tenants"]
+        assert snapshot["rejections"]["(evicted)/requests"] == 1
 
 
 class TestClusterConfig:
@@ -404,6 +462,18 @@ class TestRouterProxy:
             with pytest.raises(RemoteError) as err:
                 client.scan("0" * 16, b"xyz")
         assert err.value.code == "unknown-handle"
+
+    def test_hello_accepts_compact_node_form(self, router, servers):
+        # the protocol doc's {"node": "host:port"} shape and the
+        # host/port field pair must both be admitted
+        name = f"127.0.0.1:{servers[0].port}"
+        with RawConn(router.port) as raw:
+            reply = raw.request({"op": "hello", "node": name})
+            assert reply["ok"] is True, reply
+            assert reply["node"] == name
+            bad = raw.request({"op": "hello", "node": "not-an-address"})
+            assert bad["ok"] is False
+            assert bad["code"] == "bad-request"
 
     def test_metrics_exposition(self, router):
         with MatchingClient(port=router.port) as client:
@@ -589,8 +659,114 @@ class TestCheckpointResume:
 
 
 # ---------------------------------------------------------------------------
-# client retry policy against a deliberately flaky TCP path
+# hung nodes: per-request timeout feeds the failover path
 # ---------------------------------------------------------------------------
+
+
+class TestNodeChannelTimeout:
+    def test_hung_node_surfaces_as_node_error(self):
+        # a listener that accepts the TCP handshake (via its backlog)
+        # but never answers a frame: without a timeout this round-trip
+        # blocks forever and no failover can engage
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        async def main():
+            channel = NodeChannel("127.0.0.1", port, timeout_s=0.2)
+            start = time.monotonic()
+            with pytest.raises(NodeError, match="did not answer"):
+                await channel.request({"op": "ping"})
+            assert time.monotonic() - start < 5.0
+            assert not channel.connected  # closed, ready to reconnect
+
+        try:
+            asyncio.run(main())
+        finally:
+            listener.close()
+
+    def test_per_request_override_beats_channel_default(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        async def main():
+            channel = NodeChannel("127.0.0.1", port, timeout_s=60.0)
+            with pytest.raises(NodeError, match="did not answer"):
+                await channel.request({"op": "health"}, timeout_s=0.2)
+
+        try:
+            asyncio.run(main())
+        finally:
+            listener.close()
+
+
+# ---------------------------------------------------------------------------
+# replica consistency: updates survive a replica's death and rejoin
+# ---------------------------------------------------------------------------
+
+
+class TestUpdateReplayOnRecovery:
+    def test_recovered_replica_converges_to_updated_ruleset(self, tmp_path):
+        # a replica that is dead during an update must NOT rejoin with
+        # the pre-update rules — the router replays the full register +
+        # update sequence when the node returns
+        config = ScanConfig(num_shards=1, artifact_store=str(tmp_path))
+        survivor = BackgroundServer(config=config).start()
+        victim = BackgroundServer(config=config).start()
+        victim_port = victim.port
+        revived = None
+        with BackgroundRouter(
+            ClusterRouter(
+                [("127.0.0.1", survivor.port), ("127.0.0.1", victim_port)],
+                replication=2,
+                health_interval_s=0.2,
+            )
+        ) as bg:
+            try:
+                with MatchingClient(port=bg.port) as client:
+                    handle = client.register(RULES)
+                    victim.stop()
+                    # wait for the health loop to mark the victim dead,
+                    # so the update's fan-out deterministically misses it
+                    deadline = time.monotonic() + 10.0
+                    victim_name = f"127.0.0.1:{victim_port}"
+                    while True:
+                        nodes = client.health()["nodes"]
+                        if not nodes[victim_name]["alive"]:
+                            break
+                        assert time.monotonic() < deadline, nodes
+                        time.sleep(0.05)
+                    client.update(handle, add={"rz": "zz+q"})
+                    expected = keys_of(client.scan(handle, b"azzzqa").reports)
+                    assert expected  # the update took on the survivor
+                    # the node returns on the same address (fresh
+                    # process: it lost everything it ever registered)
+                    revived = BackgroundServer(
+                        config=config, port=victim_port
+                    ).start()
+                    # the router re-registers AND replays the update;
+                    # poll until the revived node answers from the
+                    # updated rules, byte-identical to the survivor
+                    deadline = time.monotonic() + 15.0
+                    while True:
+                        try:
+                            with MatchingClient(port=victim_port) as direct:
+                                got = keys_of(
+                                    direct.scan(handle, b"azzzqa").reports
+                                )
+                        except RemoteError:
+                            got = None  # not re-registered yet
+                        if got == expected:
+                            break
+                        assert time.monotonic() < deadline, got
+                        time.sleep(0.1)
+            finally:
+                survivor.stop()
+                if revived is not None:
+                    revived.stop()
 
 
 class FlakyProxy:
